@@ -1,0 +1,43 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+The Section VI figures all derive from one fleet sweep (166 tuned
+submissions); it is computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Several benchmarks reuse fixtures from tests/conftest.py; make the
+# repository root importable regardless of how pytest was invoked
+# (``pytest benchmarks/`` does not add the rootdir to sys.path).
+_ROOT = str(Path(__file__).resolve().parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+from repro.datasets import SyntheticCoco, SyntheticImageNet, SyntheticWmt
+from repro.harness.experiments import run_fleet
+
+
+@pytest.fixture(scope="session")
+def fleet_records():
+    """The full closed-division result corpus (one sweep per session)."""
+    return run_fleet()
+
+
+@pytest.fixture(scope="session")
+def imagenet():
+    return SyntheticImageNet(size=400)
+
+
+@pytest.fixture(scope="session")
+def coco():
+    return SyntheticCoco(size=160)
+
+
+@pytest.fixture(scope="session")
+def wmt():
+    return SyntheticWmt(size=240)

@@ -1,0 +1,111 @@
+"""Ablation: the batching design choices behind the Figure 6 behaviour.
+
+Section VI-B attributes server-scenario throughput differences to
+"hardware architecture optimized for low batch size or more-effective
+dynamic batching in the inference engine".  These ablations isolate both
+knobs on one device model.
+"""
+
+import pytest
+
+from repro.core import Task
+from repro.harness.tuning import (
+    QUICK_SCALE,
+    find_max_server_qps,
+    measure_offline,
+)
+from repro.sut.device import DeviceModel, ProcessorType
+from repro.sut.simulated import SimulatedSUT, WorkloadProfile
+
+
+class _QSL:
+    name = "ablation"
+    total_sample_count = 4096
+    performance_sample_count = 1024
+
+    def load_samples(self, indices):
+        pass
+
+    def unload_samples(self, indices):
+        pass
+
+    def get_sample(self, index):
+        return None
+
+
+def make_device(max_batch=64):
+    return DeviceModel(
+        name="ablation-gpu", processor=ProcessorType.GPU,
+        peak_gops=40_000.0, base_utilization=0.06, saturation_gops=150.0,
+        overhead=0.5e-3, max_batch=max_batch,
+    )
+
+
+TASK = Task.IMAGE_CLASSIFICATION_HEAVY
+WORKLOAD = WorkloadProfile(8.2)
+
+
+def test_ablation_batching_lifts_offline_throughput(benchmark):
+    """Offline throughput collapses when the engine cannot batch."""
+    def measure(max_batch):
+        device = make_device(max_batch)
+        result = measure_offline(
+            lambda: SimulatedSUT(device, WORKLOAD), _QSL(), TASK, QUICK_SCALE)
+        return result.primary_metric
+
+    batched = benchmark.pedantic(lambda: measure(64), rounds=1, iterations=1)
+    unbatched = measure(1)
+    print(f"\n  offline: batch=64 {batched:.0f}/s, batch=1 {unbatched:.0f}/s")
+    assert batched > 2.5 * unbatched
+
+
+def test_ablation_batch_window_versus_latency_bound(benchmark):
+    """A hold-off window longer than the latency budget destroys server
+    capacity; a modest window is roughly free."""
+    device = make_device()
+
+    def capacity(window):
+        tuned = find_max_server_qps(
+            lambda: SimulatedSUT(device, WORKLOAD, batch_window=window),
+            _QSL(), TASK, QUICK_SCALE)
+        return tuned.value if tuned else 0.0
+
+    modest = benchmark.pedantic(lambda: capacity(1e-3),
+                                rounds=1, iterations=1)
+    none = capacity(0.0)
+    oversized = capacity(0.014)   # ~the whole 15 ms ResNet budget
+    print(f"\n  server capacity: window=0 {none:.0f}, "
+          f"1 ms {modest:.0f}, 14 ms {oversized:.0f} qps")
+    assert oversized < 0.5 * max(none, modest)
+    assert modest > 0.5 * none
+
+
+def test_ablation_low_batch_hardware_degrades_less(benchmark):
+    """A device efficient at batch 1 (CPU-like) loses less server
+    throughput than a batch-hungry accelerator - one of the two
+    explanations the paper offers for Figure 6's spread."""
+    batch_hungry = DeviceModel(
+        name="hungry", processor=ProcessorType.GPU, peak_gops=40_000.0,
+        base_utilization=0.03, saturation_gops=400.0, overhead=0.5e-3,
+        max_batch=64,
+    )
+    batch_agnostic = DeviceModel(
+        name="agnostic", processor=ProcessorType.CPU, peak_gops=2_000.0,
+        base_utilization=0.9, saturation_gops=10.0, overhead=0.2e-3,
+        max_batch=8,
+    )
+
+    def ratio(device):
+        offline = measure_offline(
+            lambda: SimulatedSUT(device, WORKLOAD), _QSL(), TASK, QUICK_SCALE
+        ).primary_metric
+        tuned = find_max_server_qps(
+            lambda: SimulatedSUT(device, WORKLOAD), _QSL(), TASK, QUICK_SCALE)
+        return (tuned.value if tuned else 0.0) / offline
+
+    hungry_ratio = benchmark.pedantic(lambda: ratio(batch_hungry),
+                                      rounds=1, iterations=1)
+    agnostic_ratio = ratio(batch_agnostic)
+    print(f"\n  server/offline: batch-hungry {hungry_ratio:.2f}, "
+          f"batch-agnostic {agnostic_ratio:.2f}")
+    assert agnostic_ratio > hungry_ratio

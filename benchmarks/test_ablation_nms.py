@@ -1,0 +1,108 @@
+"""Ablation: regular versus "fast" NMS accuracy (Section II-C).
+
+The paper's motivating porting hazard: converting SSD-MobileNet-v1 from
+TensorFlow (regular NMS) to TensorFlow Lite (fast NMS) drops accuracy
+from 23.1 to 22.3 mAP - a small but real regression caused purely by the
+post-processing operator.  This ablation isolates the effect: scenes of
+closely spaced objects whose detector output contains suppression
+chains, scored with both algorithms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.map import mean_average_precision
+from repro.datasets.coco import GroundTruthObject
+from repro.models.nms import Detection, multiclass_nms
+
+RNG = np.random.default_rng(20)
+
+#: Object size and spacing: chosen so a bridge box midway between two
+#: primaries overlaps each at IoU ~0.54 (> the 0.5 NMS threshold) while
+#: the primaries overlap each other at only ~0.25 (< threshold).
+SIZE = 10.0
+SPACING = 6.0
+
+
+def chain_scene(num_objects, noise=0.0):
+    """Ground truth plus raw detector output forming suppression chains.
+
+    Each object gets a well-placed primary box; between consecutive
+    objects sits a spurious "bridge" box overlapping both (IoU > 0.5
+    with each), scored between the two primaries.  Greedy NMS discards
+    the bridge once the left primary wins; fast NMS lets the discarded
+    bridge still kill the right primary.
+    """
+    truths = []
+    boxes = []
+    scores = []
+    for i in range(num_objects):
+        x = i * SPACING
+        truths.append(GroundTruthObject(
+            box=(0.0, x, SIZE, x + SIZE), class_id=1))
+        jitter = RNG.uniform(-noise, noise, size=4)
+        boxes.append(np.array([0.0, x, SIZE, x + SIZE]) + jitter)
+        scores.append(0.90 - 0.10 * i)
+        if i + 1 < num_objects:
+            bridge_x = x + SPACING / 2.0
+            boxes.append(np.array([0.0, bridge_x, SIZE, bridge_x + SIZE]))
+            scores.append(0.85 - 0.10 * i)
+    return truths, np.array(boxes), np.array(scores)
+
+
+def run_nms(boxes, scores, algorithm):
+    class_scores = np.zeros((len(boxes), 2))
+    class_scores[:, 1] = scores
+    return multiclass_nms(boxes, class_scores, score_threshold=0.05,
+                          iou_threshold=0.5, algorithm=algorithm)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    truths_all, regular_all, fast_all = [], [], []
+    for _scene in range(40):
+        n = int(RNG.integers(2, 5))
+        truths, boxes, scores = chain_scene(n, noise=0.3)
+        truths_all.append(truths)
+        regular_all.append(run_nms(boxes, scores, "regular"))
+        fast_all.append(run_nms(boxes, scores, "fast"))
+    return truths_all, regular_all, fast_all
+
+
+def test_ablation_regular_nms_near_perfect(benchmark, corpus):
+    truths, regular, _fast = corpus
+    score = benchmark(mean_average_precision, regular, truths,
+                      iou_thresholds=(0.5,))
+    assert score > 0.95
+
+
+def test_ablation_fast_nms_loses_accuracy(benchmark, corpus):
+    truths, regular, fast = corpus
+    fast_map = benchmark(mean_average_precision, fast, truths,
+                         iou_thresholds=(0.5,))
+    regular_map = mean_average_precision(regular, truths,
+                                         iou_thresholds=(0.5,))
+    print(f"\n  regular NMS mAP@0.5: {regular_map:.4f}")
+    print(f"  fast    NMS mAP@0.5: {fast_map:.4f}")
+    # The paper's 23.1 -> 22.3 is a ~3.5% relative drop; chains here are
+    # denser so the isolated effect is larger, but strictly one-sided.
+    assert fast_map < regular_map
+    assert fast_map < 0.97 * regular_map
+
+
+def test_ablation_fast_nms_is_cheaper(benchmark, corpus):
+    """The reason mobile runtimes use it: one matrix op, no loop."""
+    import time
+
+    boxes_sets = []
+    for _ in range(20):
+        _t, boxes, scores = chain_scene(4, noise=0.3)
+        boxes_sets.append((boxes, scores))
+
+    def run_all(algorithm):
+        for boxes, scores in boxes_sets:
+            run_nms(boxes, scores, algorithm)
+
+    benchmark(run_all, "fast")
+    # No timing assertion (python constants dominate at this scale);
+    # correctness of both paths is asserted above.

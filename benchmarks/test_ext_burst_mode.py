@@ -1,0 +1,85 @@
+"""Extension: burst mode (paper Section I, planned scenarios).
+
+Quantifies what the new scenario would measure: at an equal *average*
+sample rate, bursty arrivals are strictly harder to serve under a QoS
+bound than the server scenario's smooth Poisson stream, and the burst
+size itself imposes a latency floor.
+"""
+
+import pytest
+
+from repro.core import Task
+from repro.core.experimental import BurstSettings, find_max_burst_rate
+from repro.harness.tuning import QUICK_SCALE, find_max_server_qps
+from repro.sut.device import DeviceModel, ProcessorType
+from repro.sut.simulated import SimulatedSUT, WorkloadProfile
+
+
+class _QSL:
+    name = "burst"
+    total_sample_count = 8192
+    performance_sample_count = 1024
+
+    def load_samples(self, indices):
+        pass
+
+    def unload_samples(self, indices):
+        pass
+
+    def get_sample(self, index):
+        return None
+
+
+DEVICE = DeviceModel(
+    name="burst-gpu", processor=ProcessorType.GPU, peak_gops=40_000.0,
+    base_utilization=0.06, saturation_gops=150.0, overhead=0.5e-3,
+    max_batch=64,
+)
+TASK = Task.IMAGE_CLASSIFICATION_HEAVY
+WORKLOAD = WorkloadProfile(8.2)
+
+
+def burst_settings(size):
+    return BurstSettings(task=TASK, burst_size=size, bursts_per_second=10.0,
+                         min_query_count=1_000, min_duration=1.5)
+
+
+@pytest.fixture(scope="module")
+def capacities():
+    smooth = find_max_server_qps(
+        lambda: SimulatedSUT(DEVICE, WORKLOAD), _QSL(), TASK, QUICK_SCALE)
+    bursts = {
+        size: find_max_burst_rate(
+            lambda: SimulatedSUT(DEVICE, WORKLOAD), _QSL(),
+            burst_settings(size))
+        for size in (4, 16, 64)
+    }
+    return smooth.value, bursts
+
+
+def test_burst_traffic_is_harder_than_poisson(benchmark, capacities):
+    smooth, bursts = benchmark.pedantic(lambda: capacities,
+                                        rounds=1, iterations=1)
+    print(f"\n  smooth Poisson capacity : {smooth:8.0f} qps")
+    for size, rate in sorted(bursts.items()):
+        shown = f"{rate:8.0f}" if rate else "  (none)"
+        print(f"  burst size {size:3d}        : {shown} qps")
+    for rate in bursts.values():
+        assert rate is None or rate < smooth
+
+
+def test_larger_bursts_hurt_more(benchmark, capacities):
+    _smooth, bursts = benchmark.pedantic(lambda: capacities,
+                                         rounds=1, iterations=1)
+    assert bursts[4] is not None and bursts[16] is not None
+    assert bursts[16] < bursts[4]
+
+
+def test_burst_size_is_a_latency_floor(benchmark, capacities):
+    """A 64-query burst needs >= its own full service time per query;
+    on this device that exceeds the 15 ms ResNet bound at ANY rate."""
+    _smooth, bursts = benchmark.pedantic(lambda: capacities,
+                                         rounds=1, iterations=1)
+    floor = DEVICE.service_time(8.2, 64)
+    assert floor > 0.013          # within spitting distance of the bound
+    assert bursts[64] is None

@@ -1,0 +1,70 @@
+"""Extension: timing preprocessing (paper Sections I and IV-A).
+
+v0.5 explicitly leaves preprocessing untimed ("there is no vendor- or
+application-neutral preprocessing"), while listing "timing
+preprocessing" as a planned metric improvement.  The bench measures the
+same system under both policies and shows the whole-pipeline metric can
+flip a server run's validity - the reason the choice is consequential.
+"""
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.datasets import DatasetQSL, SyntheticImageNet
+from repro.models.runtime import build_glyph_classifier
+from repro.sut.backend import ClassifierSUT, PreprocessingModel
+
+INFERENCE_SECONDS = 0.006
+PREPROCESS_SECONDS = 0.003
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = SyntheticImageNet(size=300)
+    qsl = DatasetQSL(dataset)
+    model = build_glyph_classifier(dataset, "light")
+    return qsl, model
+
+
+def single_stream(qsl, model, timed):
+    sut = ClassifierSUT(
+        model, qsl, service_time_fn=lambda n: INFERENCE_SECONDS,
+        preprocessing=PreprocessingModel(PREPROCESS_SECONDS, timed=timed))
+    settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=256, min_duration=0.5)
+    return run_benchmark(sut, qsl, settings)
+
+
+def test_ext_untimed_hides_a_third_of_the_pipeline(benchmark, setup):
+    qsl, model = setup
+    untimed = benchmark.pedantic(
+        lambda: single_stream(qsl, model, timed=False),
+        rounds=1, iterations=1)
+    timed = single_stream(qsl, model, timed=True)
+    hidden = 1 - untimed.primary_metric / timed.primary_metric
+    print(f"\n  p90 latency untimed: {untimed.primary_metric * 1e3:.1f} ms, "
+          f"timed: {timed.primary_metric * 1e3:.1f} ms "
+          f"({hidden:.0%} of the pipeline is untimed)")
+    assert untimed.primary_metric == pytest.approx(INFERENCE_SECONDS)
+    assert timed.primary_metric == pytest.approx(
+        INFERENCE_SECONDS + PREPROCESS_SECONDS)
+
+
+def test_ext_timing_policy_flips_server_validity(benchmark, setup):
+    qsl, model = setup
+    bound = INFERENCE_SECONDS * 1.25   # fits inference, not the pipeline
+    settings = TestSettings(scenario=Scenario.SERVER,
+                            server_target_qps=40.0,
+                            server_latency_bound=bound,
+                            min_query_count=200, min_duration=1.0)
+
+    def run(timed):
+        sut = ClassifierSUT(
+            model, qsl, service_time_fn=lambda n: INFERENCE_SECONDS,
+            preprocessing=PreprocessingModel(PREPROCESS_SECONDS, timed=timed))
+        return run_benchmark(sut, qsl, settings)
+
+    untimed = benchmark.pedantic(lambda: run(False), rounds=1, iterations=1)
+    timed = run(True)
+    assert untimed.valid
+    assert not timed.valid

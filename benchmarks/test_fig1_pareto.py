@@ -1,0 +1,129 @@
+"""Figure 1: the accuracy / computational-complexity Pareto frontier.
+
+"No single model is optimal; each one presents a design tradeoff between
+accuracy, memory requirements, and computational complexity."  We build
+a model *family* on the synthetic ImageNet task - matched-filter
+classifiers with progressively cropped templates (less evidence, fewer
+MACs) plus the subsampled light model - measure each point's accuracy
+and operation count, and assert the published shape: a wide complexity
+range, a wide accuracy range, and more compute buying more accuracy
+along the frontier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.glyphs import glyph_templates
+from repro.models.graph import (
+    Activation,
+    Conv2D,
+    Dense,
+    GlobalMaxPool,
+    Sequential,
+)
+from repro.models.runtime.classifier import (
+    GlyphClassifier,
+    build_glyph_classifier,
+    evaluate_classifier,
+)
+
+EVAL = range(64, 364)
+
+
+def build_cropped_classifier(dataset, crop, gain=4.0):
+    """Heavy-style classifier that only sees a crop x crop template."""
+    full = glyph_templates(dataset.glyphs)          # (g, g, 1, C)
+    cropped = full[:crop, :crop]
+    norms = np.sqrt((cropped ** 2).sum(axis=(0, 1), keepdims=True))
+    cropped = cropped / np.maximum(norms, 1e-9)
+    num_classes = dataset.num_classes
+
+    conv = Conv2D(crop, num_classes, stride=1, padding="same",
+                  use_bias=False, name=f"crop{crop}")
+    graph = Sequential([
+        conv, Activation("relu"), GlobalMaxPool(),
+        Dense(num_classes, use_bias=False, name="head"),
+    ], name=f"cropped_{crop}")
+    shape = (dataset.image_size, dataset.image_size, 1)
+    graph.initialize(shape, np.random.default_rng(0))
+    conv.set_parameter("weights", (cropped * gain).astype(np.float32))
+    graph.children[-1].set_parameter(
+        "weights", np.eye(num_classes, dtype=np.float32))
+    return GlyphClassifier(graph, shape, f"crop{crop}")
+
+
+@pytest.fixture(scope="module")
+def family(imagenet):
+    """(name, macs, accuracy) for every family member."""
+    points = []
+    for crop in (3, 4, 5, 6, 8):
+        model = build_cropped_classifier(imagenet, crop)
+        points.append((f"crop{crop}", model.macs(),
+                       evaluate_classifier(model, imagenet, EVAL)))
+    light = build_glyph_classifier(imagenet, "light")
+    points.append(("light", light.macs(),
+                   evaluate_classifier(light, imagenet, EVAL)))
+    return points
+
+
+def test_fig1_family_measured(benchmark, family):
+    points = benchmark.pedantic(lambda: family, rounds=1, iterations=1)
+    print()
+    for name, macs, acc in sorted(points, key=lambda p: p[1]):
+        print(f"  {name:8s} {macs / 1e3:9.1f} kMACs   {acc:5.1f}% top-1")
+    assert len(points) == 6
+
+
+def test_fig1_wide_complexity_range(benchmark, family):
+    macs = benchmark(lambda: [m for _n, m, _a in family])
+    # Paper: ~50x difference in GOPs across the family.
+    assert max(macs) / min(macs) > 5
+
+
+def test_fig1_wide_accuracy_range(benchmark, family):
+    accs = benchmark(lambda: [a for _n, _m, a in family])
+    assert max(accs) - min(accs) > 20.0
+
+
+def test_fig1_compute_buys_accuracy_along_the_crop_family(benchmark, family):
+    crops = benchmark(
+        lambda: sorted(
+            [(m, a) for n, m, a in family if n.startswith("crop")]))
+    macs, accs = zip(*crops)
+    # Monotone (within noise): every big step up in compute pays.
+    assert accs[-1] > accs[0] + 20
+    assert accs[-1] == max(accs)
+
+
+def test_fig1_fullsize_family_published_points(benchmark):
+    """The full-size counterpart: computed GOPs paired with published
+    Top-1 accuracies for an 11-model family (see repro.models.family)."""
+    from repro.models.family import family_points, pareto_frontier
+
+    points = benchmark(family_points)
+    print()
+    for name, gops, top1 in sorted(points, key=lambda p: p[1]):
+        print(f"  {name:20s} {gops:6.2f} GOPs  {top1:5.1f}% top-1")
+    gops = [g for _n, g, _a in points]
+    assert max(gops) / min(gops) > 50          # "a 50x difference"
+    frontier = pareto_frontier(points)
+    assert 3 <= len(frontier) < len(points)    # no single optimum
+
+
+def test_fig1_no_single_optimal_model(benchmark, family):
+    """At least two family members are Pareto-optimal (no single model
+    dominates on both axes)."""
+    def pareto():
+        frontier = []
+        for name, macs, acc in family:
+            dominated = any(
+                other_macs <= macs and other_acc >= acc
+                and (other_macs, other_acc) != (macs, acc)
+                for _n, other_macs, other_acc in family
+            )
+            if not dominated:
+                frontier.append(name)
+        return frontier
+
+    frontier = benchmark(pareto)
+    assert len(frontier) >= 2

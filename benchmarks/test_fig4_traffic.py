@@ -1,0 +1,90 @@
+"""Figure 4: timing and number of queries from the LoadGen.
+
+Statistical checks on the generated traffic itself: Poisson arrivals for
+server, constant intervals for multistream, completion-gated sequencing
+for single-stream, and one all-samples query for offline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, TestMode, TestSettings
+from repro.core.events import EventLoop
+from repro.core.logging import QueryLog
+from repro.core.query import QuerySampleResponse
+from repro.core.sampler import SampleSelector
+from repro.core.scenarios import PerformanceSource, make_driver
+from repro.core.sut import SutBase
+
+
+class RecordingSUT(SutBase):
+    def __init__(self, latency=0.001):
+        super().__init__("recording")
+        self.latency = latency
+        self.issue_times = []
+        self.sample_counts = []
+
+    def issue_query(self, query):
+        self.issue_times.append(self.loop.now)
+        self.sample_counts.append(query.sample_count)
+        responses = [QuerySampleResponse(s.id, None) for s in query.samples]
+        self.loop.schedule_after(
+            self.latency, lambda: self.complete(query, responses))
+
+
+def drive(settings, latency=0.001):
+    loop = EventLoop()
+    log = QueryLog()
+    sut = RecordingSUT(latency)
+    source = PerformanceSource(SampleSelector(range(128), seed=3))
+    driver = make_driver(loop, settings, sut, source, log)
+    sut.start_run(loop, driver.handle_completion)
+    driver.start()
+    loop.run()
+    return sut
+
+
+def test_fig4_server_is_poisson(benchmark):
+    settings = TestSettings(scenario=Scenario.SERVER,
+                            server_target_qps=2000.0,
+                            server_latency_bound=1.0,
+                            min_query_count=5000, min_duration=0.0)
+    sut = benchmark.pedantic(lambda: drive(settings), rounds=1, iterations=1)
+    gaps = np.diff(sut.issue_times)
+    # Exponential inter-arrivals: mean = 1/lambda, CV = 1, and the
+    # memoryless property makes gap quantiles follow exp(1/rate).
+    assert np.mean(gaps) == pytest.approx(1 / 2000.0, rel=0.1)
+    assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, rel=0.1)
+    theoretical_median = np.log(2) / 2000.0
+    assert np.median(gaps) == pytest.approx(theoretical_median, rel=0.15)
+
+
+def test_fig4_multistream_interval_constant(benchmark):
+    settings = TestSettings(scenario=Scenario.MULTI_STREAM,
+                            multistream_interval=0.05,
+                            multistream_samples_per_query=4,
+                            min_query_count=100, min_duration=0.0)
+    sut = benchmark.pedantic(lambda: drive(settings), rounds=1, iterations=1)
+    gaps = np.diff(sut.issue_times)
+    assert np.allclose(gaps, 0.05)
+    assert all(c == 4 for c in sut.sample_counts)
+
+
+def test_fig4_single_stream_gated_by_completion(benchmark):
+    settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=100, min_duration=0.0)
+    sut = benchmark.pedantic(lambda: drive(settings, latency=0.007),
+                             rounds=1, iterations=1)
+    gaps = np.diff(sut.issue_times)
+    # t_j = processing time of query j, exactly.
+    assert np.allclose(gaps, 0.007)
+    assert all(c == 1 for c in sut.sample_counts)
+
+
+def test_fig4_offline_single_batch(benchmark):
+    settings = TestSettings(scenario=Scenario.OFFLINE,
+                            offline_sample_count=2048, min_duration=0.0)
+    sut = benchmark.pedantic(lambda: drive(settings, latency=1.0),
+                             rounds=1, iterations=1)
+    assert sut.issue_times[0] == 0.0
+    assert sut.sample_counts[0] == 2048

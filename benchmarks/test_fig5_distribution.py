@@ -1,0 +1,42 @@
+"""Figure 5: closed-division results per model (19/37/54/29/27)."""
+
+import pytest
+
+from repro.core import Task
+from repro.harness.experiments import results_per_task
+from repro.sut.fleet import FIGURE_5
+
+
+def test_fig5_distribution(benchmark, fleet_records):
+    counts = benchmark(results_per_task, fleet_records)
+    print()
+    for task in Task:
+        bar = "#" * counts[task]
+        print(f"{task.value:20s} {counts[task]:3d} {bar}")
+    # Exact reproduction of the published counts.
+    assert counts == FIGURE_5
+
+
+def test_fig5_total_is_166(benchmark, fleet_records):
+    total = benchmark(lambda: sum(results_per_task(fleet_records).values()))
+    assert total == 166
+
+
+def test_fig5_resnet_most_popular_with_small_spread(benchmark, fleet_records):
+    """ResNet-50 v1.5 is the most popular model, but under three times
+    as popular as GNMT, the least popular - the paper's evidence that
+    the workload selection was representative."""
+    counts = benchmark(results_per_task, fleet_records)
+    ordered = sorted(counts.values())
+    assert counts[Task.IMAGE_CLASSIFICATION_HEAVY] == max(counts.values())
+    assert counts[Task.MACHINE_TRANSLATION] == min(counts.values())
+    assert max(counts.values()) / min(counts.values()) < 3.0
+
+
+def test_fig5_detection_models_equally_supported(benchmark, fleet_records):
+    """'about the same number of submissions for both SSD-MobileNet-v1
+    and SSD-ResNet-34'."""
+    counts = benchmark(results_per_task, fleet_records)
+    light = counts[Task.OBJECT_DETECTION_LIGHT]
+    heavy = counts[Task.OBJECT_DETECTION_HEAVY]
+    assert abs(light - heavy) <= 3

@@ -1,0 +1,88 @@
+"""Figure 6: server-to-offline throughput degradation.
+
+The paper's quantified observations (Section VI-B):
+
+* every system delivers LESS throughput under the server scenario;
+* NMT loses 39-55% across all systems with NMT results - the worst;
+* ResNet-50 v1.5 losses range from ~3% to ~35% (avg ~20%), with some
+  "system B"-like submitters losing ~50% or more;
+* MobileNet-v1's average loss is the smallest of the three;
+* a latency-unconstrained comparison says little about the constrained
+  one (the spread within each model is wide).
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import Task
+from repro.harness.experiments import server_offline_ratios
+
+
+@pytest.fixture(scope="module")
+def ratios(fleet_records):
+    return server_offline_ratios(fleet_records)
+
+
+def per_task(ratios, task):
+    return [by_task[task] for by_task in ratios.values() if task in by_task]
+
+
+def test_fig6_no_system_beats_offline(benchmark, ratios):
+    all_ratios = benchmark(
+        lambda: [r for by_task in ratios.values() for r in by_task.values()])
+    print()
+    for system, by_task in sorted(ratios.items()):
+        row = ", ".join(f"{t.value}={r:.2f}" for t, r in by_task.items())
+        print(f"  {system:18s} {row}")
+    assert all(r <= 1.02 for r in all_ratios)
+    assert len(all_ratios) >= 20
+
+
+def test_fig6_nmt_degrades_39_to_55_percent(benchmark, ratios):
+    nmt = benchmark(per_task, ratios, Task.MACHINE_TRANSLATION)
+    assert len(nmt) >= 5
+    assert all(0.30 <= r <= 0.70 for r in nmt)
+    assert 0.40 <= statistics.mean(nmt) <= 0.60
+
+
+def test_fig6_resnet_spread_includes_mild_and_severe(benchmark, ratios):
+    resnet = benchmark(per_task, ratios, Task.IMAGE_CLASSIFICATION_HEAVY)
+    assert len(resnet) >= 8
+    assert max(resnet) >= 0.90      # some systems lose only ~3-10%
+    assert min(resnet) <= 0.65      # some lose 35%+ ("system B" ~50%)
+    assert 0.70 <= statistics.mean(resnet) <= 0.95
+
+
+def test_fig6_mobilenet_loses_least(benchmark, ratios):
+    mobilenet = benchmark(per_task, ratios, Task.IMAGE_CLASSIFICATION_LIGHT)
+    assert max(mobilenet) >= 0.90   # best systems lose <10%
+    nmt_mean = statistics.mean(per_task(ratios, Task.MACHINE_TRANSLATION))
+    assert statistics.mean(mobilenet) > nmt_mean
+
+
+def test_fig6_nmt_is_the_worst_model(benchmark, ratios):
+    means = benchmark(lambda: {
+        task: statistics.mean(per_task(ratios, task))
+        for task in (Task.MACHINE_TRANSLATION,
+                     Task.IMAGE_CLASSIFICATION_HEAVY,
+                     Task.IMAGE_CLASSIFICATION_LIGHT,
+                     Task.OBJECT_DETECTION_HEAVY)
+    })
+    nmt = means.pop(Task.MACHINE_TRANSLATION)
+    assert all(nmt < other for other in means.values())
+
+
+def test_fig6_extrapolation_is_poor(benchmark, ratios):
+    """'the impact of latency constraints on different models
+    extrapolates poorly': within-model spread is large."""
+    def spreads():
+        out = {}
+        for task in (Task.IMAGE_CLASSIFICATION_HEAVY,
+                     Task.OBJECT_DETECTION_LIGHT):
+            values = per_task(ratios, task)
+            out[task] = max(values) - min(values)
+        return out
+
+    deltas = benchmark(spreads)
+    assert all(delta > 0.3 for delta in deltas.values())

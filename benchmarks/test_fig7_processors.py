@@ -1,0 +1,55 @@
+"""Figure 7: results per processor architecture.
+
+"The MLPerf Inference submissions covered most hardware categories" -
+CPUs, GPUs, DSPs, FPGAs, and ASICs all appear, with GPUs contributing
+the most results and DSPs/FPGAs the fewest.
+"""
+
+import pytest
+
+from repro.core import Task
+from repro.harness.experiments import results_per_processor
+from repro.sut.device import ProcessorType
+
+
+def test_fig7_every_architecture_represented(benchmark, fleet_records):
+    per_proc = benchmark(results_per_processor, fleet_records)
+    print()
+    for proc in ProcessorType:
+        total = sum(per_proc.get(proc, {}).values())
+        print(f"  {proc.value:5s} {total:3d} {'#' * total}")
+    assert set(per_proc) == set(ProcessorType)
+
+
+def test_fig7_gpu_contributes_most(benchmark, fleet_records):
+    per_proc = benchmark(results_per_processor, fleet_records)
+    totals = {proc: sum(tasks.values()) for proc, tasks in per_proc.items()}
+    assert totals[ProcessorType.GPU] == max(totals.values())
+
+
+def test_fig7_dsp_and_fpga_smallest(benchmark, fleet_records):
+    per_proc = benchmark(results_per_processor, fleet_records)
+    totals = {proc: sum(tasks.values()) for proc, tasks in per_proc.items()}
+    smallest_two = sorted(totals, key=totals.get)[:2]
+    assert set(smallest_two) == {ProcessorType.DSP, ProcessorType.FPGA}
+
+
+def test_fig7_dsps_focus_on_mobile_models(benchmark, fleet_records):
+    """DSPs (mobile SoCs) submit the light vision models, not GNMT or
+    the heavy detector."""
+    per_proc = benchmark(results_per_processor, fleet_records)
+    dsp = per_proc[ProcessorType.DSP]
+    assert dsp[Task.IMAGE_CLASSIFICATION_LIGHT] > 0
+    assert dsp[Task.MACHINE_TRANSLATION] == 0
+    assert dsp[Task.OBJECT_DETECTION_HEAVY] == 0
+
+
+def test_fig7_gnmt_served_by_datacenter_silicon(benchmark, fleet_records):
+    per_proc = benchmark(results_per_processor, fleet_records)
+    gnmt_procs = {
+        proc for proc, tasks in per_proc.items()
+        if tasks[Task.MACHINE_TRANSLATION] > 0
+    }
+    assert gnmt_procs <= {ProcessorType.CPU, ProcessorType.GPU,
+                          ProcessorType.ASIC}
+    assert len(gnmt_procs) == 3

@@ -1,0 +1,62 @@
+"""Section I: the fleet's power and efficiency spread.
+
+"The systems that incorporate existing models span at least three
+orders of magnitude in power consumption and five orders of magnitude
+in performance."  The device power model makes both spans measurable,
+plus the energy-efficiency consequences (batching amortizes not just
+time but joules).
+"""
+
+import pytest
+
+from repro.sut.device import ComputeMotif
+from repro.sut.fleet import build_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet()
+
+
+def test_power_spans_three_orders_of_magnitude(benchmark, fleet):
+    watts = benchmark(lambda: sorted(s.device.peak_watts for s in fleet))
+    span = watts[-1] / watts[0]
+    print(f"\n  peak power: {watts[0]:.1f} W .. {watts[-1]:.0f} W "
+          f"({span:.0f}x)")
+    assert span >= 500            # ~3 orders of magnitude
+
+
+def test_performance_spans_more_than_power(benchmark, fleet):
+    """Performance spread exceeds power spread: efficiency differs."""
+    def spans():
+        watts = [s.device.peak_watts for s in fleet]
+        perf = [s.device.peak_gops for s in fleet]
+        return max(perf) / min(perf), max(watts) / min(watts)
+
+    perf_span, power_span = benchmark(spans)
+    assert perf_span > power_span
+
+
+def test_datacenter_parts_are_more_efficient_at_scale(benchmark, fleet):
+    """Joules per ResNet inference at each device's best batch: big
+    accelerators beat small CPUs on efficiency despite drawing far more
+    power - throughput amortizes the draw."""
+    def efficiency(name):
+        device = next(s.device for s in fleet if s.name == name)
+        return device.energy_per_sample(8.2, device.max_batch)
+
+    iot = benchmark.pedantic(lambda: efficiency("iot-cpu"),
+                             rounds=1, iterations=1)
+    dc = efficiency("dc-gpu-a")
+    print(f"\n  J/inference: iot-cpu {iot:.3f}, dc-gpu-a {dc:.5f}")
+    assert dc < iot
+
+
+def test_batching_amortizes_energy(benchmark, fleet):
+    device = next(s.device for s in fleet if s.name == "dc-gpu-a").\
+        __class__
+    gpu = next(s.device for s in fleet if s.name == "dc-gpu-a")
+    costs = benchmark(lambda: [
+        gpu.energy_per_sample(8.2, b) for b in (1, 8, 64, 128)
+    ])
+    assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,131 @@
+"""Section III-B / IV-A: quality targets under quantization.
+
+The paper's experience: ~1% relative accuracy at INT8 is "easily
+achievable without retraining" for the heavy models; the mobile networks
+initially lost unacceptable accuracy (prompting the widened 2% window,
+provided prequantized INT8 weights - i.e. per-channel treatment - and a
+calibration data set).  These benchmarks regenerate that ladder on the
+runnable models.
+"""
+
+import pytest
+
+from repro.core import Task
+from repro.models.quantization import NumericFormat, QuantizationSpec
+from repro.models.registry import model_info
+from repro.models.runtime import (
+    build_cipher_translator,
+    build_glyph_classifier,
+    evaluate_classifier,
+    evaluate_translator,
+)
+
+
+@pytest.fixture(scope="module")
+def heavy_fp32(imagenet):
+    model = build_glyph_classifier(imagenet, "heavy")
+    return model, evaluate_classifier(model, imagenet)
+
+
+@pytest.fixture(scope="module")
+def light_fp32(imagenet):
+    model = build_glyph_classifier(imagenet, "light")
+    return model, evaluate_classifier(model, imagenet)
+
+
+def test_sec3b_heavy_int8_meets_99_percent(benchmark, imagenet, heavy_fp32):
+    model, fp32 = heavy_fp32
+    target = model_info(Task.IMAGE_CLASSIFICATION_HEAVY).quality_target_factor
+
+    def quantize_and_eval():
+        q = model.quantized(QuantizationSpec(NumericFormat.INT8))
+        return evaluate_classifier(q, imagenet)
+
+    acc = benchmark(quantize_and_eval)
+    print(f"\n  heavy: fp32={fp32:.1f}% int8={acc:.1f}% "
+          f"target={target * fp32:.1f}%")
+    assert acc >= target * fp32
+
+
+def test_sec3b_light_per_tensor_int8_fails(benchmark, imagenet, light_fp32):
+    """The original mobile-model problem: naive INT8 loses far more than
+    the quality window allows."""
+    model, fp32 = light_fp32
+    target = model_info(Task.IMAGE_CLASSIFICATION_LIGHT).quality_target_factor
+
+    def quantize_and_eval():
+        q = model.quantized(
+            QuantizationSpec(NumericFormat.INT8, per_channel=False))
+        return evaluate_classifier(q, imagenet)
+
+    acc = benchmark(quantize_and_eval)
+    print(f"\n  light/per-tensor: fp32={fp32:.1f}% int8={acc:.1f}% "
+          f"target={target * fp32:.1f}%")
+    assert acc < target * fp32
+
+
+def test_sec3b_light_per_channel_int8_recovers(benchmark, imagenet,
+                                               light_fp32):
+    """The fix MLPerf shipped: quantization-friendly weights (modelled
+    here as per-channel ranges) bring the model back inside the widened
+    2% window."""
+    model, fp32 = light_fp32
+    target = model_info(Task.IMAGE_CLASSIFICATION_LIGHT).quality_target_factor
+
+    def quantize_and_eval():
+        q = model.quantized(
+            QuantizationSpec(NumericFormat.INT8, per_channel=True))
+        return evaluate_classifier(q, imagenet)
+
+    acc = benchmark(quantize_and_eval)
+    assert acc >= target * fp32
+
+
+def test_sec3b_format_ladder_monotone(benchmark, imagenet, heavy_fp32):
+    """Coarser formats never help: FP16/BF16 ~ FP32 >= INT8 >> INT4-pt."""
+    model, fp32 = heavy_fp32
+
+    def ladder():
+        out = {}
+        for fmt in (NumericFormat.FP16, NumericFormat.BF16,
+                    NumericFormat.INT8, NumericFormat.INT4):
+            q = model.quantized(QuantizationSpec(fmt))
+            out[fmt] = evaluate_classifier(q, imagenet)
+        return out
+
+    accs = benchmark.pedantic(ladder, rounds=1, iterations=1)
+    assert accs[NumericFormat.FP16] == pytest.approx(fp32, abs=0.5)
+    assert accs[NumericFormat.BF16] >= 0.98 * fp32
+    assert accs[NumericFormat.INT8] >= 0.98 * fp32
+
+
+def test_sec3b_gnmt_int8_within_1_percent(benchmark, wmt):
+    model = build_cipher_translator(wmt)
+    fp32 = evaluate_translator(model, wmt)
+
+    def quantize_and_eval():
+        q = model.quantized(QuantizationSpec(NumericFormat.INT8))
+        return evaluate_translator(q, wmt)
+
+    bleu = benchmark(quantize_and_eval)
+    assert bleu >= 0.99 * fp32
+
+
+def test_sec3b_calibration_set_flow(benchmark, imagenet, light_fp32):
+    """Ranges may be chosen on the fixed calibration set only."""
+    from repro.models.quantization import calibrate_clip_percentile
+
+    model, fp32 = light_fp32
+    calibration = imagenet.calibration_indices
+
+    def calibrated_accuracy():
+        spec, _cal_quality = calibrate_clip_percentile(
+            lambda s: evaluate_classifier(model.quantized(s), imagenet,
+                                          indices=calibration),
+            NumericFormat.INT8, per_channel=True,
+            candidates=(100.0, 99.9, 99.0),
+        )
+        return evaluate_classifier(model.quantized(spec), imagenet)
+
+    acc = benchmark.pedantic(calibrated_accuracy, rounds=1, iterations=1)
+    assert acc >= 0.95 * fp32

@@ -1,0 +1,57 @@
+"""Table I: reference-model parameters, GOPs, and quality targets.
+
+Regenerates every row of the paper's Table I from the architecture
+definitions and asserts the published characteristics.
+"""
+
+import pytest
+
+from repro.core import Task
+from repro.harness.tables import format_table_i
+from repro.models.registry import all_models, model_info
+
+#: (parameters, GOPs/input) straight from the paper.
+TABLE_I = {
+    Task.IMAGE_CLASSIFICATION_HEAVY: (25.6e6, 8.2),
+    Task.IMAGE_CLASSIFICATION_LIGHT: (4.2e6, 1.138),
+    Task.OBJECT_DETECTION_HEAVY: (36.3e6, 433.0),
+    Task.OBJECT_DETECTION_LIGHT: (6.91e6, 2.47),
+    Task.MACHINE_TRANSLATION: (210e6, None),
+}
+
+
+@pytest.mark.parametrize("task", list(Task))
+def test_table1_row(benchmark, task):
+    info = model_info(task)
+    params_expected, gops_expected = TABLE_I[task]
+
+    def build_and_count():
+        arch = info.build_arch()
+        if task is Task.MACHINE_TRANSLATION:
+            return arch.param_count(), None
+        params = arch.param_count(info.input_shape)
+        gops = 2 * arch.macs(info.input_shape) / 1e9
+        return params, gops
+
+    params, gops = benchmark(build_and_count)
+    assert params == pytest.approx(params_expected, rel=0.11)
+    if gops_expected is not None:
+        assert gops == pytest.approx(gops_expected, rel=0.05)
+
+
+def test_table1_quality_targets(benchmark):
+    rows = benchmark(lambda: list(all_models()))
+    targets = {r.task: (r.quality_target_factor, r.fp32_quality) for r in rows}
+    assert targets[Task.IMAGE_CLASSIFICATION_HEAVY] == (0.99, 76.456)
+    assert targets[Task.IMAGE_CLASSIFICATION_LIGHT] == (0.98, 71.676)
+    assert targets[Task.OBJECT_DETECTION_HEAVY] == (0.99, 0.20)
+    assert targets[Task.OBJECT_DETECTION_LIGHT] == (0.99, 0.22)
+    assert targets[Task.MACHINE_TRANSLATION] == (0.99, 23.9)
+
+
+def test_table1_renders(benchmark):
+    table = benchmark(format_table_i)
+    print("\n" + table)
+    for name in ("ResNet-50 v1.5", "MobileNet-v1 224", "SSD-ResNet-34",
+                 "SSD-MobileNet-v1", "GNMT"):
+        assert name in table

@@ -1,0 +1,104 @@
+"""Table II: the four scenarios, their query generation and metrics.
+
+One simulated system is evaluated under all four scenarios; the metric
+of each matches Table II's definition, and the scenario semantics
+produce the expected orderings (offline throughput >= server capacity,
+single-stream latency ~= one-sample service time).
+"""
+
+import pytest
+
+from repro.core import Scenario, Task
+from repro.harness.tuning import (
+    QUICK_SCALE,
+    find_max_multistream_n,
+    find_max_server_qps,
+    measure_offline,
+    measure_single_stream,
+)
+from repro.sut.device import DeviceModel, ProcessorType
+from repro.sut.simulated import SimulatedSUT, WorkloadProfile
+
+
+class _QSL:
+    name = "bench"
+    total_sample_count = 4096
+    performance_sample_count = 1024
+
+    def load_samples(self, indices):
+        pass
+
+    def unload_samples(self, indices):
+        pass
+
+    def get_sample(self, index):
+        return None
+
+
+DEVICE = DeviceModel(
+    name="bench-accelerator", processor=ProcessorType.GPU,
+    peak_gops=40_000.0, base_utilization=0.1, saturation_gops=150.0,
+    overhead=0.5e-3, max_batch=64,
+)
+TASK = Task.IMAGE_CLASSIFICATION_HEAVY
+
+
+def make_sut():
+    return SimulatedSUT(DEVICE, WorkloadProfile(8.2))
+
+
+@pytest.fixture(scope="module")
+def scenario_results():
+    qsl = _QSL()
+    return {
+        Scenario.SINGLE_STREAM: measure_single_stream(
+            make_sut, qsl, TASK, QUICK_SCALE),
+        Scenario.OFFLINE: measure_offline(make_sut, qsl, TASK, QUICK_SCALE),
+        Scenario.SERVER: find_max_server_qps(make_sut, qsl, TASK, QUICK_SCALE),
+        Scenario.MULTI_STREAM: find_max_multistream_n(
+            make_sut, qsl, TASK, QUICK_SCALE),
+    }
+
+
+def test_single_stream_metric_is_latency(benchmark, scenario_results):
+    result = benchmark.pedantic(
+        lambda: scenario_results[Scenario.SINGLE_STREAM],
+        rounds=1, iterations=1)
+    assert result.valid
+    assert result.primary_metric == pytest.approx(
+        DEVICE.service_time(8.2, 1), rel=0.01)
+
+
+def test_offline_metric_is_throughput(benchmark, scenario_results):
+    result = benchmark.pedantic(
+        lambda: scenario_results[Scenario.OFFLINE], rounds=1, iterations=1)
+    assert result.valid
+    assert result.primary_metric == pytest.approx(
+        DEVICE.best_offline_throughput(8.2), rel=0.1)
+
+
+def test_server_capacity_below_offline(benchmark, scenario_results):
+    tuned = benchmark.pedantic(
+        lambda: scenario_results[Scenario.SERVER], rounds=1, iterations=1)
+    offline = scenario_results[Scenario.OFFLINE].primary_metric
+    assert tuned is not None
+    assert 0 < tuned.value <= offline * 1.02
+
+
+def test_multistream_streams_fit_the_interval(benchmark, scenario_results):
+    tuned = benchmark.pedantic(
+        lambda: scenario_results[Scenario.MULTI_STREAM],
+        rounds=1, iterations=1)
+    assert tuned is not None
+    n = int(tuned.value)
+    assert n >= 1
+    # The winning N's service time fits the 50 ms arrival interval.
+    assert DEVICE.service_time(8.2, min(n, DEVICE.max_batch)) <= 0.050
+
+
+def test_scenario_run_throughput_benchmark(benchmark):
+    """Wall-clock cost of one quick single-stream run (LoadGen overhead)."""
+    qsl = _QSL()
+    result = benchmark(
+        lambda: measure_single_stream(make_sut, qsl, TASK, QUICK_SCALE))
+    assert result.valid

@@ -1,0 +1,75 @@
+"""Table III: latency constraints, and their enforcement."""
+
+import pytest
+
+from repro.core import Scenario, Task, TestSettings, run_benchmark, task_rules
+from repro.harness.tables import format_table_iii
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+#: (multistream arrival ms, server QoS ms) exactly as published.
+TABLE_III = {
+    Task.IMAGE_CLASSIFICATION_HEAVY: (50, 15),
+    Task.IMAGE_CLASSIFICATION_LIGHT: (50, 10),
+    Task.OBJECT_DETECTION_HEAVY: (66, 100),
+    Task.OBJECT_DETECTION_LIGHT: (50, 10),
+    Task.MACHINE_TRANSLATION: (100, 250),
+}
+
+
+@pytest.mark.parametrize("task", list(Task))
+def test_table3_constants(benchmark, task):
+    rules = benchmark(task_rules, task)
+    interval_ms, bound_ms = TABLE_III[task]
+    assert rules.multistream_interval * 1e3 == pytest.approx(interval_ms)
+    assert rules.server_latency_bound * 1e3 == pytest.approx(bound_ms)
+
+
+@pytest.mark.parametrize("task", list(Task))
+def test_server_bound_enforced(benchmark, task):
+    """An SUT 20% over the bound must produce an INVALID run."""
+    bound = task_rules(task).server_latency_bound
+
+    def run():
+        settings = TestSettings(
+            scenario=Scenario.SERVER, task=task, server_target_qps=50.0,
+            min_query_count=200, min_duration=1.0,
+        )
+        return run_benchmark(FixedLatencySUT(bound * 1.2), EchoQSL(), settings)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.valid
+
+    settings = TestSettings(
+        scenario=Scenario.SERVER, task=task, server_target_qps=50.0,
+        min_query_count=200, min_duration=1.0,
+    )
+    ok = run_benchmark(FixedLatencySUT(bound * 0.5), EchoQSL(), settings)
+    assert ok.valid
+
+
+def test_multistream_interval_enforced(benchmark):
+    """A system that overruns the arrival interval on every query fails
+    the <=1% skipped-interval rule."""
+    task = Task.IMAGE_CLASSIFICATION_HEAVY
+    interval = task_rules(task).multistream_interval
+
+    def run(latency):
+        settings = TestSettings(
+            scenario=Scenario.MULTI_STREAM, task=task,
+            multistream_samples_per_query=2,
+            min_query_count=100, min_duration=1.0,
+        )
+        return run_benchmark(FixedLatencySUT(latency), EchoQSL(), settings)
+
+    bad = benchmark.pedantic(lambda: run(interval * 1.5),
+                             rounds=1, iterations=1)
+    assert not bad.valid
+    good = run(interval * 0.5)
+    assert good.valid
+
+
+def test_table3_renders(benchmark):
+    table = benchmark(format_table_iii)
+    print("\n" + table)
+    assert "15 ms" in table and "250 ms" in table

@@ -1,0 +1,90 @@
+"""Empirical (Monte Carlo) validation of the Table IV statistics.
+
+The paper sizes runs so that, with 99% confidence, the measured
+tail-latency percentile is within ``margin`` of the truth.  Here we
+*test* that design: draw many synthetic runs from a known latency
+distribution, measure the empirical percentile at the prescribed query
+count, and check the miss rate against the confidence target - then
+show that a 10x smaller run does not deliver the same guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    margin_for_tail_latency,
+    queries_for_confidence,
+    required_queries,
+)
+
+RNG = np.random.default_rng(4242)
+
+#: The underlying "true" latency distribution (lognormal: heavy tail).
+MU, SIGMA = -4.0, 0.35
+
+
+def true_quantile(p):
+    from math import exp, sqrt
+    from repro.core.stats import inverse_normal_cdf
+    return exp(MU + SIGMA * inverse_normal_cdf(p))
+
+
+def miss_rate(tail, num_queries, trials=3_000):
+    """Fraction of runs whose bound-violation fraction is off by more
+    than the margin.
+
+    Checking a latency bound at percentile ``p`` is a binomial
+    proportion test: the fraction of queries over the true p-quantile
+    should be (1 - p) +/- margin.
+    """
+    margin = margin_for_tail_latency(tail)
+    threshold = true_quantile(tail)
+    # Violations per run ~ Binomial(num_queries, 1 - tail).
+    violations = RNG.binomial(num_queries, 1.0 - tail, size=trials)
+    fraction = violations / num_queries
+    return float(np.mean(np.abs(fraction - (1.0 - tail)) > margin))
+
+
+@pytest.mark.parametrize("tail", [0.90, 0.95, 0.99])
+def test_prescribed_counts_deliver_99_percent_confidence(benchmark, tail):
+    count = queries_for_confidence(tail)
+    rate = benchmark.pedantic(lambda: miss_rate(tail, count),
+                              rounds=1, iterations=1)
+    print(f"\n  p{tail * 100:.0f}: {count:,} queries -> "
+          f"miss rate {rate:.3%} (budget 1%)")
+    # 99% confidence -> miss rate ~1%; allow Monte Carlo noise.
+    assert rate <= 0.02
+
+
+@pytest.mark.parametrize("tail", [0.99])
+def test_ten_times_fewer_queries_break_the_guarantee(benchmark, tail):
+    count = queries_for_confidence(tail) // 10
+    rate = benchmark.pedantic(lambda: miss_rate(tail, count),
+                              rounds=1, iterations=1)
+    print(f"\n  p99 with only {count:,} queries -> miss rate {rate:.1%}")
+    assert rate > 0.05
+
+
+def test_rounding_up_never_hurts(benchmark):
+    """The 2^13 round-up only adds queries, so confidence only grows."""
+    def compare():
+        exact = miss_rate(0.99, queries_for_confidence(0.99))
+        rounded = miss_rate(0.99, required_queries(0.99))
+        return exact, rounded
+
+    exact, rounded = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert rounded <= exact + 0.01
+
+
+def test_single_stream_count_suits_its_loose_percentile(benchmark):
+    """1,024 single-stream queries are statistically fine for a p90
+    *report* (no bound check): the empirical p90 lands within ~1.5% of
+    truth almost always."""
+    def p90_error():
+        samples = RNG.lognormal(MU, SIGMA, size=(2_000, 1_024))
+        empirical = np.percentile(samples, 90.0, axis=1)
+        return float(np.mean(np.abs(empirical / true_quantile(0.90) - 1.0)))
+
+    mean_error = benchmark.pedantic(p90_error, rounds=1, iterations=1)
+    print(f"\n  mean |p90 error| with 1,024 queries: {mean_error:.2%}")
+    assert mean_error < 0.02

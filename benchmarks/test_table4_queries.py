@@ -1,0 +1,51 @@
+"""Table IV: statistically confident query requirements (Eq. 1 and 2)."""
+
+import pytest
+
+from repro.core.stats import (
+    QueryRequirement,
+    margin_for_tail_latency,
+    required_queries,
+    table_iv,
+)
+from repro.harness.tables import format_table_iv
+
+#: The exact published rows: (tail, margin, inferences, rounded).
+TABLE_IV = [
+    (0.90, 0.0050, 23_886, 24_576),
+    (0.95, 0.0025, 50_425, 57_344),
+    (0.99, 0.0005, 262_742, 270_336),
+]
+
+
+@pytest.mark.parametrize("tail,margin,inferences,rounded", TABLE_IV)
+def test_table4_row(benchmark, tail, margin, inferences, rounded):
+    req = benchmark(QueryRequirement.for_percentile, tail)
+    assert req.margin == pytest.approx(margin)
+    assert req.inferences == inferences
+    assert req.rounded_inferences == rounded
+    # Rounded value is k * 2^13 exactly as the paper notes.
+    assert req.rounded_inferences % 2 ** 13 == 0
+
+
+def test_equation_1_is_one_twentieth_of_the_gap(benchmark):
+    margins = benchmark(
+        lambda: [margin_for_tail_latency(p) for p in (0.90, 0.95, 0.99)])
+    for p, margin in zip((0.90, 0.95, 0.99), margins):
+        assert margin == pytest.approx((1 - p) / 20)
+
+
+def test_nonlinear_growth_with_percentile(benchmark):
+    counts = benchmark(
+        lambda: [required_queries(p) for p in (0.90, 0.95, 0.99)])
+    # "benchmarks with more-stringent latency constraints require more
+    # queries in a highly nonlinear fashion"
+    assert counts[1] / counts[0] > 2
+    assert counts[2] / counts[1] > 4
+
+
+def test_table4_renders(benchmark):
+    table = benchmark(format_table_iv)
+    print("\n" + table)
+    assert "262,742" in table
+    assert "270,336" in table

@@ -1,0 +1,55 @@
+"""Table V: query counts and samples per query for each task."""
+
+import pytest
+
+from repro.core import (
+    OFFLINE_MIN_SAMPLES,
+    SINGLE_STREAM_MIN_QUERIES,
+    Scenario,
+    Task,
+    TestSettings,
+)
+from repro.harness.tables import format_table_v
+
+
+@pytest.mark.parametrize("task", list(Task))
+def test_table5_row(benchmark, task):
+    def resolve():
+        out = {}
+        for scenario in Scenario:
+            settings = TestSettings(scenario=scenario, task=task)
+            out[scenario] = settings.resolved_min_query_count
+        return out
+
+    counts = benchmark(resolve)
+    assert counts[Scenario.SINGLE_STREAM] == 1_024
+    expected = 90_112 if task is Task.MACHINE_TRANSLATION else 270_336
+    assert counts[Scenario.MULTI_STREAM] == expected
+    assert counts[Scenario.SERVER] == expected
+    assert counts[Scenario.OFFLINE] == 1
+
+
+def test_offline_single_query_size(benchmark):
+    settings = benchmark(
+        lambda: TestSettings(scenario=Scenario.OFFLINE,
+                             task=Task.IMAGE_CLASSIFICATION_HEAVY))
+    assert settings.resolved_offline_samples == OFFLINE_MIN_SAMPLES == 24_576
+
+
+def test_multistream_samples_scale_with_n(benchmark):
+    """A multistream run with N streams processes N x queries samples."""
+    settings = benchmark(
+        lambda: TestSettings(scenario=Scenario.MULTI_STREAM,
+                             task=Task.IMAGE_CLASSIFICATION_HEAVY,
+                             multistream_samples_per_query=8))
+    total_samples = settings.resolved_min_query_count * 8
+    assert total_samples == 8 * 270_336
+
+
+def test_table5_renders(benchmark):
+    table = benchmark(format_table_v)
+    print("\n" + table)
+    assert "1K / 1" in table
+    assert "270K / N" in table
+    assert "90K / N" in table
+    assert "1 / 24K" in table

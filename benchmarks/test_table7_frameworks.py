@@ -1,0 +1,44 @@
+"""Table VII: framework versus hardware architecture."""
+
+import pytest
+
+from repro.harness.tables import format_framework_matrix
+from repro.sut.device import ProcessorType
+from repro.sut.fleet import TABLE_VII, build_fleet, framework_matrix
+
+
+def test_table7_exact_reproduction(benchmark):
+    matrix = benchmark(lambda: framework_matrix(build_fleet()))
+    print("\n" + format_framework_matrix(matrix))
+    assert matrix == TABLE_VII
+
+
+def test_table7_cpu_has_most_framework_diversity(benchmark):
+    """'CPUs have the most framework diversity.'"""
+    matrix = benchmark(lambda: framework_matrix(build_fleet()))
+    per_proc = {proc: 0 for proc in ProcessorType}
+    for procs in matrix.values():
+        for proc in procs:
+            per_proc[proc] += 1
+    assert per_proc[ProcessorType.CPU] == max(per_proc.values())
+
+
+def test_table7_tensorflow_has_most_architectural_variety(benchmark):
+    """'TensorFlow has the most architectural variety.'"""
+    matrix = benchmark(lambda: framework_matrix(build_fleet()))
+    widths = {fw: len(procs) for fw, procs in matrix.items()}
+    assert widths["TensorFlow"] == max(widths.values())
+    assert widths["TensorFlow"] == 3
+
+
+def test_table7_twelve_frameworks(benchmark):
+    matrix = benchmark(lambda: framework_matrix(build_fleet()))
+    assert len(matrix) == 12
+
+
+def test_table7_specialist_runtimes_are_single_architecture(benchmark):
+    matrix = benchmark(lambda: framework_matrix(build_fleet()))
+    assert matrix["TensorRT"] == frozenset({ProcessorType.GPU})
+    assert matrix["SNPE"] == frozenset({ProcessorType.DSP})
+    assert matrix["OpenVINO"] == frozenset({ProcessorType.CPU})
+    assert matrix["Hailo SDK"] == frozenset({ProcessorType.ASIC})

@@ -1,0 +1,85 @@
+"""Data-center scenario study: server capacity versus offline throughput.
+
+Reproduces the paper's central Figure 6 observation on two workloads: a
+simulated data-center accelerator serves ResNet-50 v1.5 with only a mild
+loss under the 15 ms server QoS bound, while GNMT - whose variable
+sentence lengths force padding waste in live batches - loses roughly
+half its offline throughput.
+
+Run:  python examples/datacenter_server.py   (~1 minute)
+"""
+
+from repro.core import Task
+from repro.harness.tuning import (
+    QUICK_SCALE,
+    find_max_server_qps,
+    measure_offline,
+)
+from repro.sut import DeviceModel, ProcessorType, SimulatedSUT
+from repro.sut.device import ComputeMotif
+from repro.sut.fleet import task_workload
+
+
+class NullQSL:
+    """Performance runs on simulated SUTs need no real sample data."""
+
+    name = "null"
+    total_sample_count = 8192
+    performance_sample_count = 1024
+
+    def load_samples(self, indices):
+        pass
+
+    def unload_samples(self, indices):
+        pass
+
+    def get_sample(self, index):
+        return None
+
+
+ACCELERATOR = DeviceModel(
+    name="dc-accelerator", processor=ProcessorType.GPU,
+    peak_gops=150_000.0, base_utilization=0.05, saturation_gops=120.0,
+    overhead=0.4e-3, max_batch=128,
+    structure_efficiency={ComputeMotif.RNN: 0.3},
+)
+
+
+def study(task: Task) -> None:
+    workload = task_workload(task)
+    qsl = NullQSL()
+
+    def make_sut():
+        return SimulatedSUT(ACCELERATOR, workload, batch_window=1e-3)
+
+    offline = measure_offline(make_sut, qsl, task, QUICK_SCALE)
+    tuned = find_max_server_qps(make_sut, qsl, task, QUICK_SCALE)
+
+    print(f"\n=== {task.value} on {ACCELERATOR.name} ===")
+    print(f"offline throughput : {offline.primary_metric:,.0f} samples/s")
+    if tuned is None:
+        print("server             : cannot meet the QoS bound at any rate")
+        return
+    ratio = tuned.value / offline.primary_metric
+    print(f"server capacity    : {tuned.value:,.0f} queries/s "
+          f"(bound held at the tail percentile, {tuned.probes} probe runs)")
+    print(f"server/offline     : {ratio:.2f}  "
+          f"(throughput lost to the latency constraint: {1 - ratio:.0%})")
+    validity = tuned.result.validity.details
+    print(f"tail violations    : {validity.get('violation_fraction', 0):.2%} "
+          f"(budget 1% vision / 3% translation)")
+
+
+def main() -> None:
+    print("Latency-bounded throughput (paper Section VI-B / Figure 6):")
+    study(Task.IMAGE_CLASSIFICATION_HEAVY)
+    study(Task.MACHINE_TRANSLATION)
+    print(
+        "\nNote the asymmetry: the CNN keeps most of its throughput under"
+        "\nthe bound, while GNMT's variable-length batches lose ~half -"
+        "\nthe paper reports 39-55% for all five NMT systems."
+    )
+
+
+if __name__ == "__main__":
+    main()

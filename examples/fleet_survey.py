@@ -1,0 +1,65 @@
+"""Fleet survey: regenerate the paper's Section VI result corpus.
+
+Runs every planned submission of the 33-system simulated fleet (166
+results) and prints the coverage matrix (Table VI), the per-model
+distribution (Figure 5), the per-processor histogram (Figure 7), and the
+server/offline degradation summary (Figure 6).
+
+Run:  python examples/fleet_survey.py   (~3-4 minutes: 166 tuned runs)
+Pass --quick to survey a 6-system subset instead (~40 seconds).
+"""
+
+import statistics
+import sys
+
+from repro.core import Task
+from repro.harness.experiments import (
+    result_matrix,
+    results_per_processor,
+    results_per_task,
+    run_fleet,
+    server_offline_ratios,
+)
+from repro.harness.tables import format_coverage_matrix
+from repro.sut.fleet import build_fleet
+
+
+def main() -> None:
+    systems = build_fleet()
+    if "--quick" in sys.argv:
+        keep = {"dc-gpu-a", "dc-cpu-xeon", "edge-gpu", "mobile-dsp-a",
+                "fpga-edge", "embedded-asic"}
+        systems = [s for s in systems if s.name in keep]
+        print(f"quick mode: {len(systems)} systems")
+
+    records = run_fleet(systems)
+    print(f"\n{len(records)} closed-division results from "
+          f"{len(systems)} systems\n")
+
+    print("Coverage of models and scenarios (Table VI):")
+    print(format_coverage_matrix(result_matrix(records)))
+
+    print("\nResults per model (Figure 5):")
+    for task, count in results_per_task(records).items():
+        print(f"  {task.value:20s} {count:3d} {'#' * count}")
+
+    print("\nResults per processor architecture (Figure 7):")
+    for proc, tasks in sorted(results_per_processor(records).items(),
+                              key=lambda kv: -sum(kv[1].values())):
+        total = sum(tasks.values())
+        print(f"  {proc.value:5s} {total:3d} {'#' * total}")
+
+    print("\nServer-to-offline throughput ratios (Figure 6):")
+    ratios = server_offline_ratios(records)
+    per_task = {}
+    for by_task in ratios.values():
+        for task, ratio in by_task.items():
+            per_task.setdefault(task, []).append(ratio)
+    for task, values in per_task.items():
+        print(f"  {task.value:20s} n={len(values):2d} "
+              f"min={min(values):.2f} mean={statistics.mean(values):.2f} "
+              f"max={max(values):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Making a model quantization-friendly (the Section III-B fix).
+
+The light classifier collapses under naive per-tensor INT8 quantization
+(the MobileNet problem the MLPerf organizers hit).  Two repairs, both
+implemented in this package:
+
+1. **Cross-layer equalization** - rebalance channel scales analytically;
+   FP32 behaviour is exactly preserved, INT8 becomes viable.  This is
+   the data-free analogue of the "quantization-friendly weights" MLPerf
+   shipped.
+2. **Quantization-aware training** - fine-tune with fake quantization in
+   the loop (straight-through estimator), here shown recovering INT4 on
+   the heavy model - the open-division 4-bit story of Section VI-E.
+
+Run:  python examples/quantization_friendly.py   (~30 seconds)
+"""
+
+import copy
+
+import numpy as np
+
+from repro.datasets import SyntheticImageNet
+from repro.models.quantization import (
+    NumericFormat,
+    QuantizationSpec,
+    cross_layer_equalization,
+)
+from repro.models.runtime import build_glyph_classifier, evaluate_classifier
+from repro.models.training import SGD, train_quantization_aware
+
+HELD_OUT = range(200, 500)
+
+
+def equalization_story(dataset) -> None:
+    model = build_glyph_classifier(dataset, "light")
+    spec = QuantizationSpec(NumericFormat.INT8)
+    fp32 = evaluate_classifier(model, dataset, HELD_OUT)
+    naive = evaluate_classifier(model.quantized(spec), dataset, HELD_OUT)
+
+    friendly = copy.deepcopy(model)
+    pairs = cross_layer_equalization(friendly.graph)
+    equalized_fp32 = evaluate_classifier(friendly, dataset, HELD_OUT)
+    equalized_int8 = evaluate_classifier(
+        friendly.quantized(spec), dataset, HELD_OUT)
+
+    print("Cross-layer equalization (light model, INT8 per-tensor):")
+    print(f"  FP32 reference        : {fp32:.1f}%")
+    print(f"  naive INT8            : {naive:.1f}%   <- the MobileNet problem")
+    print(f"  after CLE ({pairs} pair)   : FP32 {equalized_fp32:.1f}% "
+          f"(unchanged), INT8 {equalized_int8:.1f}%   <- fixed")
+
+
+def qat_story(dataset) -> None:
+    model = build_glyph_classifier(dataset, "heavy")
+    spec = QuantizationSpec(NumericFormat.INT4)
+    naive = evaluate_classifier(model.quantized(spec), dataset, HELD_OUT)
+
+    images = np.stack([dataset.get_sample(i) for i in range(200)])
+    labels = np.array([dataset.get_label(i) for i in range(200)])
+    tuned = copy.deepcopy(model)
+    report = train_quantization_aware(
+        tuned.graph, images, labels, spec, epochs=6, batch_size=32,
+        optimizer=SGD(learning_rate=0.002))
+    qat = evaluate_classifier(tuned.quantized(spec), dataset, HELD_OUT)
+
+    print("\nQuantization-aware training (heavy model, INT4 per-tensor):")
+    print(f"  naive INT4            : {naive:.1f}%")
+    print(f"  after 6 QAT epochs    : {qat:.1f}% "
+          f"(loss {report.initial_loss:.3f} -> {report.final_loss:.3f})")
+    print("  (retraining like this is open-division-only; the closed")
+    print("   division prohibits it precisely because it works so well)")
+
+
+def main() -> None:
+    dataset = SyntheticImageNet(size=500)
+    equalization_story(dataset)
+    qat_story(dataset)
+
+
+if __name__ == "__main__":
+    main()

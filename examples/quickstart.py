@@ -1,0 +1,59 @@
+"""Quickstart: benchmark a real model under the LoadGen.
+
+Builds the runnable "heavy" image classifier on the synthetic ImageNet
+stand-in, runs an accuracy-mode pass through the full data set, checks
+it against the MLPerf-style quality target (99% of the FP32 reference),
+then runs a performance-mode single-stream measurement and prints the
+LoadGen summary.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.accuracy import check_accuracy
+from repro.core import Scenario, Task, TestMode, TestSettings, run_benchmark
+from repro.datasets import DatasetQSL, SyntheticImageNet
+from repro.models.registry import model_info
+from repro.models.runtime import build_glyph_classifier, evaluate_classifier
+from repro.sut import ClassifierSUT
+
+
+def main() -> None:
+    # 1. Data set and query sample library (the MLPerf-owned side).
+    dataset = SyntheticImageNet(size=1_000)
+    qsl = DatasetQSL(dataset)
+
+    # 2. The system under test (the submitter-owned side): a real numpy
+    #    model wrapped in a backend SUT.  A deterministic service-time
+    #    model keeps the run reproducible on any machine; drop the
+    #    argument to measure actual wall-clock execution instead.
+    model = build_glyph_classifier(dataset, variant="heavy")
+    def make_sut():
+        return ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.003 * n)
+
+    # 3. Accuracy mode: one pass over the whole data set, then the
+    #    accuracy script checks the quality target.  MLPerf expresses
+    #    targets relative to the FP32 reference model's own quality.
+    fp32_reference = evaluate_classifier(model, dataset)
+    info = model_info(Task.IMAGE_CLASSIFICATION_HEAVY)
+    target = info.quality_target_factor * fp32_reference
+
+    accuracy_settings = TestSettings(
+        scenario=Scenario.SINGLE_STREAM, mode=TestMode.ACCURACY,
+    )
+    accuracy_run = run_benchmark(make_sut(), qsl, accuracy_settings)
+    report = check_accuracy(accuracy_run, dataset, "classification", target)
+    print("Accuracy mode:", report.summary())
+
+    # 4. Performance mode: the single-stream scenario reports
+    #    90th-percentile latency (Table II).
+    performance_settings = TestSettings(
+        scenario=Scenario.SINGLE_STREAM,
+        min_query_count=1_024,      # Table V
+        min_duration=5.0,           # scaled from the 60 s rule for a demo
+    )
+    result = run_benchmark(make_sut(), qsl, performance_settings)
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Quality metrics and the accuracy script."""
+
+from .bleu import corpus_bleu, sentence_bleu
+from .checker import (
+    AccuracyReport,
+    check_accuracy,
+    check_classification,
+    check_detection,
+    check_translation,
+)
+from .map import COCO_IOU_THRESHOLDS, map_at_50, mean_average_precision
+from .topk import top1_accuracy, topk_accuracy
+
+__all__ = [
+    "AccuracyReport",
+    "COCO_IOU_THRESHOLDS",
+    "check_accuracy",
+    "check_classification",
+    "check_detection",
+    "check_translation",
+    "corpus_bleu",
+    "map_at_50",
+    "mean_average_precision",
+    "sentence_bleu",
+    "top1_accuracy",
+    "topk_accuracy",
+]

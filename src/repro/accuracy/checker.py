@@ -1,0 +1,144 @@
+"""The accuracy script (paper Fig. 3 step 7, Section IV-D).
+
+After an accuracy-mode run, the LoadGen's logged responses are checked
+against the data set's ground truth and the task's quality target.  The
+checker is deliberately independent of the SUT and of the LoadGen
+internals - it consumes only the query log and the data set, mirroring
+how the real accuracy scripts parse ``mlperf_log_accuracy.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.loadgen import LoadGenResult
+from ..datasets.base import Dataset
+from ..models.nms import Detection
+from .bleu import corpus_bleu
+from .map import mean_average_precision
+from .topk import top1_accuracy
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Outcome of the accuracy check for one run."""
+
+    metric_name: str
+    value: float
+    target: float
+    passed: bool
+    sample_count: int
+
+    def summary(self) -> str:
+        verdict = "PASSED" if self.passed else "FAILED"
+        return (
+            f"{self.metric_name}: {self.value:.4g} "
+            f"(target {self.target:.4g}) -> {verdict} "
+            f"[{self.sample_count} samples]"
+        )
+
+
+def _gather(result: LoadGenResult) -> Dict[int, object]:
+    """Map data set index -> response payload from the run log."""
+    responses = result.log.logged_responses()
+    if not responses:
+        raise ValueError(
+            "run logged no responses; accuracy checking requires an "
+            "accuracy-mode run (or sampled performance logging)"
+        )
+    index_map = result.log.sample_index_map()
+    return {index_map[sid]: data for sid, data in responses.items()}
+
+
+def check_classification(result: LoadGenResult, dataset: Dataset,
+                         quality_target: float) -> AccuracyReport:
+    """Top-1 accuracy vs ``quality_target`` (both in percent)."""
+    by_index = _gather(result)
+    predictions = []
+    labels = []
+    for index, data in sorted(by_index.items()):
+        predictions.append(int(data))
+        labels.append(int(dataset.get_label(index)))
+    value = top1_accuracy(predictions, labels)
+    return AccuracyReport(
+        metric_name="Top-1 accuracy (%)",
+        value=value,
+        target=quality_target,
+        passed=value >= quality_target,
+        sample_count=len(predictions),
+    )
+
+
+def _as_detections(data: object) -> List[Detection]:
+    """Decode a logged detection payload (Detection list or tuples)."""
+    detections = []
+    for item in data:
+        if isinstance(item, Detection):
+            detections.append(item)
+        else:
+            box, score, class_id = item
+            detections.append(Detection(
+                box=tuple(float(v) for v in box),
+                score=float(score),
+                class_id=int(class_id),
+            ))
+    return detections
+
+
+def check_detection(result: LoadGenResult, dataset: Dataset,
+                    quality_target: float) -> AccuracyReport:
+    """COCO mAP vs ``quality_target`` (both in [0, 1])."""
+    by_index = _gather(result)
+    detections = []
+    truths = []
+    for index, data in sorted(by_index.items()):
+        detections.append(_as_detections(data))
+        truths.append(dataset.get_label(index))
+    value = mean_average_precision(detections, truths)
+    return AccuracyReport(
+        metric_name="mAP",
+        value=value,
+        target=quality_target,
+        passed=value >= quality_target,
+        sample_count=len(detections),
+    )
+
+
+def check_translation(result: LoadGenResult, dataset: Dataset,
+                      quality_target: float) -> AccuracyReport:
+    """Corpus BLEU vs ``quality_target``."""
+    by_index = _gather(result)
+    hypotheses = []
+    references = []
+    for index, data in sorted(by_index.items()):
+        hypotheses.append([int(t) for t in data])
+        references.append(dataset.get_label(index))
+    value = corpus_bleu(hypotheses, references)
+    return AccuracyReport(
+        metric_name="SacreBLEU",
+        value=value,
+        target=quality_target,
+        passed=value >= quality_target,
+        sample_count=len(hypotheses),
+    )
+
+
+_CHECKERS = {
+    "classification": check_classification,
+    "detection": check_detection,
+    "translation": check_translation,
+}
+
+
+def check_accuracy(result: LoadGenResult, dataset: Dataset, task_type: str,
+                   quality_target: float) -> AccuracyReport:
+    """Dispatch to the right task checker."""
+    try:
+        checker = _CHECKERS[task_type]
+    except KeyError:
+        raise ValueError(
+            f"unknown task type {task_type!r}; "
+            f"expected one of {sorted(_CHECKERS)}"
+        ) from None
+    return checker(result, dataset, quality_target)

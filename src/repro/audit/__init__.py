@@ -1,0 +1,20 @@
+"""The Section V-B validation suite used during result review."""
+
+from .accuracy_verification import (
+    AccuracyVerificationReport,
+    run_accuracy_verification,
+)
+from .caching import CachingDetectionReport, run_caching_detection
+from .custom_dataset import CustomDatasetReport, run_custom_dataset_test
+from .seeds import SeedTestReport, run_seed_test
+
+__all__ = [
+    "AccuracyVerificationReport",
+    "CachingDetectionReport",
+    "CustomDatasetReport",
+    "SeedTestReport",
+    "run_accuracy_verification",
+    "run_caching_detection",
+    "run_custom_dataset_test",
+    "run_seed_test",
+]

@@ -1,0 +1,90 @@
+"""Accuracy-verification audit (paper Section V-B, test 1).
+
+In performance mode the LoadGen normally discards responses, so a
+dishonest SUT could return garbage at full speed.  This test re-runs the
+submission in performance mode with *random response logging* enabled
+and cross-checks every logged response against the accuracy-mode log for
+the same data set index.  Mismatches mean the performance run is not
+computing real inferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..core.config import TestMode, TestSettings
+from ..core.loadgen import LoadGen, LoadGenResult
+from ..core.sut import QuerySampleLibrary, SystemUnderTest
+
+#: Fraction of performance-mode queries whose responses are logged.
+DEFAULT_LOG_PROBABILITY = 0.10
+
+
+@dataclass
+class AccuracyVerificationReport:
+    """Outcome of the accuracy-verification audit."""
+
+    passed: bool
+    checked: int
+    mismatches: int
+    mismatch_indices: List[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "PASSED" if self.passed else "FAILED"
+        return (
+            f"accuracy-verification: {verdict} "
+            f"({self.mismatches}/{self.checked} logged responses mismatched)"
+        )
+
+
+def _payload_equal(a: object, b: object) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    return a == b
+
+
+def run_accuracy_verification(
+    sut_factory: Callable[[], SystemUnderTest],
+    qsl: QuerySampleLibrary,
+    performance_settings: TestSettings,
+    log_probability: float = DEFAULT_LOG_PROBABILITY,
+) -> AccuracyVerificationReport:
+    """Run the test: accuracy pass, then sampled performance pass."""
+    accuracy_settings = performance_settings.with_overrides(
+        mode=TestMode.ACCURACY
+    )
+    accuracy_result = LoadGen(accuracy_settings).run(sut_factory(), qsl)
+    reference = _responses_by_index(accuracy_result)
+
+    performance_result = LoadGen(performance_settings).run(
+        sut_factory(), qsl, log_sample_probability=log_probability
+    )
+    sampled = _responses_by_index(performance_result)
+    if not sampled:
+        raise RuntimeError(
+            "performance run logged no responses; raise log_probability"
+        )
+
+    mismatches = []
+    for index, payload in sampled.items():
+        if index not in reference:
+            mismatches.append(index)
+        elif not _payload_equal(payload, reference[index]):
+            mismatches.append(index)
+    return AccuracyVerificationReport(
+        passed=not mismatches,
+        checked=len(sampled),
+        mismatches=len(mismatches),
+        mismatch_indices=sorted(mismatches),
+    )
+
+
+def _responses_by_index(result: LoadGenResult) -> Dict[int, object]:
+    index_map = result.log.sample_index_map()
+    out: Dict[int, object] = {}
+    for sample_id, payload in result.log.logged_responses().items():
+        out[index_map[sample_id]] = payload
+    return out

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four commands cover the everyday workflows:
+
+* ``tables``  - print the paper's normative tables (I-V) from the code.
+* ``run``     - measure one (task, scenario) on a parameterized
+                simulated device, printing the LoadGen summary.
+* ``fleet``   - run the Section VI fleet survey (optionally a subset)
+                and print the coverage matrix and per-model counts.
+* ``check``   - run the submission checker over an on-disk submission
+                directory (see ``repro.submission.artifacts``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Scenario, Task
+from .harness.tables import (
+    format_coverage_matrix,
+    format_table_i,
+    format_table_ii,
+    format_table_iii,
+    format_table_iv,
+    format_table_v,
+)
+
+_TASKS = {task.value: task for task in Task}
+_SCENARIOS = {
+    "single-stream": Scenario.SINGLE_STREAM,
+    "multi-stream": Scenario.MULTI_STREAM,
+    "server": Scenario.SERVER,
+    "offline": Scenario.OFFLINE,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLPerf Inference benchmark reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="print the paper's tables")
+    tables.add_argument(
+        "--which", choices=["1", "2", "3", "4", "5", "all"], default="all")
+
+    run = sub.add_parser("run", help="benchmark a simulated device")
+    run.add_argument("--task", choices=sorted(_TASKS), required=True)
+    run.add_argument("--scenario", choices=sorted(_SCENARIOS), required=True)
+    run.add_argument("--peak-gops", type=float, default=40_000.0)
+    run.add_argument("--base-utilization", type=float, default=0.06)
+    run.add_argument("--saturation-gops", type=float, default=150.0)
+    run.add_argument("--overhead-ms", type=float, default=0.5)
+    run.add_argument("--max-batch", type=int, default=64)
+    run.add_argument("--engines", type=int, default=1)
+    run.add_argument("--batch-window-ms", type=float, default=0.0)
+
+    fleet = sub.add_parser("fleet", help="run the Section VI fleet survey")
+    fleet.add_argument("--systems", nargs="*", default=None,
+                       help="subset of system names (default: all 33)")
+    fleet.add_argument("--report", default=None, metavar="PATH",
+                       help="also write a full markdown report to PATH")
+
+    check = sub.add_parser("check", help="check a submission directory")
+    check.add_argument("directory")
+    return parser
+
+
+def _cmd_tables(args) -> int:
+    sections = {
+        "1": ("Table I - tasks and reference models", format_table_i),
+        "2": ("Table II - scenarios and metrics", format_table_ii),
+        "3": ("Table III - latency constraints", format_table_iii),
+        "4": ("Table IV - query requirements", format_table_iv),
+        "5": ("Table V - queries and samples per query", format_table_v),
+    }
+    keys = list(sections) if args.which == "all" else [args.which]
+    for key in keys:
+        title, formatter = sections[key]
+        print(f"\n{title}\n{'=' * len(title)}")
+        print(formatter())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .harness.tuning import (
+        QUICK_SCALE,
+        find_max_multistream_n,
+        find_max_server_qps,
+        measure_offline,
+        measure_single_stream,
+    )
+    from .sut.device import DeviceModel, ProcessorType
+    from .sut.fleet import task_workload
+    from .sut.simulated import SimulatedSUT
+
+    class NullQSL:
+        name = "cli"
+        total_sample_count = 8192
+        performance_sample_count = 1024
+
+        def load_samples(self, indices):
+            pass
+
+        def unload_samples(self, indices):
+            pass
+
+        def get_sample(self, index):
+            return None
+
+    task = _TASKS[args.task]
+    scenario = _SCENARIOS[args.scenario]
+    device = DeviceModel(
+        name="cli-device", processor=ProcessorType.GPU,
+        peak_gops=args.peak_gops, base_utilization=args.base_utilization,
+        saturation_gops=args.saturation_gops,
+        overhead=args.overhead_ms * 1e-3, max_batch=args.max_batch,
+        engines=args.engines,
+    )
+    workload = task_workload(task)
+    qsl = NullQSL()
+
+    def make_sut():
+        return SimulatedSUT(device, workload,
+                            batch_window=args.batch_window_ms * 1e-3)
+
+    if scenario is Scenario.SINGLE_STREAM:
+        result = measure_single_stream(make_sut, qsl, task, QUICK_SCALE)
+        print(result.summary())
+    elif scenario is Scenario.OFFLINE:
+        result = measure_offline(make_sut, qsl, task, QUICK_SCALE)
+        print(result.summary())
+    elif scenario is Scenario.SERVER:
+        tuned = find_max_server_qps(make_sut, qsl, task, QUICK_SCALE)
+        if tuned is None:
+            print("result: cannot meet the server QoS bound at any rate")
+            return 1
+        print(f"max server rate: {tuned.value:.1f} qps "
+              f"({tuned.probes} probe runs)")
+        print(tuned.result.summary())
+    else:
+        tuned = find_max_multistream_n(make_sut, qsl, task, QUICK_SCALE)
+        if tuned is None:
+            print("result: cannot sustain even one stream")
+            return 1
+        print(f"max streams: {int(tuned.value)}")
+        print(tuned.result.summary())
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from .harness.experiments import (
+        result_matrix,
+        results_per_task,
+        run_fleet,
+    )
+    from .sut.fleet import build_fleet
+
+    systems = build_fleet()
+    if args.systems:
+        wanted = set(args.systems)
+        known = {s.name for s in systems}
+        unknown = wanted - known
+        if unknown:
+            print(f"unknown systems: {sorted(unknown)}", file=sys.stderr)
+            print(f"available: {sorted(known)}", file=sys.stderr)
+            return 2
+        systems = [s for s in systems if s.name in wanted]
+
+    records = run_fleet(systems)
+    print(f"{len(records)} results from {len(systems)} systems\n")
+    print(format_coverage_matrix(result_matrix(records)))
+    print("\nper model:")
+    for task, count in results_per_task(records).items():
+        print(f"  {task.value:20s} {count}")
+    if args.report:
+        from pathlib import Path
+
+        from .harness.report import generate_report
+
+        Path(args.report).write_text(generate_report(
+            records, systems=systems, title="MLPerf Inference fleet sweep"))
+        print(f"\nreport written to {args.report}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .submission.artifacts import check_submission_dir
+
+    report = check_submission_dir(args.directory)
+    for issue in report.issues:
+        print(issue)
+    if report.passed:
+        print("submission CLEARED")
+        return 0
+    print(f"submission REJECTED ({len(report.errors)} errors)")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "run": _cmd_run,
+        "fleet": _cmd_fleet,
+        "check": _cmd_check,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

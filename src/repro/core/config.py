@@ -1,0 +1,287 @@
+"""Benchmark configuration: tasks, scenarios, and the v0.5 rule constants.
+
+This module encodes the normative tables of the paper:
+
+* Table I   - the five tasks, their reference models and quality targets.
+* Table II  - the four scenarios and their metrics.
+* Table III - multistream arrival times and server QoS constraints.
+* Table V   - minimum query counts and samples per query.
+
+plus the run rules from Section III-D: 60-second minimum duration, five
+server runs (score = minimum), tail-latency percentiles (99th for vision,
+97th for translation), and the <=1% multistream skip budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+class Scenario(enum.Enum):
+    """The four MLPerf Inference evaluation scenarios (Table II)."""
+
+    SINGLE_STREAM = "single_stream"
+    MULTI_STREAM = "multi_stream"
+    SERVER = "server"
+    OFFLINE = "offline"
+
+    @property
+    def short_name(self) -> str:
+        return {
+            Scenario.SINGLE_STREAM: "SS",
+            Scenario.MULTI_STREAM: "MS",
+            Scenario.SERVER: "S",
+            Scenario.OFFLINE: "O",
+        }[self]
+
+    @property
+    def metric_name(self) -> str:
+        return {
+            Scenario.SINGLE_STREAM: "90th-percentile latency",
+            Scenario.MULTI_STREAM: "number of streams subject to latency bound",
+            Scenario.SERVER: "queries per second subject to latency bound",
+            Scenario.OFFLINE: "throughput (samples/second)",
+        }[self]
+
+
+class TestMode(enum.Enum):
+    """LoadGen operating modes (Section IV-B)."""
+
+    # Not a pytest class, despite the name pytest would otherwise collect.
+    __test__ = False
+
+    PERFORMANCE = "performance"
+    ACCURACY = "accuracy"
+
+
+class Task(enum.Enum):
+    """The five v0.5 tasks (Table I)."""
+
+    IMAGE_CLASSIFICATION_HEAVY = "resnet50-v1.5"
+    IMAGE_CLASSIFICATION_LIGHT = "mobilenet-v1"
+    OBJECT_DETECTION_HEAVY = "ssd-resnet34"
+    OBJECT_DETECTION_LIGHT = "ssd-mobilenet-v1"
+    MACHINE_TRANSLATION = "gnmt"
+
+    @property
+    def area(self) -> str:
+        if self is Task.MACHINE_TRANSLATION:
+            return "language"
+        return "vision"
+
+    @property
+    def is_vision(self) -> bool:
+        return self.area == "vision"
+
+
+@dataclass(frozen=True)
+class TaskRules:
+    """Per-task constants from Tables I, III, and V."""
+
+    task: Task
+    #: Multistream fixed arrival interval, seconds (Table III).
+    multistream_interval: float
+    #: Server latency bound, seconds (Table III).
+    server_latency_bound: float
+    #: Tail-latency percentile enforced in MS/Server (Section III-D).
+    tail_latency_percentile: float
+    #: Minimum queries for MS and Server (Table V: 270K vision, 90K NMT).
+    latency_bounded_query_count: int
+    #: Fraction of queries allowed to violate the bound (1 - percentile).
+    #: Kept explicit because the paper states it as a rule ("no more than
+    #: 1% ... 3% for translation").
+    max_violation_fraction: float
+
+
+# Table III + Table V + Section III-C latency/percentile rules.
+_TASK_RULES: Dict[Task, TaskRules] = {
+    Task.IMAGE_CLASSIFICATION_HEAVY: TaskRules(
+        task=Task.IMAGE_CLASSIFICATION_HEAVY,
+        multistream_interval=0.050,
+        server_latency_bound=0.015,
+        tail_latency_percentile=0.99,
+        latency_bounded_query_count=270_336,
+        max_violation_fraction=0.01,
+    ),
+    Task.IMAGE_CLASSIFICATION_LIGHT: TaskRules(
+        task=Task.IMAGE_CLASSIFICATION_LIGHT,
+        multistream_interval=0.050,
+        server_latency_bound=0.010,
+        tail_latency_percentile=0.99,
+        latency_bounded_query_count=270_336,
+        max_violation_fraction=0.01,
+    ),
+    Task.OBJECT_DETECTION_HEAVY: TaskRules(
+        task=Task.OBJECT_DETECTION_HEAVY,
+        multistream_interval=0.066,
+        server_latency_bound=0.100,
+        tail_latency_percentile=0.99,
+        latency_bounded_query_count=270_336,
+        max_violation_fraction=0.01,
+    ),
+    Task.OBJECT_DETECTION_LIGHT: TaskRules(
+        task=Task.OBJECT_DETECTION_LIGHT,
+        multistream_interval=0.050,
+        server_latency_bound=0.010,
+        tail_latency_percentile=0.99,
+        latency_bounded_query_count=270_336,
+        max_violation_fraction=0.01,
+    ),
+    Task.MACHINE_TRANSLATION: TaskRules(
+        task=Task.MACHINE_TRANSLATION,
+        multistream_interval=0.100,
+        server_latency_bound=0.250,
+        tail_latency_percentile=0.97,
+        latency_bounded_query_count=90_112,
+        max_violation_fraction=0.03,
+    ),
+}
+
+
+def task_rules(task: Task) -> TaskRules:
+    """Return the Table III/V rule constants for ``task``."""
+    return _TASK_RULES[task]
+
+
+#: Minimum number of single-stream queries (Table V).
+SINGLE_STREAM_MIN_QUERIES = 1_024
+
+#: Minimum samples in the offline scenario's one query (Table II/V).
+OFFLINE_MIN_SAMPLES = 24_576
+
+#: Every benchmark must run for at least this long (Section III-D).
+MIN_DURATION_SECONDS = 60.0
+
+#: Server scenario result is the minimum of this many runs (Section III-D).
+SERVER_REQUIRED_RUNS = 5
+
+#: Single-stream reported metric percentile (Table II).
+SINGLE_STREAM_REPORTED_PERCENTILE = 0.90
+
+#: Default LoadGen PRNG seed ("the traffic pattern is predetermined by the
+#: pseudorandom-number-generator seed", Section IV-A).
+DEFAULT_SEED = 0x5EED_2019
+
+
+@dataclass
+class TestSettings:
+    """Everything the LoadGen needs to drive one run.
+
+    (``__test__`` opts out of pytest collection - the MLPerf name is
+    kept for fidelity with the real LoadGen API.)
+
+    Mirrors the real LoadGen's ``TestSettings`` struct: scenario, mode,
+    scenario-specific knobs, query-count and duration overrides (used by
+    unit tests and the audit tools), and the RNG seed.
+    """
+
+    __test__ = False
+
+    scenario: Scenario
+    mode: TestMode = TestMode.PERFORMANCE
+    task: Optional[Task] = None
+
+    #: Server scenario: the Poisson arrival rate under test (QPS).
+    server_target_qps: float = 1.0
+    #: Multistream scenario: samples per query (the N being validated).
+    multistream_samples_per_query: int = 1
+    #: Multistream arrival interval override; default comes from Table III.
+    multistream_interval: Optional[float] = None
+    #: Server latency bound override; default comes from Table III.
+    server_latency_bound: Optional[float] = None
+    #: Tail-latency percentile override.
+    tail_latency_percentile: Optional[float] = None
+
+    #: Overrides for query counts / durations (None -> rule defaults).
+    min_query_count: Optional[int] = None
+    min_duration: Optional[float] = None
+    #: Offline sample count override.
+    offline_sample_count: Optional[int] = None
+
+    #: Cap on the number of distinct library samples held in memory; the
+    #: performance run draws from this loaded set with replacement.
+    performance_sample_count: Optional[int] = None
+
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.server_target_qps <= 0:
+            raise ValueError(
+                f"server_target_qps must be positive, got {self.server_target_qps}"
+            )
+        if self.multistream_samples_per_query < 1:
+            raise ValueError(
+                "multistream_samples_per_query must be >= 1, got "
+                f"{self.multistream_samples_per_query}"
+            )
+
+    # -- resolved rule values -------------------------------------------------
+
+    def _rules(self) -> Optional[TaskRules]:
+        return _TASK_RULES.get(self.task) if self.task is not None else None
+
+    @property
+    def resolved_multistream_interval(self) -> float:
+        if self.multistream_interval is not None:
+            return self.multistream_interval
+        rules = self._rules()
+        if rules is None:
+            raise ValueError("multistream_interval unset and no task given")
+        return rules.multistream_interval
+
+    @property
+    def resolved_server_latency_bound(self) -> float:
+        if self.server_latency_bound is not None:
+            return self.server_latency_bound
+        rules = self._rules()
+        if rules is None:
+            raise ValueError("server_latency_bound unset and no task given")
+        return rules.server_latency_bound
+
+    @property
+    def resolved_tail_percentile(self) -> float:
+        if self.tail_latency_percentile is not None:
+            return self.tail_latency_percentile
+        rules = self._rules()
+        if rules is None:
+            # Vision default.
+            return 0.99
+        return rules.tail_latency_percentile
+
+    @property
+    def resolved_min_query_count(self) -> int:
+        if self.min_query_count is not None:
+            return self.min_query_count
+        if self.scenario is Scenario.SINGLE_STREAM:
+            return SINGLE_STREAM_MIN_QUERIES
+        if self.scenario is Scenario.OFFLINE:
+            return 1
+        rules = self._rules()
+        if rules is not None:
+            return rules.latency_bounded_query_count
+        return 270_336
+
+    @property
+    def resolved_min_duration(self) -> float:
+        if self.min_duration is not None:
+            return self.min_duration
+        return MIN_DURATION_SECONDS
+
+    @property
+    def resolved_offline_samples(self) -> int:
+        if self.offline_sample_count is not None:
+            return self.offline_sample_count
+        return OFFLINE_MIN_SAMPLES
+
+    @property
+    def resolved_max_violation_fraction(self) -> float:
+        rules = self._rules()
+        if rules is not None:
+            return rules.max_violation_fraction
+        return 1.0 - self.resolved_tail_percentile
+
+    def with_overrides(self, **kwargs) -> "TestSettings":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

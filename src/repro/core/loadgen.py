@@ -1,0 +1,181 @@
+"""The Load Generator (paper Section IV-B, Figure 3).
+
+The LoadGen is MLPerf Inference's traffic generator and referee.  It
+
+1. asks the SUT to load data set samples into memory (untimed),
+2. issues query traffic according to the selected scenario,
+3. records every query and response,
+4. reports statistics and decides whether the run was valid.
+
+This implementation runs the scenario logic on a deterministic
+discrete-event loop (``repro.core.events``) so that a 270,336-query
+server run finishes in seconds of wall time while preserving the paper's
+timing semantics exactly.  SUTs that execute real numpy models measure
+their wall-clock service time and replay it as virtual time (see
+``repro.sut.backend``), so the same LoadGen drives both simulated and
+real backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .config import Scenario, TestMode, TestSettings
+from .events import EventLoop, VirtualClock
+from .logging import QueryLog
+from .metrics import ScenarioMetrics, compute_metrics
+from .sampler import SampleSelector, accuracy_mode_indices
+from .scenarios import (
+    AccuracySource,
+    DriverStats,
+    PerformanceSource,
+    SampleSource,
+    make_driver,
+)
+from .sut import QuerySampleLibrary, SystemUnderTest
+from .validation import ValidityReport, validate_run
+
+
+@dataclass
+class LoadGenResult:
+    """Everything a run produces: the log, metrics, and the verdict."""
+
+    settings: TestSettings
+    log: QueryLog
+    metrics: ScenarioMetrics
+    validity: ValidityReport
+    loaded_indices: List[int]
+
+    @property
+    def valid(self) -> bool:
+        return self.validity.valid
+
+    @property
+    def primary_metric(self) -> float:
+        return self.metrics.primary_metric
+
+    def summary(self) -> str:
+        """Human-readable run summary, in the spirit of the LoadGen's
+        ``mlperf_log_summary.txt``."""
+        lines = [
+            "=" * 60,
+            f"Scenario          : {self.settings.scenario.value}",
+            f"Mode              : {self.settings.mode.value}",
+            f"Result is         : {'VALID' if self.valid else 'INVALID'}",
+            f"{self.metrics.primary_metric_name:<18}: {self.metrics.primary_metric:.6g}",
+            f"Queries issued    : {self.metrics.query_count}",
+            f"Samples processed : {self.metrics.sample_count}",
+            f"Run duration (s)  : {self.metrics.duration:.3f}",
+            f"Latency mean (ms) : {self.metrics.latency_mean * 1e3:.3f}",
+            f"Latency p90 (ms)  : {self.metrics.latency_p90 * 1e3:.3f}",
+            f"Latency p99 (ms)  : {self.metrics.latency_p99 * 1e3:.3f}",
+        ]
+        for reason in self.validity.reasons:
+            lines.append(f"  * {reason}")
+        lines.append("=" * 60)
+        return "\n".join(lines)
+
+
+class LoadGen:
+    """Drives one SUT through one scenario run."""
+
+    def __init__(self, settings: TestSettings) -> None:
+        self.settings = settings
+
+    # -- sample loading (untimed; Fig. 3 steps 1-4) ----------------------------
+
+    def _choose_loaded_set(self, qsl: QuerySampleLibrary) -> List[int]:
+        """Pick which library samples are resident for a performance run.
+
+        At most ``performance_sample_count`` samples are loaded; the run
+        then draws from this set with replacement.  Selection uses its
+        own seed stream so it is reproducible but independent of the
+        traffic pattern.
+        """
+        total = qsl.total_sample_count
+        if total < 1:
+            raise ValueError(f"query sample library '{qsl.name}' is empty")
+        budget = self.settings.performance_sample_count
+        if budget is None:
+            budget = qsl.performance_sample_count
+        budget = min(budget, total)
+        if budget < 1:
+            raise ValueError("performance sample count must be >= 1")
+        if budget >= total:
+            return list(range(total))
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.settings.seed).spawn(2)[1]
+        )
+        picks = rng.choice(total, size=budget, replace=False)
+        return sorted(int(p) for p in picks)
+
+    def _make_source(self, loaded: Sequence[int]) -> SampleSource:
+        if self.settings.mode is TestMode.ACCURACY:
+            return AccuracySource(loaded)
+        selector = SampleSelector(loaded, seed=self.settings.seed)
+        return PerformanceSource(selector)
+
+    # -- the run itself ---------------------------------------------------------
+
+    def run(
+        self,
+        sut: SystemUnderTest,
+        qsl: QuerySampleLibrary,
+        log_sample_probability: float = 0.0,
+    ) -> LoadGenResult:
+        """Execute one full run and return its result.
+
+        ``log_sample_probability`` enables the accuracy-verification
+        audit: in performance mode, each completed query's responses are
+        retained with this probability.
+        """
+        settings = self.settings
+        if settings.mode is TestMode.ACCURACY:
+            loaded = accuracy_mode_indices(qsl.total_sample_count)
+        else:
+            loaded = self._choose_loaded_set(qsl)
+
+        qsl.load_samples(loaded)
+        try:
+            loop = EventLoop(VirtualClock())
+            log = QueryLog(
+                log_sample_probability=log_sample_probability,
+                seed=settings.seed ^ 0xA0D17,
+            )
+            source = self._make_source(loaded)
+            driver = make_driver(loop, settings, sut, source, log)
+
+            sut.start_run(loop, driver.handle_completion)
+            driver.start()
+            loop.run()
+
+            if log.outstanding:
+                raise RuntimeError(
+                    f"SUT '{sut.name}' left {log.outstanding} queries "
+                    "uncompleted after the event loop drained"
+                )
+
+            metrics = compute_metrics(log, settings)
+            validity = validate_run(log, settings, driver.stats)
+            return LoadGenResult(
+                settings=settings,
+                log=log,
+                metrics=metrics,
+                validity=validity,
+                loaded_indices=list(loaded),
+            )
+        finally:
+            qsl.unload_samples(loaded)
+
+
+def run_benchmark(
+    sut: SystemUnderTest,
+    qsl: QuerySampleLibrary,
+    settings: TestSettings,
+    log_sample_probability: float = 0.0,
+) -> LoadGenResult:
+    """Convenience wrapper: build a LoadGen and run once."""
+    return LoadGen(settings).run(sut, qsl, log_sample_probability)

@@ -1,0 +1,160 @@
+"""Structured run logs (paper Section IV-B).
+
+The LoadGen "records queries and responses from the SUT, and at the end
+of the run, it reports statistics, summarizes the results, and determines
+whether the run was valid".  :class:`QueryLog` is that record.  The
+accuracy script and the audit tests consume it rather than reaching into
+LoadGen internals, mirroring the real system where they parse log files.
+
+In performance mode response payloads are normally discarded to avoid
+perturbing the measurement; the accuracy-verification audit turns on
+random payload logging via ``log_sample_probability``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .query import Query, QueryRecord, QuerySampleResponse
+
+
+class QueryLog:
+    """Append-only log of query lifecycles for one LoadGen run."""
+
+    def __init__(self, log_sample_probability: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= log_sample_probability <= 1.0:
+            raise ValueError(
+                f"log_sample_probability must be in [0, 1], got {log_sample_probability}"
+            )
+        self._records: Dict[int, QueryRecord] = {}
+        self._order: List[int] = []
+        self.log_sample_probability = log_sample_probability
+        self._rng = np.random.default_rng(seed)
+        #: Count of issued samples (not queries) for throughput metrics.
+        self.issued_samples = 0
+
+    def record_issue(self, query: Query, issue_time: float,
+                     scheduled_time: Optional[float] = None) -> None:
+        if query.id in self._records:
+            raise ValueError(f"query {query.id} issued twice")
+        self._records[query.id] = QueryRecord(
+            query=query, issue_time=issue_time, scheduled_time=scheduled_time
+        )
+        self._order.append(query.id)
+        self.issued_samples += query.sample_count
+
+    def record_completion(
+        self,
+        query: Query,
+        completion_time: float,
+        responses: List[QuerySampleResponse],
+        keep_responses: bool,
+    ) -> None:
+        record = self._records.get(query.id)
+        if record is None:
+            raise ValueError(f"completion for unknown query {query.id}")
+        if record.completed:
+            raise ValueError(f"query {query.id} completed twice")
+        if completion_time < record.issue_time:
+            raise ValueError(
+                f"query {query.id} completed before it was issued "
+                f"({completion_time} < {record.issue_time})"
+            )
+        if len(responses) != query.sample_count:
+            raise ValueError(
+                f"query {query.id}: expected {query.sample_count} responses, "
+                f"got {len(responses)}"
+            )
+        record.completion_time = completion_time
+        if keep_responses or (
+            self.log_sample_probability > 0.0
+            and self._rng.random() < self.log_sample_probability
+        ):
+            record.responses = list(responses)
+
+    # -- views ----------------------------------------------------------------
+
+    def records(self) -> List[QueryRecord]:
+        """All records in issue order."""
+        return [self._records[qid] for qid in self._order]
+
+    def completed_records(self) -> List[QueryRecord]:
+        return [r for r in self.records() if r.completed]
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.completed_records()]
+
+    @property
+    def query_count(self) -> int:
+        return len(self._order)
+
+    @property
+    def outstanding(self) -> int:
+        return sum(1 for r in self._records.values() if not r.completed)
+
+    def logged_responses(self) -> Dict[int, object]:
+        """Map sample id -> response payload for records that kept them."""
+        out: Dict[int, object] = {}
+        for record in self.records():
+            if record.responses is None:
+                continue
+            for response in record.responses:
+                out[response.sample_id] = response.data
+        return out
+
+    def sample_index_of(self, sample_id: int) -> int:
+        """Reverse-map a sample id to its data set index."""
+        for record in self.records():
+            for sample in record.query.samples:
+                if sample.id == sample_id:
+                    return sample.index
+        raise KeyError(f"unknown sample id {sample_id}")
+
+    def sample_index_map(self) -> Dict[int, int]:
+        """Map of every issued sample id to its data set index."""
+        out: Dict[int, int] = {}
+        for record in self.records():
+            for sample in record.query.samples:
+                out[sample.id] = sample.index
+        return out
+
+    # -- serialization (the "log files" of Fig. 3 step 7) ----------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize the trace to JSON lines, omitting raw payloads that
+        are not JSON-serializable (they are replaced by ``repr``)."""
+        lines = []
+        for record in self.records():
+            entry = {
+                "query_id": record.query.id,
+                "sample_indices": list(record.query.sample_indices),
+                "sample_ids": [s.id for s in record.query.samples],
+                "issue_time": record.issue_time,
+                "scheduled_time": record.scheduled_time,
+                "completion_time": record.completion_time,
+            }
+            if record.responses is not None:
+                entry["responses"] = [
+                    _jsonable(r.data) for r in record.responses
+                ]
+            lines.append(json.dumps(entry))
+        return "\n".join(lines)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)

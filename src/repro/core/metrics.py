@@ -1,0 +1,91 @@
+"""Scenario performance metrics (paper Table II).
+
+Each scenario reports a different figure of merit:
+
+* single-stream: 90th-percentile query latency (seconds);
+* multistream:   number of concurrent streams N sustained under the bound;
+* server:        Poisson queries/second sustained under the QoS bound;
+* offline:       throughput in samples/second.
+
+The functions here compute those metrics from a completed
+:class:`~repro.core.logging.QueryLog`; validity checking lives in
+``repro.core.validation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import Scenario, TestSettings
+from .logging import QueryLog
+from .stats import percentile
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """Summary statistics computed from one run's query log."""
+
+    scenario: Scenario
+    query_count: int
+    sample_count: int
+    duration: float
+    latency_mean: float
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    #: Scenario-specific primary metric (Table II).
+    primary_metric: float
+    primary_metric_name: str
+    #: Measured throughput in samples/second over the run window.
+    throughput: float
+
+
+def run_duration(log: QueryLog) -> float:
+    """Seconds from first issue to last completion."""
+    records = log.completed_records()
+    if not records:
+        return 0.0
+    first = min(r.issue_time for r in records)
+    last = max(r.completion_time for r in records)
+    return last - first
+
+
+def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
+    """Compute the Table II metric (plus latency summary) for a run."""
+    latencies = log.latencies()
+    if not latencies:
+        raise ValueError("run completed no queries; cannot compute metrics")
+    duration = run_duration(log)
+    sample_count = sum(r.query.sample_count for r in log.completed_records())
+    throughput = sample_count / duration if duration > 0 else float("inf")
+
+    scenario = settings.scenario
+    if scenario is Scenario.SINGLE_STREAM:
+        primary = percentile(latencies, 0.90)
+        name = "90th-percentile latency (s)"
+    elif scenario is Scenario.MULTI_STREAM:
+        primary = float(settings.multistream_samples_per_query)
+        name = "streams"
+    elif scenario is Scenario.SERVER:
+        primary = settings.server_target_qps
+        name = "scheduled queries/s"
+    elif scenario is Scenario.OFFLINE:
+        primary = throughput
+        name = "samples/s"
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError(f"unknown scenario {scenario}")
+
+    n = len(latencies)
+    return ScenarioMetrics(
+        scenario=scenario,
+        query_count=log.query_count,
+        sample_count=sample_count,
+        duration=duration,
+        latency_mean=sum(latencies) / n,
+        latency_p50=percentile(latencies, 0.50),
+        latency_p90=percentile(latencies, 0.90),
+        latency_p99=percentile(latencies, 0.99),
+        primary_metric=primary,
+        primary_metric_name=name,
+        throughput=throughput,
+    )

@@ -1,0 +1,105 @@
+"""Query, sample, and response types exchanged between LoadGen and SUT.
+
+Terminology follows the paper (Section IV): a *sample* is one unit of
+inference input (one image, one sentence); a *query* is a request for
+inference on one or more samples.  Single-stream and server queries carry
+one sample, multistream queries carry N, and the offline scenario issues
+a single query containing the whole performance set (>= 24,576 samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Tuple
+
+
+class QuerySample(NamedTuple):
+    """One sample within a query.
+
+    ``id`` uniquely identifies the sample instance within the run (used
+    to match responses to issues); ``index`` is the position of the
+    underlying data in the query sample library, so duplicate indices can
+    and do occur - the sampler draws with replacement.
+
+    A NamedTuple rather than a dataclass: offline and multistream
+    queries carry tens of thousands of samples, so construction cost is
+    on the benchmark's own hot path.
+    """
+
+    id: int
+    index: int
+
+
+@dataclass
+class Query:
+    """A request for inference on one or more samples.
+
+    ``contiguous`` records that the samples' data are adjacent in memory,
+    which the multistream and offline rules guarantee so that SUTs need
+    not copy samples into a contiguous region before starting inference.
+    """
+
+    id: int
+    samples: Tuple[QuerySample, ...]
+    issue_time: float = 0.0
+    contiguous: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("a query must contain at least one sample")
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sample_indices(self) -> Tuple[int, ...]:
+        return tuple(s.index for s in self.samples)
+
+
+class QuerySampleResponse:
+    """The SUT's answer for one sample of a query.
+
+    ``data`` is the raw inference output (label index, detection list,
+    token ids, ...) and is only retained in accuracy mode or when the
+    accuracy-verification audit randomly logs performance-mode results.
+    Slotted for the same hot-path reason as :class:`QuerySample`.
+    """
+
+    __slots__ = ("sample_id", "data")
+
+    def __init__(self, sample_id: int, data: object = None) -> None:
+        self.sample_id = sample_id
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"QuerySampleResponse(sample_id={self.sample_id}, data={self.data!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QuerySampleResponse)
+            and self.sample_id == other.sample_id
+            and self.data == other.data
+        )
+
+
+@dataclass
+class QueryRecord:
+    """Everything the LoadGen logs about one query's lifecycle."""
+
+    query: Query
+    issue_time: float
+    completion_time: Optional[float] = None
+    responses: Optional[List[QuerySampleResponse]] = None
+    scheduled_time: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """Seconds from issue to completion (the timed interval)."""
+        if self.completion_time is None:
+            raise ValueError(f"query {self.query.id} never completed")
+        return self.completion_time - self.issue_time
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None

@@ -1,0 +1,79 @@
+"""Deterministic query-sample selection (paper Sections IV-B and V-B).
+
+The LoadGen "produces queries by randomly selecting query samples with
+replacement from the data set"; the pattern is fully determined by the
+PRNG seed, which is why optimizations keyed to the official seed are
+prohibited and why the alternate-random-seed audit test exists.
+
+In accuracy mode the LoadGen instead walks the entire data set exactly
+once so the accuracy script can evaluate the full benchmark data set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from .query import Query, QuerySample
+
+
+class SampleSelector:
+    """Draws sample indices from the loaded performance set.
+
+    Performance mode draws uniformly *with replacement* - duplicate
+    indices are expected and the caching-detection audit relies on them.
+    """
+
+    def __init__(self, loaded_indices: Sequence[int], seed: int) -> None:
+        if not loaded_indices:
+            raise ValueError("loaded_indices must not be empty")
+        self._indices = np.asarray(loaded_indices, dtype=np.int64)
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self, count: int) -> List[int]:
+        """Draw ``count`` indices with replacement."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        picks = self._rng.integers(0, len(self._indices), size=count)
+        return [int(self._indices[p]) for p in picks]
+
+
+class QueryFactory:
+    """Assembles :class:`Query` objects with unique query and sample ids.
+
+    Sample ids are unique per issued sample instance (two draws of data
+    set index 7 get different ids), mirroring the real LoadGen's
+    ``QuerySampleId`` semantics.
+    """
+
+    def __init__(self) -> None:
+        self._query_ids = itertools.count(1)
+        self._sample_ids = itertools.count(1)
+
+    def make_query(self, sample_indices: Sequence[int], issue_time: float = 0.0) -> Query:
+        samples = tuple(
+            QuerySample(id=next(self._sample_ids), index=int(idx))
+            for idx in sample_indices
+        )
+        return Query(id=next(self._query_ids), samples=samples, issue_time=issue_time)
+
+
+def accuracy_mode_indices(total_sample_count: int) -> List[int]:
+    """Accuracy mode visits every data set sample exactly once."""
+    if total_sample_count < 1:
+        raise ValueError("data set is empty")
+    return list(range(total_sample_count))
+
+
+def chunk_indices(indices: Sequence[int], chunk: int) -> Iterator[List[int]]:
+    """Split ``indices`` into consecutive chunks of size ``chunk``.
+
+    The final chunk may be short.  Used by accuracy mode to form queries
+    whose sample count matches the scenario (N for multistream).
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    for start in range(0, len(indices), chunk):
+        yield list(indices[start:start + chunk])

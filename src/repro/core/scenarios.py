@@ -1,0 +1,344 @@
+"""Scenario drivers: query generation per paper Table II and Figure 4.
+
+Each driver owns the timing policy of one scenario:
+
+* **Single-stream** - issue one query, wait for completion, immediately
+  issue the next.  Metric: 90th-percentile latency.
+* **Multistream** - a new query of N samples every fixed arrival interval
+  *t* (Table III).  If the SUT is still busy at a tick, that interval is
+  skipped and the remaining queries are delayed by one interval; no more
+  than 1% of queries may produce one or more skipped intervals.
+* **Server** - queries with one sample each, arrival times drawn from a
+  Poisson process with rate ``target_qps``.  No more than 1% (3% for
+  translation) of queries may exceed the QoS latency bound.
+* **Offline** - a single query carrying every sample (>= 24,576), issued
+  at time zero; the SUT may reorder freely.  Metric: samples/second.
+
+Drivers are pure event-loop citizens: they schedule issue events and
+react to completion callbacks, so they work identically under virtual
+and measured time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .config import Scenario, TestMode, TestSettings
+from .events import EventLoop
+from .logging import QueryLog
+from .query import Query
+from .sampler import QueryFactory, SampleSelector
+from .sut import SystemUnderTest
+
+
+class SampleSource:
+    """Produces the data set indices for successive queries."""
+
+    def next(self, count: int) -> Optional[List[int]]:
+        """Return ``count`` indices, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    @property
+    def finite(self) -> bool:
+        raise NotImplementedError
+
+
+class PerformanceSource(SampleSource):
+    """Endless with-replacement draws from the loaded performance set."""
+
+    def __init__(self, selector: SampleSelector) -> None:
+        self._selector = selector
+
+    def next(self, count: int) -> Optional[List[int]]:
+        return self._selector.draw(count)
+
+    @property
+    def finite(self) -> bool:
+        return False
+
+
+class AccuracySource(SampleSource):
+    """One pass over the full data set, in order, without replacement."""
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        self._indices = list(indices)
+        self._pos = 0
+
+    def next(self, count: int) -> Optional[List[int]]:
+        if self._pos >= len(self._indices):
+            return None
+        chunk = self._indices[self._pos:self._pos + count]
+        self._pos += len(chunk)
+        return chunk
+
+    @property
+    def finite(self) -> bool:
+        return True
+
+    @property
+    def remaining(self) -> int:
+        return len(self._indices) - self._pos
+
+
+@dataclass
+class DriverStats:
+    """Scenario-specific bookkeeping surfaced to the validator."""
+
+    issued_queries: int = 0
+    start_time: float = 0.0
+    issue_phase_end: float = 0.0
+    #: Multistream: per-query count of skipped arrival intervals.
+    skipped_intervals: dict = field(default_factory=dict)
+    #: Multistream: total number of ticks that were skipped.
+    total_skipped_ticks: int = 0
+    #: Offline: number of batch queries issued (1 unless the minimum
+    #: duration forced extras).
+    offline_queries: int = 0
+
+
+class ScenarioDriver:
+    """Common machinery for the four scenario drivers."""
+
+    scenario: Scenario
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        settings: TestSettings,
+        sut: SystemUnderTest,
+        source: SampleSource,
+        log: QueryLog,
+    ) -> None:
+        self.loop = loop
+        self.settings = settings
+        self.sut = sut
+        self.source = source
+        self.log = log
+        self.factory = QueryFactory()
+        self.stats = DriverStats()
+        self._outstanding = 0
+        self._issue_phase_open = True
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def samples_per_query(self) -> int:
+        return 1
+
+    def _issue(self, indices: List[int], scheduled_time: Optional[float] = None) -> Query:
+        now = self.loop.now
+        query = self.factory.make_query(indices, issue_time=now)
+        self.log.record_issue(query, now, scheduled_time=scheduled_time)
+        self.stats.issued_queries += 1
+        self._outstanding += 1
+        self.sut.issue_query(query)
+        return query
+
+    def handle_completion(self, query: Query, responses) -> None:
+        keep = self.settings.mode is TestMode.ACCURACY
+        self.log.record_completion(query, self.loop.now, responses, keep_responses=keep)
+        self._outstanding -= 1
+        self.on_completion(query)
+
+    def _performance_goals_met(self) -> bool:
+        elapsed = self.loop.now - self.stats.start_time
+        return (
+            self.stats.issued_queries >= self.settings.resolved_min_query_count
+            and elapsed >= self.settings.resolved_min_duration
+        )
+
+    def _should_issue_more(self) -> bool:
+        if self.source.finite:
+            return True  # finite sources stop by returning None
+        return not self._performance_goals_met()
+
+    def _close_issue_phase(self) -> None:
+        if self._issue_phase_open:
+            self._issue_phase_open = False
+            self.stats.issue_phase_end = self.loop.now
+            self.sut.flush()
+
+    # -- scenario hooks ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first query/queries.  Called once by the LoadGen."""
+        raise NotImplementedError
+
+    def on_completion(self, query: Query) -> None:
+        """React to a completed query (scenario specific)."""
+        raise NotImplementedError
+
+
+class SingleStreamDriver(ScenarioDriver):
+    """Sequential queries of one sample; next issues on completion."""
+
+    scenario = Scenario.SINGLE_STREAM
+
+    def start(self) -> None:
+        self.stats.start_time = self.loop.now
+        self._issue_next()
+
+    def _issue_next(self) -> None:
+        indices = self.source.next(1)
+        if indices is None:
+            self._close_issue_phase()
+            return
+        self._issue(indices)
+
+    def on_completion(self, query: Query) -> None:
+        if self._should_issue_more():
+            self._issue_next()
+        else:
+            self._close_issue_phase()
+
+
+class ServerDriver(ScenarioDriver):
+    """Poisson arrivals at ``settings.server_target_qps``."""
+
+    scenario = Scenario.SERVER
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Dedicated stream for arrival times so the traffic pattern is a
+        # pure function of the seed (Section V-B alternate-seed test).
+        self._arrival_rng = np.random.default_rng(
+            np.random.SeedSequence(self.settings.seed).spawn(1)[0]
+        )
+
+    def start(self) -> None:
+        self.stats.start_time = self.loop.now
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        gap = self._arrival_rng.exponential(1.0 / self.settings.server_target_qps)
+        scheduled = self.loop.now + gap
+        self.loop.schedule(scheduled, lambda: self._arrive(scheduled))
+
+    def _arrive(self, scheduled: float) -> None:
+        indices = self.source.next(1)
+        if indices is None:
+            self._close_issue_phase()
+            return
+        self._issue(indices, scheduled_time=scheduled)
+        if self._should_issue_more():
+            self._schedule_next_arrival()
+        else:
+            self._close_issue_phase()
+
+    def on_completion(self, query: Query) -> None:
+        """Server queries are independent; nothing to do on completion."""
+
+
+class MultiStreamDriver(ScenarioDriver):
+    """Fixed arrival interval; busy SUT skips (and delays) intervals."""
+
+    scenario = Scenario.MULTI_STREAM
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._interval = self.settings.resolved_multistream_interval
+        self._tick_index = 0
+        self._current_query: Optional[Query] = None
+
+    @property
+    def samples_per_query(self) -> int:
+        return self.settings.multistream_samples_per_query
+
+    def start(self) -> None:
+        self.stats.start_time = self.loop.now
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        self._tick_index += 1
+        self.loop.schedule_after(self._interval, self._tick)
+
+    def _tick(self) -> None:
+        if self._current_query is not None:
+            # SUT still busy: this interval is skipped; the in-flight
+            # query is charged with producing it.
+            qid = self._current_query.id
+            self.stats.skipped_intervals[qid] = (
+                self.stats.skipped_intervals.get(qid, 0) + 1
+            )
+            self.stats.total_skipped_ticks += 1
+            self._schedule_tick()
+            return
+        indices = self.source.next(self.samples_per_query)
+        if indices is None:
+            self._close_issue_phase()
+            return
+        self._current_query = self._issue(indices, scheduled_time=self.loop.now)
+        if self._should_issue_more():
+            self._schedule_tick()
+        else:
+            self._close_issue_phase()
+
+    def on_completion(self, query: Query) -> None:
+        if self._current_query is not None and query.id == self._current_query.id:
+            self._current_query = None
+
+
+class OfflineDriver(ScenarioDriver):
+    """One big batch query at t=0; extras only to satisfy min duration.
+
+    When the minimum duration forces additional batch queries, two are
+    kept in flight (double buffering) so the SUT never drains between
+    batches - a serial issue-wait-issue loop would insert pipeline
+    bubbles that the real single-giant-query offline run does not have.
+    """
+
+    scenario = Scenario.OFFLINE
+
+    def start(self) -> None:
+        self.stats.start_time = self.loop.now
+        self._issue_batch()
+        if not self.source.finite:
+            self._issue_batch()
+
+    def _batch_size(self) -> int:
+        if self.source.finite:
+            remaining = getattr(self.source, "remaining", None)
+            if remaining is not None:
+                return max(1, remaining)
+        return self.settings.resolved_offline_samples
+
+    def _issue_batch(self) -> None:
+        indices = self.source.next(self._batch_size())
+        if indices is None:
+            self._close_issue_phase()
+            return
+        self._issue(indices, scheduled_time=self.loop.now)
+        self.stats.offline_queries += 1
+        self.sut.flush()
+
+    def on_completion(self, query: Query) -> None:
+        elapsed = self.loop.now - self.stats.start_time
+        if (
+            not self.source.finite
+            and elapsed < self.settings.resolved_min_duration
+        ):
+            # Section III-D: run for at least 60 s, processing additional
+            # queries/samples as required.
+            self._issue_batch()
+        elif self._outstanding == 0:
+            self._close_issue_phase()
+
+
+def make_driver(
+    loop: EventLoop,
+    settings: TestSettings,
+    sut: SystemUnderTest,
+    source: SampleSource,
+    log: QueryLog,
+) -> ScenarioDriver:
+    """Instantiate the driver matching ``settings.scenario``."""
+    driver_cls = {
+        Scenario.SINGLE_STREAM: SingleStreamDriver,
+        Scenario.MULTI_STREAM: MultiStreamDriver,
+        Scenario.SERVER: ServerDriver,
+        Scenario.OFFLINE: OfflineDriver,
+    }[settings.scenario]
+    return driver_cls(loop, settings, sut, source, log)

@@ -1,0 +1,116 @@
+"""System-under-test and query-sample-library interfaces (paper Fig. 3).
+
+The benchmark draws a hard boundary between MLPerf-owned components (the
+LoadGen, data set, accuracy script) and the submitter-owned SUT.  These
+abstract interfaces are that boundary:
+
+* :class:`QuerySampleLibrary` (QSL) wraps the data set.  The LoadGen asks
+  the SUT to load a set of samples into memory as an *untimed* operation
+  (steps 1-4 in Fig. 3) before any query is issued.
+* :class:`SystemUnderTest` (SUT) receives queries and must complete each
+  one by calling the responder the LoadGen provides (steps 5-6).
+
+A SUT may complete queries synchronously inside ``issue_query`` or later
+via events it schedules on the run's event loop; both styles appear in
+``repro.sut``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Protocol, Sequence, runtime_checkable
+
+from .events import EventLoop
+from .query import Query, QuerySampleResponse
+
+#: Signature of the completion callback handed to the SUT.
+Responder = Callable[[Query, List[QuerySampleResponse]], None]
+
+
+@runtime_checkable
+class QuerySampleLibrary(Protocol):
+    """The LoadGen's view of a data set."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def total_sample_count(self) -> int:
+        """Number of samples in the full (accuracy-mode) data set."""
+        ...
+
+    @property
+    def performance_sample_count(self) -> int:
+        """Number of samples guaranteed to fit in memory for perf mode."""
+        ...
+
+    def load_samples(self, indices: Sequence[int]) -> None:
+        """Untimed: bring the given samples into memory."""
+        ...
+
+    def unload_samples(self, indices: Sequence[int]) -> None:
+        """Untimed: release the given samples."""
+        ...
+
+    def get_sample(self, index: int) -> object:
+        """Return the (preprocessed) input data for one sample."""
+        ...
+
+
+@runtime_checkable
+class SystemUnderTest(Protocol):
+    """The submitter-owned inference system."""
+
+    @property
+    def name(self) -> str: ...
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        """Called once before the first query of a run.
+
+        Untimed setup (compilation, cache warm-up, weight layout) belongs
+        here; the clock has not started counting toward any latency.
+        """
+        ...
+
+    def issue_query(self, query: Query) -> None:
+        """Receive one query.  Must eventually invoke the responder."""
+        ...
+
+    def flush(self) -> None:
+        """Hint that no further queries will arrive (offline scenario)."""
+        ...
+
+
+class SutBase:
+    """Convenience base class implementing the boring parts of the SUT
+    protocol; concrete SUTs override :meth:`issue_query`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._loop: EventLoop = None
+        self._responder: Responder = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def loop(self) -> EventLoop:
+        if self._loop is None:
+            raise RuntimeError("start_run was never called on this SUT")
+        return self._loop
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        self._loop = loop
+        self._responder = responder
+
+    def complete(self, query: Query, responses: List[QuerySampleResponse]) -> None:
+        """Report ``query`` finished with ``responses`` to the LoadGen."""
+        if self._responder is None:
+            raise RuntimeError("start_run was never called on this SUT")
+        self._responder(query, responses)
+
+    def issue_query(self, query: Query) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Default: nothing buffered."""

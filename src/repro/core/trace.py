@@ -1,0 +1,81 @@
+"""Chrome trace-event export of a run's query log.
+
+The real LoadGen emits ``mlperf_trace.json`` viewable in
+``chrome://tracing``; this module produces the equivalent from a
+:class:`~repro.core.logging.QueryLog`: one complete ("X") event per
+query on a per-wave track, plus instant events for issues.  Useful for
+eyeballing batching behaviour, queue buildup, and the scenario's arrival
+pattern.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .logging import QueryLog
+
+#: Trace timestamps are microseconds.
+_US = 1e6
+
+
+def _assign_tracks(records) -> Dict[int, int]:
+    """Greedy interval-graph colouring: overlapping queries get distinct
+    track ids so their bars do not overdraw in the viewer."""
+    free: List[int] = []
+    active: List = []   # (completion_time, track)
+    next_track = 0
+    assignment: Dict[int, int] = {}
+    for record in sorted(records, key=lambda r: r.issue_time):
+        still_active = []
+        for completion, track in active:
+            if completion <= record.issue_time:
+                free.append(track)
+            else:
+                still_active.append((completion, track))
+        active = still_active
+        if free:
+            track = free.pop()
+        else:
+            track = next_track
+            next_track += 1
+        assignment[record.query.id] = track
+        active.append((record.completion_time, track))
+    return assignment
+
+
+def to_chrome_trace(log: QueryLog, process_name: str = "SUT") -> str:
+    """Serialize the log as a Chrome trace-event JSON string."""
+    records = log.completed_records()
+    tracks = _assign_tracks(records)
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "args": {"name": process_name},
+    }]
+    for record in records:
+        track = tracks[record.query.id]
+        events.append({
+            "name": f"query {record.query.id}",
+            "cat": "query",
+            "ph": "X",
+            "pid": 1,
+            "tid": track,
+            "ts": record.issue_time * _US,
+            "dur": record.latency * _US,
+            "args": {
+                "samples": record.query.sample_count,
+                "scheduled": record.scheduled_time,
+            },
+        })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                      indent=1)
+
+
+def write_chrome_trace(log: QueryLog, path, process_name: str = "SUT"
+                       ) -> None:
+    """Write the trace to ``path`` (the mlperf_trace.json equivalent)."""
+    from pathlib import Path
+
+    Path(path).write_text(to_chrome_trace(log, process_name))

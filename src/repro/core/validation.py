@@ -1,0 +1,114 @@
+"""Run-validity rules (paper Sections III-C and III-D).
+
+A performance run is VALID only if:
+
+* every issued query completed;
+* it issued at least the scenario/task minimum number of queries
+  (Table V) - 1,024 for single-stream, 270,336 (90,112 for translation)
+  for multistream and server, and a single query of >= 24,576 samples for
+  offline;
+* it ran for at least 60 seconds;
+* server: no more than 1% (3% for translation) of queries exceeded the
+  task's QoS latency bound (Table III);
+* multistream: no more than 1% (3%) of queries produced one or more
+  skipped arrival intervals.
+
+Accuracy-mode runs only require full completion - their pass/fail
+judgement belongs to the accuracy script (``repro.accuracy.checker``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .config import Scenario, TestMode, TestSettings
+from .logging import QueryLog
+from .scenarios import DriverStats
+
+
+@dataclass
+class ValidityReport:
+    """Outcome of the validity checks for one run."""
+
+    valid: bool
+    reasons: List[str] = field(default_factory=list)
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.valid
+
+
+def validate_run(
+    log: QueryLog, settings: TestSettings, stats: DriverStats
+) -> ValidityReport:
+    """Apply the v0.5 validity rules to a finished run."""
+    reasons: List[str] = []
+    details: Dict[str, float] = {}
+
+    if log.outstanding:
+        reasons.append(f"{log.outstanding} queries never completed")
+
+    records = log.completed_records()
+    if not records:
+        return ValidityReport(valid=False, reasons=["no queries completed"],
+                              details=details)
+
+    # Duration runs from the driver's start (the clock the 60 s rule is
+    # written against) to the final completion.
+    duration = max(r.completion_time for r in records) - stats.start_time
+    details["duration"] = duration
+    details["query_count"] = log.query_count
+    details["sample_count"] = sum(r.query.sample_count for r in records)
+
+    if settings.mode is TestMode.ACCURACY:
+        # Accuracy runs are exempt from the performance minimums.
+        return ValidityReport(valid=not reasons, reasons=reasons, details=details)
+
+    if duration < settings.resolved_min_duration:
+        reasons.append(
+            f"run duration {duration:.3f}s below minimum "
+            f"{settings.resolved_min_duration:.0f}s"
+        )
+
+    scenario = settings.scenario
+    if scenario is Scenario.OFFLINE:
+        min_samples = settings.resolved_offline_samples
+        if details["sample_count"] < min_samples:
+            reasons.append(
+                f"offline processed {details['sample_count']:.0f} samples, "
+                f"minimum is {min_samples}"
+            )
+    else:
+        min_queries = settings.resolved_min_query_count
+        if log.query_count < min_queries:
+            reasons.append(
+                f"issued {log.query_count} queries, minimum is {min_queries}"
+            )
+
+    if scenario is Scenario.SERVER:
+        bound = settings.resolved_server_latency_bound
+        violations = sum(1 for r in records if r.latency > bound)
+        fraction = violations / len(records)
+        details["latency_bound"] = bound
+        details["violation_fraction"] = fraction
+        budget = settings.resolved_max_violation_fraction
+        if fraction > budget:
+            reasons.append(
+                f"{fraction:.4%} of queries exceeded the {bound * 1e3:.0f} ms "
+                f"bound (budget {budget:.0%})"
+            )
+
+    if scenario is Scenario.MULTI_STREAM:
+        offenders = sum(1 for v in stats.skipped_intervals.values() if v > 0)
+        fraction = offenders / log.query_count if log.query_count else 0.0
+        details["skipped_query_fraction"] = fraction
+        details["total_skipped_ticks"] = stats.total_skipped_ticks
+        budget = settings.resolved_max_violation_fraction
+        if fraction > budget:
+            reasons.append(
+                f"{fraction:.4%} of queries produced skipped intervals "
+                f"(budget {budget:.0%})"
+            )
+
+    return ValidityReport(valid=not reasons, reasons=reasons, details=details)

@@ -1,0 +1,57 @@
+"""Data set base types (paper Section IV-C).
+
+MLPerf fixes the data set, the LoadGen, and the accuracy script; the
+synthetic data sets here stand in for ImageNet/COCO/WMT16 (which cannot
+be redistributed or downloaded offline) while preserving the same shape:
+indexed samples, ground-truth labels, a held-out *calibration* split
+that quantized submissions may use to choose ranges (and nothing else),
+and a ``performance_sample_count`` that bounds how many samples the
+LoadGen keeps resident during a performance run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Dataset:
+    """Abstract indexed data set with labels and a calibration split."""
+
+    name: str = "dataset"
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def get_sample(self, index: int) -> object:
+        """The preprocessed model input for ``index``."""
+        raise NotImplementedError
+
+    def get_label(self, index: int) -> object:
+        """Ground truth for ``index`` (class id, boxes, token ids...)."""
+        raise NotImplementedError
+
+    @property
+    def calibration_indices(self) -> List[int]:
+        """Indices reserved for quantization calibration.
+
+        Mirrors MLPerf's small fixed calibration set: these samples may
+        guide quantization but are excluded from accuracy evaluation.
+        """
+        count = min(getattr(self, "calibration_count", 0), len(self))
+        return list(range(count))
+
+    @property
+    def evaluation_indices(self) -> List[int]:
+        """Indices used for accuracy evaluation (the non-calibration rest)."""
+        return list(range(len(self.calibration_indices), len(self)))
+
+    @property
+    def performance_sample_count(self) -> int:
+        """How many samples fit in memory for performance mode."""
+        return min(1024, len(self))
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self):
+            raise IndexError(
+                f"{self.name}: index {index} out of range [0, {len(self)})"
+            )

@@ -1,0 +1,135 @@
+"""SyntheticCoco: the offline stand-in for the COCO detection set.
+
+Each image contains one to ``max_objects`` glyph objects at two scales,
+placed without excessive overlap; ground truth is a list of bounding
+boxes with class ids (1-based; 0 is background, COCO-style).  The mAP
+metric, anchor matching, and NMS all operate on these real boxes.
+
+Two configurations mirror the paper's two detection benchmarks: the
+"small" 300x300-proxy images for SSD-MobileNet and the upscaled
+1200x1200-proxy images for SSD-ResNet-34 (Section VII-C explains why the
+paper itself had to upscale COCO for the large-input use case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import Dataset
+from .glyphs import make_glyph_bank, place_glyph, resize_glyphs
+
+
+@dataclass(frozen=True)
+class GroundTruthObject:
+    """One annotated object: ``box`` is ``(y1, x1, y2, x2)`` in pixels."""
+
+    box: Tuple[float, float, float, float]
+    class_id: int
+
+
+class SyntheticCoco(Dataset):
+    """Multi-object glyph detection data set."""
+
+    def __init__(
+        self,
+        size: int = 1_000,
+        image_size: int = 48,
+        num_classes: int = 8,
+        glyph_size: int = 8,
+        large_scale: float = 1.5,
+        max_objects: int = 4,
+        noise_level: float = 0.25,
+        calibration_count: int = 32,
+        seed: int = 2014,
+    ) -> None:
+        if glyph_size * large_scale >= image_size:
+            raise ValueError("large glyphs must fit inside the image")
+        self.name = "synthetic-coco"
+        self._size = size
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.glyph_size = glyph_size
+        self.large_glyph_size = int(round(glyph_size * large_scale))
+        self.max_objects = max_objects
+        self.noise_level = noise_level
+        self.calibration_count = calibration_count
+        self._seed = seed
+        self.glyphs = make_glyph_bank(num_classes, glyph_size, seed)
+        self.large_glyphs = resize_glyphs(self.glyphs, self.large_glyph_size)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def object_scales(self) -> Tuple[int, int]:
+        """The two object sizes appearing in images (anchor design input)."""
+        return (self.glyph_size, self.large_glyph_size)
+
+    def _rng_for(self, index: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence((self._seed, index))
+        )
+
+    def _generate(self, index: int) -> Tuple[np.ndarray, List[GroundTruthObject]]:
+        rng = self._rng_for(index)
+        image = rng.normal(
+            0.0, self.noise_level, size=(self.image_size, self.image_size)
+        ).astype(np.float32)
+        count = int(rng.integers(1, self.max_objects + 1))
+        objects: List[GroundTruthObject] = []
+        placed_boxes: List[Tuple[int, int, int, int]] = []
+        for _ in range(count):
+            class_index = int(rng.integers(0, self.num_classes))
+            use_large = bool(rng.random() < 0.4)
+            glyph = (self.large_glyphs if use_large else self.glyphs)[class_index]
+            gsize = glyph.shape[0]
+            limit = self.image_size - gsize
+            # A few placement attempts to avoid heavy overlap; objects
+            # that cannot be placed are simply dropped.
+            for _attempt in range(8):
+                top = int(rng.integers(0, limit + 1))
+                left = int(rng.integers(0, limit + 1))
+                box = (top, left, top + gsize, left + gsize)
+                if all(_overlap_fraction(box, other) < 0.25
+                       for other in placed_boxes):
+                    place_glyph(image, glyph, top, left)
+                    placed_boxes.append(box)
+                    objects.append(GroundTruthObject(
+                        box=tuple(float(v) for v in box),
+                        class_id=class_index + 1,   # 0 is background
+                    ))
+                    break
+        if not objects:
+            # Guarantee at least one object per image.
+            glyph = self.glyphs[0]
+            box = place_glyph(image, glyph, 0, 0)
+            objects.append(GroundTruthObject(
+                box=tuple(float(v) for v in box), class_id=1,
+            ))
+        return image[:, :, None], objects
+
+    def get_sample(self, index: int) -> np.ndarray:
+        self._check_index(index)
+        image, _objects = self._generate(index)
+        return image
+
+    def get_label(self, index: int) -> List[GroundTruthObject]:
+        self._check_index(index)
+        _image, objects = self._generate(index)
+        return objects
+
+
+def _overlap_fraction(a, b) -> float:
+    """Intersection area over the smaller box's area."""
+    y1 = max(a[0], b[0])
+    x1 = max(a[1], b[1])
+    y2 = min(a[2], b[2])
+    x2 = min(a[3], b[3])
+    inter = max(y2 - y1, 0) * max(x2 - x1, 0)
+    area_a = (a[2] - a[0]) * (a[3] - a[1])
+    area_b = (b[2] - b[0]) * (b[3] - b[1])
+    smaller = min(area_a, area_b)
+    return inter / smaller if smaller > 0 else 0.0

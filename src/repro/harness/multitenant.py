@@ -1,0 +1,210 @@
+"""Multitenancy mode (paper Section IV-B, future work).
+
+"The LoadGen is extensible to support more scenarios, such as a
+multitenancy mode where the SUT must continuously serve multiple models
+while maintaining QoS constraints."  This harness realizes that mode by
+composing existing pieces: one scenario driver per tenant (each with its
+own traffic, log, and validity rules) all feeding a shared device whose
+engines serve every tenant's queue.
+
+Batches never mix tenants (different models cannot share a dispatch),
+so co-location costs are real: each tenant's sustainable rate under its
+own QoS bound is lower than it would be with the device to itself -
+quantified by ``benchmarks/test_ext_multitenant.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.config import TestMode, TestSettings
+from ..core.events import EventLoop, VirtualClock
+from ..core.loadgen import LoadGenResult
+from ..core.logging import QueryLog
+from ..core.metrics import compute_metrics
+from ..core.query import Query, QuerySampleResponse
+from ..core.sampler import SampleSelector
+from ..core.scenarios import PerformanceSource, make_driver
+from ..core.sut import SutBase
+from ..core.validation import validate_run
+from ..sut.device import DeviceModel
+from ..sut.simulated import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One co-located model: its workload and its scenario settings."""
+
+    name: str
+    workload: WorkloadProfile
+    settings: TestSettings
+
+
+@dataclass
+class _TenantChunk:
+    tenant: "_TenantFacade"
+    query: Query
+    sample_count: int
+    max_multiplier: float
+    arrival: float
+
+
+class _SharedEnginePool:
+    """Device engines serving per-tenant FIFO queues.
+
+    Dispatch policy: take the globally oldest queued chunk, then fill
+    the batch with further chunks *of the same tenant* (models cannot
+    share a dispatch), up to ``max_batch`` samples.
+    """
+
+    def __init__(self, device: DeviceModel, loop: EventLoop,
+                 seed: int = 77) -> None:
+        self.device = device
+        self.loop = loop
+        self._queue: List[_TenantChunk] = []
+        self._idle_engines = device.engines
+        self._rng = np.random.default_rng(seed)
+        #: (tenant name, batch sample count) per dispatch, for tests.
+        self.dispatch_trace: List[Tuple[str, int]] = []
+
+    def submit(self, tenant: "_TenantFacade", query: Query) -> None:
+        workload = tenant.workload
+        if workload.variability > 0.0:
+            sigma = workload.variability
+            draws = self._rng.lognormal(0.0, sigma, query.sample_count)
+            multipliers = np.sort(draws / np.exp(sigma * sigma / 2.0))
+        else:
+            multipliers = np.ones(query.sample_count)
+        max_batch = self.device.max_batch
+        chunks = 0
+        for start in range(0, query.sample_count, max_batch):
+            part = multipliers[start:start + max_batch]
+            self._queue.append(_TenantChunk(
+                tenant=tenant, query=query, sample_count=len(part),
+                max_multiplier=float(part[-1]), arrival=self.loop.now,
+            ))
+            chunks += 1
+        tenant.pending_chunks[query.id] = chunks
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        while self._queue and self._idle_engines > 0:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        head = self._queue.pop(0)
+        batch = [head]
+        capacity = self.device.max_batch - head.sample_count
+        remaining: List[_TenantChunk] = []
+        for chunk in self._queue:
+            if (chunk.tenant is head.tenant
+                    and chunk.sample_count <= capacity):
+                batch.append(chunk)
+                capacity -= chunk.sample_count
+            else:
+                remaining.append(chunk)
+        self._queue = remaining
+
+        samples = sum(c.sample_count for c in batch)
+        worst = max(c.max_multiplier for c in batch)
+        workload = head.tenant.workload
+        duration = self.device.service_time(
+            workload.gops_per_sample * worst, samples, workload.motif)
+        self._idle_engines -= 1
+        self.dispatch_trace.append((head.tenant.name, samples))
+        self.loop.schedule_after(
+            duration, lambda batch=batch: self._finish(batch))
+
+    def _finish(self, batch: List[_TenantChunk]) -> None:
+        self._idle_engines += 1
+        for chunk in batch:
+            tenant = chunk.tenant
+            query = chunk.query
+            tenant.pending_chunks[query.id] -= 1
+            if tenant.pending_chunks[query.id] == 0:
+                del tenant.pending_chunks[query.id]
+                responses = [
+                    QuerySampleResponse(s.id, None) for s in query.samples
+                ]
+                tenant.complete(query, responses)
+        self._try_dispatch()
+
+
+class _TenantFacade(SutBase):
+    """The per-tenant SUT handle the scenario driver talks to."""
+
+    def __init__(self, name: str, workload: WorkloadProfile,
+                 pool: _SharedEnginePool) -> None:
+        super().__init__(name)
+        self.workload = workload
+        self.pool = pool
+        self.pending_chunks: Dict[int, int] = {}
+
+    def issue_query(self, query: Query) -> None:
+        self.pool.submit(self, query)
+
+    def flush(self) -> None:
+        self.pool._try_dispatch()
+
+
+def run_multitenant(
+    device: DeviceModel,
+    tenants: List[TenantSpec],
+    pool_size: int = 1_024,
+) -> Dict[str, LoadGenResult]:
+    """Drive every tenant's scenario concurrently on one shared device.
+
+    Returns one standard :class:`LoadGenResult` per tenant, each
+    validated against its own scenario's rules.
+    """
+    if not tenants:
+        raise ValueError("at least one tenant is required")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique: {names}")
+
+    loop = EventLoop(VirtualClock())
+    pool = _SharedEnginePool(device, loop)
+    drivers = []
+    logs: Dict[str, QueryLog] = {}
+    for spec in tenants:
+        if spec.settings.mode is not TestMode.PERFORMANCE:
+            raise ValueError(
+                f"tenant {spec.name}: multitenant runs are performance-mode"
+            )
+        facade = _TenantFacade(spec.name, spec.workload, pool)
+        log = QueryLog()
+        source = PerformanceSource(
+            SampleSelector(range(pool_size), seed=spec.settings.seed))
+        driver = make_driver(loop, spec.settings, facade, source, log)
+        facade.start_run(loop, driver.handle_completion)
+        drivers.append((spec, driver))
+        logs[spec.name] = log
+
+    for _spec, driver in drivers:
+        driver.start()
+    loop.run()
+
+    results: Dict[str, LoadGenResult] = {}
+    for spec, driver in drivers:
+        log = logs[spec.name]
+        if log.outstanding:
+            raise RuntimeError(
+                f"tenant {spec.name} left {log.outstanding} queries open"
+            )
+        results[spec.name] = LoadGenResult(
+            settings=spec.settings,
+            log=log,
+            metrics=compute_metrics(log, spec.settings),
+            validity=validate_run(log, spec.settings, driver.stats),
+            loaded_indices=list(range(pool_size)),
+        )
+    return results
+
+
+def all_tenants_valid(results: Dict[str, LoadGenResult]) -> bool:
+    """The multitenancy pass criterion: every tenant held its QoS."""
+    return all(result.valid for result in results.values())

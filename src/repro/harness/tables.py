@@ -1,0 +1,159 @@
+"""Formatters that print the paper's tables from live objects.
+
+Each function regenerates one normative table from the code that
+implements it (the registry, the rule constants, the statistics module,
+the fleet), so the benchmark suite can both *print* the table and
+*assert* it against the published values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.config import Scenario, Task, task_rules
+from ..core.stats import table_iv
+from ..models.registry import all_models
+from ..sut.device import ProcessorType
+
+
+def format_table_i() -> str:
+    """Table I: tasks, reference models, data sets, quality targets."""
+    lines = [
+        f"{'AREA':<10}{'TASK':<28}{'MODEL':<18}{'PARAMS':<10}"
+        f"{'GOPS':<8}{'QUALITY TARGET'}",
+        "-" * 92,
+    ]
+    for info in all_models():
+        gops = f"{info.gops_per_input:g}" if info.gops_per_input else "-"
+        target = (
+            f"{info.quality_target_factor:.0%} of FP32 "
+            f"({info.fp32_quality:g} {info.quality_metric})"
+        )
+        lines.append(
+            f"{info.task.area.upper():<10}{info.task.value:<28}"
+            f"{info.display_name:<18}{info.parameters / 1e6:<10.2f}"
+            f"{gops:<8}{target}"
+        )
+    return "\n".join(lines)
+
+
+def format_table_ii() -> str:
+    """Table II: the four scenarios and their metrics."""
+    examples = {
+        Scenario.SINGLE_STREAM: "typing autocomplete, real-time AR",
+        Scenario.MULTI_STREAM: "multicamera driver assistance",
+        Scenario.SERVER: "translation website",
+        Scenario.OFFLINE: "photo categorization",
+    }
+    generation = {
+        Scenario.SINGLE_STREAM: "sequential",
+        Scenario.MULTI_STREAM: "arrival interval with dropping",
+        Scenario.SERVER: "Poisson distribution",
+        Scenario.OFFLINE: "batch",
+    }
+    lines = [
+        f"{'SCENARIO':<16}{'QUERY GENERATION':<32}{'METRIC':<44}{'EXAMPLES'}",
+        "-" * 120,
+    ]
+    for scenario in Scenario:
+        lines.append(
+            f"{scenario.short_name:<16}{generation[scenario]:<32}"
+            f"{scenario.metric_name:<44}{examples[scenario]}"
+        )
+    return "\n".join(lines)
+
+
+def format_table_iii() -> str:
+    """Table III: multistream arrival times and server QoS bounds."""
+    lines = [
+        f"{'TASK':<28}{'MULTISTREAM ARRIVAL':<24}{'SERVER QOS'}",
+        "-" * 68,
+    ]
+    for task in Task:
+        rules = task_rules(task)
+        lines.append(
+            f"{task.value:<28}"
+            f"{rules.multistream_interval * 1e3:<24.0f}"
+            f"{rules.server_latency_bound * 1e3:.0f} ms"
+        )
+    return "\n".join(lines)
+
+
+def format_table_iv() -> str:
+    """Table IV: statistical query requirements."""
+    lines = [
+        f"{'TAIL %ILE':<12}{'CONFIDENCE':<12}{'MARGIN':<10}"
+        f"{'INFERENCES':<12}{'ROUNDED'}",
+        "-" * 58,
+    ]
+    for req in table_iv():
+        lines.append(
+            f"{req.tail_latency:<12.0%}{req.confidence:<12.0%}"
+            f"{req.margin:<10.2%}{req.inferences:<12,}"
+            f"{req.rounded_inferences:,}"
+        )
+    return "\n".join(lines)
+
+
+def format_table_v() -> str:
+    """Table V: queries / samples per query for each task."""
+    lines = [
+        f"{'MODEL':<28}{'SS':<12}{'MS':<12}{'SERVER':<12}{'OFFLINE'}",
+        "-" * 76,
+    ]
+    from ..core.config import OFFLINE_MIN_SAMPLES, SINGLE_STREAM_MIN_QUERIES
+    for task in Task:
+        count = task_rules(task).latency_bounded_query_count
+        lines.append(
+            f"{task.value:<28}"
+            f"{f'{SINGLE_STREAM_MIN_QUERIES // 1024}K / 1':<12}"
+            f"{f'{round(count / 1000)}K / N':<12}"
+            f"{f'{round(count / 1000)}K / 1':<12}"
+            f"1 / {OFFLINE_MIN_SAMPLES // 1024}K"
+        )
+    return "\n".join(lines)
+
+
+def format_coverage_matrix(matrix: Dict[Task, Dict[Scenario, int]]) -> str:
+    """Table VI layout from a measured (or planned) coverage matrix."""
+    lines = [
+        f"{'MODEL':<28}{'SS':>6}{'MS':>6}{'S':>6}{'O':>6}",
+        "-" * 52,
+    ]
+    totals = {scenario: 0 for scenario in Scenario}
+    for task in Task:
+        row = matrix[task]
+        for scenario in Scenario:
+            totals[scenario] += row[scenario]
+        lines.append(
+            f"{task.value:<28}"
+            f"{row[Scenario.SINGLE_STREAM]:>6}"
+            f"{row[Scenario.MULTI_STREAM]:>6}"
+            f"{row[Scenario.SERVER]:>6}"
+            f"{row[Scenario.OFFLINE]:>6}"
+        )
+    lines.append(
+        f"{'TOTAL':<28}"
+        f"{totals[Scenario.SINGLE_STREAM]:>6}"
+        f"{totals[Scenario.MULTI_STREAM]:>6}"
+        f"{totals[Scenario.SERVER]:>6}"
+        f"{totals[Scenario.OFFLINE]:>6}"
+    )
+    return "\n".join(lines)
+
+
+def format_framework_matrix(matrix: Dict[str, frozenset]) -> str:
+    """Table VII layout: framework rows, processor-type columns."""
+    columns = [ProcessorType.ASIC, ProcessorType.CPU, ProcessorType.DSP,
+               ProcessorType.FPGA, ProcessorType.GPU]
+    lines = [
+        f"{'':<18}" + "".join(f"{c.value:>8}" for c in columns),
+        "-" * (18 + 8 * len(columns)),
+    ]
+    for framework in sorted(matrix):
+        marks = "".join(
+            f"{'X' if column in matrix[framework] else '':>8}"
+            for column in columns
+        )
+        lines.append(f"{framework:<18}{marks}")
+    return "\n".join(lines)

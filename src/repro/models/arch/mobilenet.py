@@ -1,0 +1,83 @@
+"""MobileNet-v1 architecture (Howard et al. 2017).
+
+The MLPerf light image-classification reference is the full-width,
+full-resolution MobileNet-v1-1.0-224: 4.2 M parameters and 1.138 GOPs
+(= 2 x 569 MMACs) per 224x224 input - a 6.1x parameter and 6.8x
+operation reduction versus ResNet-50 v1.5, which the test suite checks.
+
+``width_multiplier`` exposes the family's accuracy/complexity knob used
+by the Figure 1 Pareto-frontier benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph import (
+    Activation,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool,
+    Layer,
+    Sequential,
+)
+
+#: (stride, output channels) of the 13 depthwise-separable blocks.
+BLOCK_SPECS: Tuple[Tuple[int, int], ...] = (
+    (1, 64),
+    (2, 128), (1, 128),
+    (2, 256), (1, 256),
+    (2, 512), (1, 512), (1, 512), (1, 512), (1, 512), (1, 512),
+    (2, 1024), (1, 1024),
+)
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    """Apply the width multiplier, keeping at least 8 channels."""
+    return max(8, int(round(channels * multiplier)))
+
+
+def separable_block(stride: int, out_channels: int, index: int) -> List[Layer]:
+    """Depthwise 3x3 + BN + ReLU6, then pointwise 1x1 + BN + ReLU6."""
+    name = f"block{index}"
+    return [
+        DepthwiseConv2D(3, stride=stride, use_bias=False, name=f"{name}_dw"),
+        BatchNorm(name=f"{name}_dw_bn"),
+        Activation("relu6", name=f"{name}_dw_relu"),
+        Conv2D(1, out_channels, use_bias=False, name=f"{name}_pw"),
+        BatchNorm(name=f"{name}_pw_bn"),
+        Activation("relu6", name=f"{name}_pw_relu"),
+    ]
+
+
+def build_mobilenet_v1(
+    num_classes: int = 1000,
+    width_multiplier: float = 1.0,
+    include_top: bool = True,
+    num_blocks: int = len(BLOCK_SPECS),
+) -> Sequential:
+    """Build MobileNet-v1; ``num_blocks`` truncates for SSD backbones."""
+    if not 1 <= num_blocks <= len(BLOCK_SPECS):
+        raise ValueError(
+            f"num_blocks must be in 1..{len(BLOCK_SPECS)}, got {num_blocks}"
+        )
+    layers: List[Layer] = [
+        Conv2D(3, _scaled(32, width_multiplier), stride=2, use_bias=False,
+               name="conv1"),
+        BatchNorm(name="conv1_bn"),
+        Activation("relu6", name="conv1_relu"),
+    ]
+    for index, (stride, channels) in enumerate(BLOCK_SPECS[:num_blocks], start=1):
+        layers += separable_block(stride, _scaled(channels, width_multiplier),
+                                  index)
+    if include_top:
+        layers.append(GlobalAvgPool(name="avgpool"))
+        layers.append(Dense(num_classes, name="fc"))
+    return Sequential(layers, name=f"mobilenet_v1_{width_multiplier:g}")
+
+
+def mobilenet_v1(num_classes: int = 1000) -> Sequential:
+    """The MLPerf light image-classification reference model."""
+    return build_mobilenet_v1(num_classes=num_classes, width_multiplier=1.0)

@@ -1,0 +1,111 @@
+"""MobileNet-v2 architecture (Sandler et al. 2018).
+
+Section III-A: "We evaluated both MobileNet-v1 and MobileNet-v2 for the
+MLPerf Inference v0.5 suite, selecting the former because of its wider
+adoption."  This module provides the candidate that was *not* selected,
+so the selection study itself is reproducible (see
+``benchmarks/test_model_selection.py``): v2's inverted residuals with
+linear bottlenecks reach slightly higher accuracy at roughly half the
+operations (canonically 3.50 M parameters and ~0.60 GOPs at 224x224,
+versus v1's 4.23 M and 1.14 GOPs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph import (
+    Activation,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool,
+    Layer,
+    Residual,
+    Sequential,
+)
+
+#: (expansion t, output channels c, repeats n, first stride s) per stage,
+#: exactly as published.
+INVERTED_RESIDUAL_SPECS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+#: Channels of the final 1x1 expansion before pooling.
+LAST_CHANNELS = 1280
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(8, int(round(channels * multiplier)))
+
+
+def _conv_bn_relu6(kernel, filters: int, stride=1, name: str = "conv"
+                   ) -> List[Layer]:
+    return [
+        Conv2D(kernel, filters, stride=stride, use_bias=False, name=name),
+        BatchNorm(name=f"{name}_bn"),
+        Activation("relu6", name=f"{name}_relu6"),
+    ]
+
+
+def inverted_residual(in_channels: int, expansion: int, out_channels: int,
+                      stride: int, name: str) -> Layer:
+    """Expand 1x1 -> depthwise 3x3 -> project 1x1 (linear bottleneck)."""
+    layers: List[Layer] = []
+    hidden = in_channels * expansion
+    if expansion != 1:
+        layers += _conv_bn_relu6(1, hidden, name=f"{name}_expand")
+    layers += [
+        DepthwiseConv2D(3, stride=stride, use_bias=False, name=f"{name}_dw"),
+        BatchNorm(name=f"{name}_dw_bn"),
+        Activation("relu6", name=f"{name}_dw_relu6"),
+        Conv2D(1, out_channels, use_bias=False, name=f"{name}_project"),
+        BatchNorm(name=f"{name}_project_bn"),
+    ]
+    body = Sequential(layers, name=f"{name}_body")
+    if stride == 1 and in_channels == out_channels:
+        # The residual join is linear: no activation after the add.
+        return Residual(body, activation="", name=name)
+    return body
+
+
+def build_mobilenet_v2(
+    num_classes: int = 1000,
+    width_multiplier: float = 1.0,
+    include_top: bool = True,
+) -> Sequential:
+    """Build MobileNet-v2 as a :class:`Sequential` graph."""
+    layers: List[Layer] = _conv_bn_relu6(
+        3, _scaled(32, width_multiplier), stride=2, name="stem")
+    in_channels = _scaled(32, width_multiplier)
+    block_index = 0
+    for expansion, channels, repeats, first_stride in INVERTED_RESIDUAL_SPECS:
+        out_channels = _scaled(channels, width_multiplier)
+        for repeat in range(repeats):
+            block_index += 1
+            stride = first_stride if repeat == 0 else 1
+            layers.append(inverted_residual(
+                in_channels, expansion, out_channels, stride,
+                name=f"block{block_index}"))
+            in_channels = out_channels
+    last = (
+        _scaled(LAST_CHANNELS, width_multiplier)
+        if width_multiplier > 1.0 else LAST_CHANNELS
+    )
+    layers += _conv_bn_relu6(1, last, name="head_conv")
+    if include_top:
+        layers.append(GlobalAvgPool(name="avgpool"))
+        layers.append(Dense(num_classes, name="fc"))
+    return Sequential(layers, name=f"mobilenet_v2_{width_multiplier:g}")
+
+
+def mobilenet_v2(num_classes: int = 1000) -> Sequential:
+    """The MobileNet-v2 candidate the paper evaluated but did not pick."""
+    return build_mobilenet_v2(num_classes=num_classes)

@@ -1,0 +1,88 @@
+"""Anchor generation and box decoding for the runnable SSD detectors.
+
+Anchor ordering matches :meth:`repro.models.arch.ssd.SSDArch.forward`:
+feature-map major, then row, column, anchor index - so head outputs and
+anchor boxes line up one-to-one after the reshape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..layers import _same_pad_amounts, conv_output_size
+
+
+def single_map_anchors(
+    image_size: int,
+    kernel: int,
+    stride: int,
+    scales: Sequence[int],
+    padding: str = "valid",
+) -> np.ndarray:
+    """Anchors for one feature map produced by a convolution.
+
+    Feature cell ``(i, j)`` corresponds to the conv window starting at
+    ``(i * stride - pad, j * stride - pad)``; the anchor of scale ``s``
+    is the ``s``-by-``s`` box centred in that window (where a template
+    embedded centrally in the kernel would match).  Returns
+    ``(H * W * len(scales), 4)`` boxes as ``(y1, x1, y2, x2)``.
+
+    The runnable detectors use VALID padding: SAME padding would shift
+    every window start by the (odd) asymmetric pad amount and break the
+    phase alignment between stride-2 windows and the block glyphs.
+    """
+    out = conv_output_size(image_size, kernel, stride, padding)
+    if padding == "same":
+        pad_before, _ = _same_pad_amounts(image_size, kernel, stride)
+    else:
+        pad_before = 0
+    anchors = np.empty((out, out, len(scales), 4), dtype=np.float32)
+    for i in range(out):
+        top = i * stride - pad_before
+        for j in range(out):
+            left = j * stride - pad_before
+            for a, scale in enumerate(scales):
+                offset = (kernel - scale) // 2
+                y1 = top + offset
+                x1 = left + offset
+                anchors[i, j, a] = (y1, x1, y1 + scale, x1 + scale)
+    return anchors.reshape(-1, 4)
+
+
+def boxes_to_centers(boxes: np.ndarray) -> np.ndarray:
+    """``(y1, x1, y2, x2)`` -> ``(cy, cx, h, w)``."""
+    cy = (boxes[:, 0] + boxes[:, 2]) / 2.0
+    cx = (boxes[:, 1] + boxes[:, 3]) / 2.0
+    h = boxes[:, 2] - boxes[:, 0]
+    w = boxes[:, 3] - boxes[:, 1]
+    return np.stack([cy, cx, h, w], axis=1)
+
+
+def centers_to_boxes(centers: np.ndarray) -> np.ndarray:
+    """``(cy, cx, h, w)`` -> ``(y1, x1, y2, x2)``."""
+    y1 = centers[:, 0] - centers[:, 2] / 2.0
+    x1 = centers[:, 1] - centers[:, 3] / 2.0
+    y2 = centers[:, 0] + centers[:, 2] / 2.0
+    x2 = centers[:, 1] + centers[:, 3] / 2.0
+    return np.stack([y1, x1, y2, x2], axis=1)
+
+
+def decode_boxes(anchors: np.ndarray, offsets: np.ndarray,
+                 variance: Tuple[float, float] = (0.1, 0.2)) -> np.ndarray:
+    """Standard SSD box decoding.
+
+    ``offsets`` are ``(ty, tx, th, tw)`` per anchor; zero offsets decode
+    to the anchor itself.
+    """
+    if anchors.shape != offsets.shape:
+        raise ValueError(
+            f"anchors {anchors.shape} and offsets {offsets.shape} differ"
+        )
+    centers = boxes_to_centers(anchors)
+    cy = centers[:, 0] + offsets[:, 0] * variance[0] * centers[:, 2]
+    cx = centers[:, 1] + offsets[:, 1] * variance[0] * centers[:, 3]
+    h = centers[:, 2] * np.exp(np.clip(offsets[:, 2] * variance[1], -10, 10))
+    w = centers[:, 3] * np.exp(np.clip(offsets[:, 3] * variance[1], -10, 10))
+    return centers_to_boxes(np.stack([cy, cx, h, w], axis=1))

@@ -1,0 +1,279 @@
+"""A tiny executable GNMT: LSTM encoder-decoder with additive attention.
+
+The quality-bearing translation reference is the cipher transducer
+(``repro.models.runtime.translator``); this module complements it with a
+*computationally faithful* GNMT: a bidirectional-first LSTM encoder, a
+residual LSTM decoder whose later layers consume the attention context,
+Bahdanau attention, and greedy decoding - all executed step by step with
+the numpy LSTM cell.  Weights are randomly initialized (there is no
+offline way to obtain trained ones), so its outputs carry no meaning;
+what it provides is the RNN compute *workload*: sequential dependency,
+per-token cost, and sentence-length sensitivity - the properties behind
+GNMT's distinctive server-scenario behaviour (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...datasets.wmt import BOS_ID, EOS_ID
+from ..graph import Dense, Embedding, LSTMLayer
+from ..layers import lstm_cell, softmax
+
+
+class TinyGNMT:
+    """Executable GNMT-v2-style network at toy scale."""
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        hidden: int = 32,
+        encoder_layers: int = 2,
+        decoder_layers: int = 2,
+        seed: int = 11,
+    ) -> None:
+        if encoder_layers < 2 or decoder_layers < 2:
+            raise ValueError("TinyGNMT needs >= 2 encoder and decoder layers")
+        self.vocab_size = vocab_size
+        self.hidden = hidden
+        rng = np.random.default_rng(seed)
+
+        self.src_embedding = Embedding(vocab_size, hidden, name="src_emb")
+        self.src_embedding.initialize((), rng)
+        self.tgt_embedding = Embedding(vocab_size, hidden, name="tgt_emb")
+        self.tgt_embedding.initialize((), rng)
+
+        # Encoder: layer 1 bidirectional, layer 2 consumes the concat,
+        # further layers hidden -> hidden.
+        self.encoder: List[LSTMLayer] = [
+            LSTMLayer(hidden, bidirectional=True, name="enc1")
+        ]
+        self.encoder[0].initialize((1, hidden), rng)
+        widths = [2 * hidden] + [hidden] * (encoder_layers - 2)
+        for i, width in enumerate(widths, start=2):
+            layer = LSTMLayer(hidden, name=f"enc{i}")
+            layer.initialize((1, width), rng)
+            self.encoder.append(layer)
+
+        # Decoder cells: layer 1 input = target embedding; layers 2+
+        # input = previous hidden concat attention context.
+        self.decoder_params: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        scale = 1.0 / np.sqrt(hidden)
+        for i in range(decoder_layers):
+            width = hidden if i == 0 else 2 * hidden
+            w = rng.uniform(-scale, scale, (width, 4 * hidden)).astype(np.float32)
+            u = rng.uniform(-scale, scale, (hidden, 4 * hidden)).astype(np.float32)
+            b = np.zeros(4 * hidden, dtype=np.float32)
+            self.decoder_params.append((w, u, b))
+
+        # Bahdanau attention: score = v . tanh(Wq q + Wk k).
+        self.attn_query = Dense(hidden, use_bias=False, name="attn_q")
+        self.attn_query.initialize((hidden,), rng)
+        self.attn_key = Dense(hidden, use_bias=False, name="attn_k")
+        self.attn_key.initialize((hidden,), rng)
+        self.attn_v = rng.normal(0, scale, hidden).astype(np.float32)
+
+        self.projection = Dense(vocab_size, name="proj")
+        self.projection.initialize((hidden,), rng)
+
+    @property
+    def name(self) -> str:
+        return "tiny-gnmt"
+
+    # -- encoder -----------------------------------------------------------------
+
+    def encode(self, source: Sequence[int]) -> np.ndarray:
+        """Run the encoder stack; returns memory ``(L, hidden)``."""
+        ids = np.asarray(list(source))
+        if ids.size == 0:
+            raise ValueError("cannot encode an empty source sentence")
+        x = self.src_embedding.forward(ids)[None]      # (1, L, H)
+        for layer in self.encoder:
+            y = layer.forward(x)
+            # Residual connections once widths match (GNMT-style).
+            x = y + x if y.shape == x.shape else y
+        return x[0]
+
+    # -- attention ----------------------------------------------------------------
+
+    def _attend(self, query: np.ndarray, keys: np.ndarray,
+                memory: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        projected_query = self.attn_query.forward(query[None])[0]
+        scores = np.tanh(keys + projected_query) @ self.attn_v
+        weights = softmax(scores[None], axis=-1)[0]
+        return weights @ memory, weights
+
+    # -- decoder ------------------------------------------------------------------
+
+    def translate(self, source: Sequence[int],
+                  max_length: Optional[int] = None) -> List[int]:
+        """Greedy decode; stops at EOS or ``max_length`` tokens."""
+        memory = self.encode(source)
+        keys = self.attn_key.forward(memory)
+        if max_length is None:
+            max_length = 2 * len(list(source)) + 4
+
+        hidden = self.hidden
+        states = [
+            (np.zeros((1, hidden), dtype=np.float32),
+             np.zeros((1, hidden), dtype=np.float32))
+            for _ in self.decoder_params
+        ]
+        token = BOS_ID
+        output: List[int] = []
+        for _step in range(max_length):
+            x = self.tgt_embedding.forward(np.asarray([token]))  # (1, H)
+            # Layer 1 drives the attention query.
+            w, u, b = self.decoder_params[0]
+            h, c = lstm_cell(x, states[0][0], states[0][1], w, u, b)
+            states[0] = (h, c)
+            context, _weights = self._attend(h[0], keys, memory)
+            # Later layers consume hidden (+ residual) concat context.
+            layer_in = np.concatenate([h, context[None]], axis=1)
+            for i in range(1, len(self.decoder_params)):
+                w, u, b = self.decoder_params[i]
+                h_next, c_next = lstm_cell(
+                    layer_in, states[i][0], states[i][1], w, u, b)
+                h_next = h_next + h          # residual
+                states[i] = (h_next, c_next)
+                layer_in = np.concatenate([h_next, context[None]], axis=1)
+                h = h_next
+            logits = self.projection.forward(h)[0]
+            token = int(np.argmax(logits))
+            if token == EOS_ID:
+                break
+            output.append(token)
+        return output
+
+    def translate_beam(self, source: Sequence[int], beam_size: int = 4,
+                       max_length: Optional[int] = None,
+                       length_penalty: float = 0.6) -> List[int]:
+        """Beam-search decode (GNMT's decoding strategy).
+
+        Hypotheses are scored by length-normalized log probability with
+        GNMT's ``((5 + len) / 6) ** alpha`` penalty.  ``beam_size == 1``
+        reduces to greedy decoding.
+        """
+        if beam_size < 1:
+            raise ValueError(f"beam_size must be >= 1, got {beam_size}")
+        memory = self.encode(source)
+        keys = self.attn_key.forward(memory)
+        if max_length is None:
+            max_length = 2 * len(list(source)) + 4
+        hidden = self.hidden
+
+        def initial_states():
+            return [
+                (np.zeros((1, hidden), dtype=np.float32),
+                 np.zeros((1, hidden), dtype=np.float32))
+                for _ in self.decoder_params
+            ]
+
+        def advance(states, token):
+            """One decoder step; returns (log_probs, new_states)."""
+            x = self.tgt_embedding.forward(np.asarray([token]))
+            new_states = list(states)
+            w, u, b = self.decoder_params[0]
+            h, c = lstm_cell(x, states[0][0], states[0][1], w, u, b)
+            new_states[0] = (h, c)
+            context, _ = self._attend(h[0], keys, memory)
+            layer_in = np.concatenate([h, context[None]], axis=1)
+            for i in range(1, len(self.decoder_params)):
+                w, u, b = self.decoder_params[i]
+                h_next, c_next = lstm_cell(
+                    layer_in, states[i][0], states[i][1], w, u, b)
+                h_next = h_next + h
+                new_states[i] = (h_next, c_next)
+                layer_in = np.concatenate([h_next, context[None]], axis=1)
+                h = h_next
+            logits = self.projection.forward(h)[0]
+            shifted = logits - logits.max()
+            log_probs = shifted - np.log(np.exp(shifted).sum())
+            return log_probs, new_states
+
+        def penalty(length):
+            return ((5.0 + length) / 6.0) ** length_penalty
+
+        # Each beam entry: (score, tokens, states, finished).
+        beams = [(0.0, [], initial_states(), False)]
+        for _step in range(max_length):
+            candidates = []
+            for score, tokens, states, finished in beams:
+                if finished:
+                    candidates.append((score, tokens, states, True))
+                    continue
+                last = tokens[-1] if tokens else BOS_ID
+                log_probs, new_states = advance(states, last)
+                top = np.argsort(log_probs)[::-1][:beam_size]
+                for token in top:
+                    token = int(token)
+                    new_score = score + float(log_probs[token])
+                    if token == EOS_ID:
+                        candidates.append(
+                            (new_score, tokens, new_states, True))
+                    else:
+                        candidates.append(
+                            (new_score, tokens + [token], new_states, False))
+            candidates.sort(
+                key=lambda c: c[0] / penalty(max(len(c[1]), 1)),
+                reverse=True)
+            beams = candidates[:beam_size]
+            if all(finished for _s, _t, _st, finished in beams):
+                break
+        best = max(beams,
+                   key=lambda c: c[0] / penalty(max(len(c[1]), 1)))
+        return best[1]
+
+    def sequence_log_prob(self, source: Sequence[int],
+                          tokens: Sequence[int]) -> float:
+        """Log probability the decoder assigns to ``tokens`` (teacher
+        forcing); used to compare decoding strategies."""
+        memory = self.encode(source)
+        keys = self.attn_key.forward(memory)
+        hidden = self.hidden
+        states = [
+            (np.zeros((1, hidden), dtype=np.float32),
+             np.zeros((1, hidden), dtype=np.float32))
+            for _ in self.decoder_params
+        ]
+        total = 0.0
+        previous = BOS_ID
+        for token in list(tokens) + [EOS_ID]:
+            x = self.tgt_embedding.forward(np.asarray([previous]))
+            w, u, b = self.decoder_params[0]
+            h, c = lstm_cell(x, states[0][0], states[0][1], w, u, b)
+            states[0] = (h, c)
+            context, _ = self._attend(h[0], keys, memory)
+            layer_in = np.concatenate([h, context[None]], axis=1)
+            for i in range(1, len(self.decoder_params)):
+                w, u, b = self.decoder_params[i]
+                h_next, c_next = lstm_cell(
+                    layer_in, states[i][0], states[i][1], w, u, b)
+                h_next = h_next + h
+                states[i] = (h_next, c_next)
+                layer_in = np.concatenate([h_next, context[None]], axis=1)
+                h = h_next
+            logits = self.projection.forward(h)[0]
+            shifted = logits - logits.max()
+            log_probs = shifted - np.log(np.exp(shifted).sum())
+            total += float(log_probs[token])
+            previous = token
+        return total
+
+    # -- accounting ----------------------------------------------------------------
+
+    def macs_per_sentence(self, src_len: int, tgt_len: int) -> int:
+        """Multiply-accumulates of one greedy translation."""
+        h = self.hidden
+        total = 0
+        widths = [h] + [2 * h] + [h] * (len(self.encoder) - 2)
+        for layer, width in zip(self.encoder, widths):
+            total += layer.macs((1, width)) * src_len
+        for i, (w, _u, _b) in enumerate(self.decoder_params):
+            total += (w.shape[0] * 4 * h + h * 4 * h) * tgt_len
+        attn = h * h * (src_len + tgt_len) + src_len * h * tgt_len
+        total += attn
+        total += h * self.vocab_size * tgt_len
+        return total

@@ -1,0 +1,140 @@
+"""The submission checker (paper Sections V-B and VII-E).
+
+Validates a submission against the rules the paper enumerates: quality
+targets (Table I), latency bounds (Table III), query requirements
+(Table V), run-validity flags, numeric-format registration, and the
+closed-division prohibitions (retraining, caching).  During the v0.5
+review this class of automation surfaced ~40 issues across ~180 closed
+results, so "only about three engineers had to comb through the
+submissions".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.config import Scenario, TestMode
+from ..submission.schema import (
+    APPROVED_NUMERICS,
+    BenchmarkResult,
+    Division,
+    Submission,
+)
+
+
+class Severity(enum.Enum):
+    ERROR = "error"      # submission (entry) is rejected
+    WARNING = "warning"  # surfaced for human review
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One finding from the checker."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """All findings for one submission."""
+
+    issues: List[Issue] = field(default_factory=list)
+
+    def add(self, severity: Severity, code: str, message: str) -> None:
+        self.issues.append(Issue(severity, code, message))
+
+    @property
+    def errors(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity is Severity.ERROR]
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors
+
+
+def check_result(entry: BenchmarkResult, division: Division,
+                 report: CheckReport) -> None:
+    """Rule checks for one (task, scenario) result."""
+    tag = f"{entry.task.value}/{entry.scenario.short_name}"
+    perf = entry.performance
+
+    if perf.settings.mode is not TestMode.PERFORMANCE:
+        report.add(Severity.ERROR, "perf-mode",
+                   f"{tag}: performance entry was not a performance-mode run")
+    if not perf.valid:
+        reasons = "; ".join(perf.validity.reasons)
+        report.add(Severity.ERROR, "invalid-run",
+                   f"{tag}: performance run INVALID ({reasons})")
+    if perf.settings.scenario is not entry.scenario:
+        report.add(Severity.ERROR, "scenario-mismatch",
+                   f"{tag}: run scenario {perf.settings.scenario.value} "
+                   f"does not match declared scenario")
+
+    if entry.caching_enabled:
+        report.add(Severity.ERROR, "caching",
+                   f"{tag}: query/result caching is prohibited")
+
+    if division is Division.CLOSED:
+        if entry.retrained:
+            report.add(Severity.ERROR, "retraining",
+                       f"{tag}: retraining is prohibited in the closed division")
+        if not entry.accuracy.passed:
+            report.add(Severity.ERROR, "quality-target",
+                       f"{tag}: {entry.accuracy.metric_name} "
+                       f"{entry.accuracy.value:.4g} below target "
+                       f"{entry.accuracy.target:.4g}")
+    else:
+        if not entry.accuracy.passed:
+            report.add(Severity.WARNING, "quality-deviation",
+                       f"{tag}: open-division quality below the closed target")
+
+    if entry.scenario is Scenario.SERVER:
+        details = perf.validity.details
+        if "violation_fraction" in details:
+            budget = perf.settings.resolved_max_violation_fraction
+            if details["violation_fraction"] > budget:
+                report.add(Severity.ERROR, "latency-bound",
+                           f"{tag}: tail-latency budget exceeded")
+
+
+def check_submission(submission: Submission) -> CheckReport:
+    """Run every rule against a submission."""
+    report = CheckReport()
+
+    if not submission.results:
+        report.add(Severity.ERROR, "empty", "submission contains no results")
+
+    unapproved = [
+        fmt for fmt in submission.system.numerics
+        if fmt not in APPROVED_NUMERICS
+    ]
+    if unapproved:
+        names = ", ".join(f.value for f in unapproved)
+        report.add(Severity.ERROR, "numerics",
+                   f"unregistered numeric formats: {names}")
+
+    if (
+        submission.division is Division.OPEN
+        and not submission.open_deviations
+    ):
+        report.add(Severity.ERROR, "open-undocumented",
+                   "open-division submissions must document their deviations")
+
+    seen = set()
+    for entry in submission.results:
+        key = (entry.task, entry.scenario)
+        if key in seen:
+            report.add(Severity.ERROR, "duplicate",
+                       f"duplicate entry for {entry.task.value}/"
+                       f"{entry.scenario.short_name}")
+        seen.add(key)
+        check_result(entry, submission.division, report)
+
+    return report

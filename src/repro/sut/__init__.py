@@ -1,0 +1,43 @@
+"""System-under-test implementations: device models, simulators, backends."""
+
+from .backend import (
+    ClassifierSUT,
+    DetectorSUT,
+    PreprocessingModel,
+    TranslatorSUT,
+)
+from .calibration import FitResult, fit_device_model
+from .device import ComputeMotif, DeviceModel, ProcessorType
+from .fleet import (
+    FIGURE_5,
+    TABLE_VI,
+    TABLE_VII,
+    FleetSystem,
+    build_fleet,
+    framework_matrix,
+    planned_matrix,
+    task_workload,
+)
+from .simulated import SimulatedSUT, WorkloadProfile
+
+__all__ = [
+    "ClassifierSUT",
+    "ComputeMotif",
+    "DetectorSUT",
+    "DeviceModel",
+    "FitResult",
+    "PreprocessingModel",
+    "FIGURE_5",
+    "FleetSystem",
+    "ProcessorType",
+    "SimulatedSUT",
+    "TABLE_VI",
+    "TABLE_VII",
+    "TranslatorSUT",
+    "WorkloadProfile",
+    "build_fleet",
+    "fit_device_model",
+    "framework_matrix",
+    "planned_matrix",
+    "task_workload",
+]

@@ -1,0 +1,127 @@
+"""Fit a :class:`DeviceModel` to measured latencies.
+
+The simulated fleet's devices are hand-authored; this module closes the
+loop for users with real hardware: given measured ``(batch_size,
+latency_seconds)`` points for a model of known cost, recover the
+analytic device parameters (peak throughput, utilization floor,
+saturation work, dispatch overhead) by least squares on log-latency.
+The fitted device then plugs into every harness in this package -
+capacity search, fleet sweeps, multitenancy - turning one latency sweep
+on a bench into full scenario predictions.
+
+The solver is a deliberately dependency-free coordinate descent over a
+log-space grid; the model has only four parameters and the loss surface
+is benign.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .device import ComputeMotif, DeviceModel, ProcessorType
+
+#: One observation: (batch size, measured seconds per dispatch).
+Measurement = Tuple[int, float]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a device-model fit."""
+
+    device: DeviceModel
+    #: RMS relative latency error over the measurements.
+    rms_relative_error: float
+    measurements: Tuple[Measurement, ...]
+
+    def predicted(self, gops_per_sample: float,
+                  motif: ComputeMotif = ComputeMotif.DENSE_CNN
+                  ) -> List[Tuple[int, float]]:
+        return [
+            (batch, self.device.service_time(gops_per_sample, batch, motif))
+            for batch, _ in self.measurements
+        ]
+
+
+def _loss(params, measurements, gops) -> float:
+    peak, base, sat, overhead = params
+    total = 0.0
+    for batch, latency in measurements:
+        work = batch * gops
+        ramp = min(work, sat) / sat
+        utilization = base + (1.0 - base) * ramp
+        predicted = overhead + work / (peak * utilization)
+        total += (math.log(predicted) - math.log(latency)) ** 2
+    return total / len(measurements)
+
+
+def fit_device_model(
+    measurements: Sequence[Measurement],
+    gops_per_sample: float,
+    name: str = "fitted-device",
+    processor: ProcessorType = ProcessorType.ASIC,
+    max_batch: Optional[int] = None,
+    iterations: int = 60,
+) -> FitResult:
+    """Fit the four-parameter device model to the measurements."""
+    measurements = tuple(
+        (int(batch), float(latency)) for batch, latency in measurements
+    )
+    if len(measurements) < 3:
+        raise ValueError(
+            f"need at least 3 (batch, latency) points, got {len(measurements)}"
+        )
+    if any(batch < 1 or latency <= 0 for batch, latency in measurements):
+        raise ValueError("batches must be >= 1 and latencies positive")
+    if gops_per_sample <= 0:
+        raise ValueError("gops_per_sample must be positive")
+
+    biggest_batch, biggest_latency = max(measurements)
+    _, smallest_latency = min(measurements)
+
+    # Initial guesses from the asymptotes: at large batches the device is
+    # saturated, so peak ~ work / latency; overhead is under the
+    # smallest latency.
+    peak = biggest_batch * gops_per_sample / biggest_latency
+    params = [peak, 0.3, gops_per_sample * 4.0, smallest_latency * 0.2]
+    bounds = [
+        (peak * 0.05, peak * 20.0),
+        (0.01, 1.0),
+        (gops_per_sample * 0.05, gops_per_sample * biggest_batch * 10.0),
+        (1e-7, smallest_latency),
+    ]
+
+    best = _loss(params, measurements, gops_per_sample)
+    step = 2.0
+    for _round in range(iterations):
+        improved = False
+        for index in range(4):
+            for factor in (step, 1.0 / step):
+                candidate = list(params)
+                candidate[index] = min(
+                    max(candidate[index] * factor, bounds[index][0]),
+                    bounds[index][1])
+                loss = _loss(candidate, measurements, gops_per_sample)
+                if loss < best:
+                    best = loss
+                    params = candidate
+                    improved = True
+        if not improved:
+            step = math.sqrt(step)
+            if step < 1.0005:
+                break
+
+    peak, base, sat, overhead = params
+    device = DeviceModel(
+        name=name, processor=processor, peak_gops=peak,
+        base_utilization=min(base, 1.0), saturation_gops=sat,
+        overhead=overhead,
+        max_batch=max_batch if max_batch is not None else biggest_batch,
+    )
+    rms = math.sqrt(sum(
+        (device.service_time(gops_per_sample, b) / l - 1.0) ** 2
+        for b, l in measurements
+    ) / len(measurements))
+    return FitResult(device=device, rms_relative_error=rms,
+                     measurements=measurements)

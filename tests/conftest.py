@@ -1,0 +1,103 @@
+"""Shared fixtures: small data sets, deterministic SUTs, quick settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Scenario, TestMode, TestSettings
+from repro.core.query import QuerySampleResponse
+from repro.core.sut import SutBase
+from repro.datasets import (
+    DatasetQSL,
+    SyntheticCoco,
+    SyntheticImageNet,
+    SyntheticWmt,
+)
+
+
+class EchoQSL:
+    """Minimal in-memory QSL whose samples are their own indices."""
+
+    def __init__(self, total: int = 1000, performance: int = 256) -> None:
+        self.name = "echo"
+        self.total_sample_count = total
+        self.performance_sample_count = performance
+        self.loaded = set()
+
+    def load_samples(self, indices) -> None:
+        self.loaded.update(indices)
+
+    def unload_samples(self, indices) -> None:
+        self.loaded.difference_update(indices)
+
+    def get_sample(self, index: int):
+        return index
+
+
+class FixedLatencySUT(SutBase):
+    """Completes every query a fixed delay after it is issued.
+
+    Responses echo each sample's data set index, which lets tests verify
+    response plumbing end to end.
+    """
+
+    def __init__(self, latency: float = 0.005, name: str = "fixed") -> None:
+        super().__init__(name)
+        self.latency = latency
+        self.issued = 0
+
+    def issue_query(self, query) -> None:
+        self.issued += 1
+        responses = [
+            QuerySampleResponse(s.id, s.index) for s in query.samples
+        ]
+        self.loop.schedule_after(
+            self.latency, lambda: self.complete(query, responses)
+        )
+
+
+@pytest.fixture
+def echo_qsl():
+    return EchoQSL()
+
+
+@pytest.fixture
+def fixed_sut():
+    return FixedLatencySUT()
+
+
+@pytest.fixture(scope="session")
+def imagenet():
+    return SyntheticImageNet(size=400)
+
+
+@pytest.fixture(scope="session")
+def coco():
+    return SyntheticCoco(size=160)
+
+
+@pytest.fixture(scope="session")
+def wmt():
+    return SyntheticWmt(size=240)
+
+
+@pytest.fixture
+def quick_single_stream():
+    return TestSettings(
+        scenario=Scenario.SINGLE_STREAM, min_query_count=128, min_duration=0.5
+    )
+
+
+@pytest.fixture
+def quick_server():
+    return TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=200.0,
+        server_latency_bound=0.05, min_query_count=256, min_duration=1.0,
+    )
+
+
+@pytest.fixture
+def quick_offline():
+    return TestSettings(
+        scenario=Scenario.OFFLINE, offline_sample_count=512, min_duration=0.5
+    )

@@ -1,0 +1,144 @@
+"""Rule constants and settings resolution (Tables II, III, V)."""
+
+import pytest
+
+from repro.core.config import (
+    MIN_DURATION_SECONDS,
+    OFFLINE_MIN_SAMPLES,
+    SERVER_REQUIRED_RUNS,
+    SINGLE_STREAM_MIN_QUERIES,
+    Scenario,
+    Task,
+    TestMode,
+    TestSettings,
+    task_rules,
+)
+
+
+class TestScenarioMetadata:
+    def test_four_scenarios(self):
+        assert len(list(Scenario)) == 4
+
+    def test_short_names(self):
+        assert {s.short_name for s in Scenario} == {"SS", "MS", "S", "O"}
+
+    def test_metric_names_mention_the_right_quantity(self):
+        assert "latency" in Scenario.SINGLE_STREAM.metric_name
+        assert "streams" in Scenario.MULTI_STREAM.metric_name
+        assert "queries per second" in Scenario.SERVER.metric_name
+        assert "samples/second" in Scenario.OFFLINE.metric_name
+
+
+class TestTaskMetadata:
+    def test_five_tasks(self):
+        assert len(list(Task)) == 5
+
+    def test_areas(self):
+        assert Task.MACHINE_TRANSLATION.area == "language"
+        assert all(
+            t.area == "vision" for t in Task if t is not Task.MACHINE_TRANSLATION
+        )
+
+
+class TestTableIII:
+    """The latency constraints exactly as published."""
+
+    @pytest.mark.parametrize("task,interval_ms,bound_ms", [
+        (Task.IMAGE_CLASSIFICATION_HEAVY, 50, 15),
+        (Task.IMAGE_CLASSIFICATION_LIGHT, 50, 10),
+        (Task.OBJECT_DETECTION_HEAVY, 66, 100),
+        (Task.OBJECT_DETECTION_LIGHT, 50, 10),
+        (Task.MACHINE_TRANSLATION, 100, 250),
+    ])
+    def test_constraints(self, task, interval_ms, bound_ms):
+        rules = task_rules(task)
+        assert rules.multistream_interval == pytest.approx(interval_ms / 1e3)
+        assert rules.server_latency_bound == pytest.approx(bound_ms / 1e3)
+
+    def test_violation_budgets(self):
+        # 1% for vision, 3% for translation (Section III-C).
+        for task in Task:
+            rules = task_rules(task)
+            expected = 0.03 if task is Task.MACHINE_TRANSLATION else 0.01
+            assert rules.max_violation_fraction == expected
+
+    def test_tail_percentiles(self):
+        assert task_rules(Task.MACHINE_TRANSLATION).tail_latency_percentile == 0.97
+        assert task_rules(Task.IMAGE_CLASSIFICATION_HEAVY).tail_latency_percentile == 0.99
+
+
+class TestTableV:
+    def test_latency_bounded_query_counts(self):
+        for task in Task:
+            expected = 90_112 if task is Task.MACHINE_TRANSLATION else 270_336
+            assert task_rules(task).latency_bounded_query_count == expected
+
+    def test_single_stream_and_offline_minimums(self):
+        assert SINGLE_STREAM_MIN_QUERIES == 1_024
+        assert OFFLINE_MIN_SAMPLES == 24_576
+
+    def test_run_rules(self):
+        assert MIN_DURATION_SECONDS == 60.0
+        assert SERVER_REQUIRED_RUNS == 5
+
+
+class TestSettingsResolution:
+    def test_defaults_by_scenario(self):
+        ss = TestSettings(scenario=Scenario.SINGLE_STREAM)
+        assert ss.resolved_min_query_count == 1_024
+        off = TestSettings(scenario=Scenario.OFFLINE)
+        assert off.resolved_min_query_count == 1
+        assert off.resolved_offline_samples == 24_576
+
+    def test_task_rules_flow_through(self):
+        settings = TestSettings(scenario=Scenario.SERVER,
+                                task=Task.MACHINE_TRANSLATION)
+        assert settings.resolved_server_latency_bound == 0.250
+        assert settings.resolved_min_query_count == 90_112
+        assert settings.resolved_tail_percentile == 0.97
+        assert settings.resolved_max_violation_fraction == 0.03
+
+    def test_explicit_overrides_win(self):
+        settings = TestSettings(
+            scenario=Scenario.SERVER,
+            task=Task.IMAGE_CLASSIFICATION_HEAVY,
+            server_latency_bound=0.123,
+            min_query_count=10,
+            min_duration=1.0,
+        )
+        assert settings.resolved_server_latency_bound == 0.123
+        assert settings.resolved_min_query_count == 10
+        assert settings.resolved_min_duration == 1.0
+
+    def test_missing_task_and_bound_raises(self):
+        settings = TestSettings(scenario=Scenario.SERVER)
+        with pytest.raises(ValueError):
+            _ = settings.resolved_server_latency_bound
+
+    def test_missing_task_and_interval_raises(self):
+        settings = TestSettings(scenario=Scenario.MULTI_STREAM)
+        with pytest.raises(ValueError):
+            _ = settings.resolved_multistream_interval
+
+    def test_default_tail_percentile_without_task(self):
+        settings = TestSettings(scenario=Scenario.SERVER,
+                                server_latency_bound=0.1)
+        assert settings.resolved_tail_percentile == 0.99
+
+    def test_with_overrides_returns_new_object(self):
+        settings = TestSettings(scenario=Scenario.SERVER)
+        other = settings.with_overrides(server_target_qps=42.0)
+        assert other.server_target_qps == 42.0
+        assert settings.server_target_qps == 1.0
+
+    def test_invalid_qps_rejected(self):
+        with pytest.raises(ValueError):
+            TestSettings(scenario=Scenario.SERVER, server_target_qps=0.0)
+
+    def test_invalid_samples_per_query_rejected(self):
+        with pytest.raises(ValueError):
+            TestSettings(scenario=Scenario.MULTI_STREAM,
+                         multistream_samples_per_query=0)
+
+    def test_default_mode_is_performance(self):
+        assert TestSettings(scenario=Scenario.OFFLINE).mode is TestMode.PERFORMANCE

@@ -1,0 +1,126 @@
+"""Event loop and clock behaviour."""
+
+import pytest
+
+from repro.core.events import EventLoop, VirtualClock, WallClock
+
+
+def test_virtual_clock_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_virtual_clock_advances():
+    clock = VirtualClock()
+    clock.advance_to(1.5)
+    assert clock.now() == 1.5
+
+
+def test_virtual_clock_rejects_backwards():
+    clock = VirtualClock(start=2.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(1.0)
+
+
+def test_wall_clock_is_monotonic():
+    clock = WallClock()
+    assert clock.now() <= clock.now()
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(2.0, lambda: seen.append("b"))
+    loop.schedule(1.0, lambda: seen.append("a"))
+    loop.schedule(3.0, lambda: seen.append("c"))
+    loop.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    loop = EventLoop()
+    seen = []
+    for tag in range(5):
+        loop.schedule(1.0, lambda tag=tag: seen.append(tag))
+    loop.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_clock_matches_event_time_during_callback():
+    loop = EventLoop()
+    observed = []
+    loop.schedule(4.5, lambda: observed.append(loop.now))
+    loop.run()
+    assert observed == [4.5]
+
+
+def test_callbacks_can_schedule_more_events():
+    loop = EventLoop()
+    seen = []
+
+    def first():
+        seen.append("first")
+        loop.schedule_after(1.0, lambda: seen.append("second"))
+
+    loop.schedule(1.0, first)
+    loop.run()
+    assert seen == ["first", "second"]
+    assert loop.now == 2.0
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.schedule(0.5, lambda: None)
+
+
+def test_schedule_after_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule_after(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    seen = []
+    handle = loop.schedule(1.0, lambda: seen.append("x"))
+    handle.cancel()
+    loop.run()
+    assert seen == []
+    assert handle.cancelled
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(1.0, lambda: seen.append("a"))
+    loop.schedule(5.0, lambda: seen.append("b"))
+    loop.run(until=2.0)
+    assert seen == ["a"]
+    assert loop.now == 2.0
+    loop.run()
+    assert seen == ["a", "b"]
+
+
+def test_stop_halts_processing():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(1.0, lambda: (seen.append("a"), loop.stop()))
+    loop.schedule(2.0, lambda: seen.append("b"))
+    loop.run()
+    assert seen == ["a"]
+    assert loop.pending() == 1
+
+
+def test_pending_and_next_event_time():
+    loop = EventLoop()
+    assert loop.pending() == 0
+    assert loop.next_event_time() is None
+    handle = loop.schedule(3.0, lambda: None)
+    loop.schedule(7.0, lambda: None)
+    assert loop.pending() == 2
+    assert loop.next_event_time() == 3.0
+    handle.cancel()
+    assert loop.pending() == 1
+    assert loop.next_event_time() == 7.0

@@ -1,0 +1,145 @@
+"""Query log bookkeeping and serialization."""
+
+import json
+
+import pytest
+
+from repro.core.logging import QueryLog
+from repro.core.query import Query, QuerySample, QuerySampleResponse
+
+
+def _query(qid, indices, first_sample_id=None):
+    base = first_sample_id if first_sample_id is not None else qid * 100
+    samples = tuple(
+        QuerySample(id=base + i, index=idx) for i, idx in enumerate(indices)
+    )
+    return Query(id=qid, samples=samples)
+
+
+def _responses(query, payload=None):
+    return [QuerySampleResponse(s.id, payload) for s in query.samples]
+
+
+def test_issue_then_complete():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, issue_time=1.0)
+    log.record_completion(query, 1.5, _responses(query), keep_responses=False)
+    assert log.query_count == 1
+    assert log.outstanding == 0
+    assert log.latencies() == [0.5]
+
+
+def test_double_issue_rejected():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, 1.0)
+    with pytest.raises(ValueError):
+        log.record_issue(query, 2.0)
+
+
+def test_completion_without_issue_rejected():
+    log = QueryLog()
+    with pytest.raises(ValueError):
+        log.record_completion(_query(1, [4]), 1.0, [], keep_responses=False)
+
+
+def test_double_completion_rejected():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, 1.0)
+    log.record_completion(query, 1.5, _responses(query), keep_responses=False)
+    with pytest.raises(ValueError):
+        log.record_completion(query, 2.0, _responses(query),
+                              keep_responses=False)
+
+
+def test_completion_before_issue_time_rejected():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, 2.0)
+    with pytest.raises(ValueError):
+        log.record_completion(query, 1.0, _responses(query),
+                              keep_responses=False)
+
+
+def test_wrong_response_count_rejected():
+    log = QueryLog()
+    query = _query(1, [4, 5])
+    log.record_issue(query, 1.0)
+    with pytest.raises(ValueError):
+        log.record_completion(query, 1.5, _responses(query)[:1],
+                              keep_responses=False)
+
+
+def test_issued_samples_counts_samples_not_queries():
+    log = QueryLog()
+    log.record_issue(_query(1, [1, 2, 3]), 0.0)
+    log.record_issue(_query(2, [4]), 0.0)
+    assert log.issued_samples == 4
+
+
+def test_responses_dropped_by_default():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, 1.0)
+    log.record_completion(query, 1.5, _responses(query, "data"),
+                          keep_responses=False)
+    assert log.logged_responses() == {}
+
+
+def test_responses_kept_when_requested():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, 1.0)
+    log.record_completion(query, 1.5, _responses(query, "data"),
+                          keep_responses=True)
+    assert log.logged_responses() == {100: "data"}
+
+
+def test_probabilistic_logging_keeps_roughly_expected_fraction():
+    log = QueryLog(log_sample_probability=0.5, seed=7)
+    for qid in range(1, 201):
+        query = _query(qid, [qid])
+        log.record_issue(query, 0.0)
+        log.record_completion(query, 0.1, _responses(query, qid),
+                              keep_responses=False)
+    kept = len(log.logged_responses())
+    assert 60 < kept < 140  # ~100 expected
+
+
+def test_bad_probability_rejected():
+    with pytest.raises(ValueError):
+        QueryLog(log_sample_probability=1.5)
+
+
+def test_sample_index_maps():
+    log = QueryLog()
+    query = _query(1, [10, 20])
+    log.record_issue(query, 0.0)
+    assert log.sample_index_of(100) == 10
+    assert log.sample_index_map() == {100: 10, 101: 20}
+    with pytest.raises(KeyError):
+        log.sample_index_of(999)
+
+
+def test_records_in_issue_order():
+    log = QueryLog()
+    for qid in (3, 1, 2):
+        log.record_issue(_query(qid, [qid]), float(qid))
+    assert [r.query.id for r in log.records()] == [3, 1, 2]
+
+
+def test_jsonl_serialization():
+    log = QueryLog()
+    query = _query(1, [4])
+    log.record_issue(query, 1.0, scheduled_time=0.9)
+    log.record_completion(query, 1.5, _responses(query, [1, 2]),
+                          keep_responses=True)
+    lines = log.to_jsonl().splitlines()
+    assert len(lines) == 1
+    entry = json.loads(lines[0])
+    assert entry["query_id"] == 1
+    assert entry["sample_indices"] == [4]
+    assert entry["scheduled_time"] == 0.9
+    assert entry["responses"] == [[1, 2]]

@@ -1,0 +1,61 @@
+"""Query, sample, and record types."""
+
+import pytest
+
+from repro.core.query import (
+    Query,
+    QueryRecord,
+    QuerySample,
+    QuerySampleResponse,
+)
+
+
+def _query(n=2, qid=1):
+    samples = tuple(QuerySample(id=i + 1, index=i * 10) for i in range(n))
+    return Query(id=qid, samples=samples)
+
+
+def test_query_requires_samples():
+    with pytest.raises(ValueError):
+        Query(id=1, samples=())
+
+
+def test_sample_count_and_indices():
+    query = _query(3)
+    assert query.sample_count == 3
+    assert query.sample_indices == (0, 10, 20)
+
+
+def test_query_samples_are_immutable_tuples():
+    query = _query()
+    assert isinstance(query.samples, tuple)
+    sample = query.samples[0]
+    assert sample.id == 1 and sample.index == 0
+
+
+def test_duplicate_indices_allowed():
+    samples = (QuerySample(1, 7), QuerySample(2, 7))
+    query = Query(id=1, samples=samples)
+    assert query.sample_indices == (7, 7)
+
+
+def test_response_equality_and_repr():
+    a = QuerySampleResponse(1, "x")
+    b = QuerySampleResponse(1, "x")
+    c = QuerySampleResponse(2, "x")
+    assert a == b
+    assert a != c
+    assert "sample_id=1" in repr(a)
+
+
+def test_record_latency():
+    record = QueryRecord(query=_query(), issue_time=1.0, completion_time=1.25)
+    assert record.latency == pytest.approx(0.25)
+    assert record.completed
+
+
+def test_record_latency_before_completion_raises():
+    record = QueryRecord(query=_query(), issue_time=1.0)
+    assert not record.completed
+    with pytest.raises(ValueError):
+        _ = record.latency

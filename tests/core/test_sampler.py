@@ -1,0 +1,101 @@
+"""Sample selection: with-replacement draws, determinism, chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sampler import (
+    QueryFactory,
+    SampleSelector,
+    accuracy_mode_indices,
+    chunk_indices,
+)
+
+
+class TestSampleSelector:
+    def test_draws_come_from_loaded_set(self):
+        selector = SampleSelector([5, 9, 13], seed=1)
+        draws = selector.draw(200)
+        assert set(draws) <= {5, 9, 13}
+
+    def test_same_seed_same_sequence(self):
+        a = SampleSelector(range(100), seed=42).draw(50)
+        b = SampleSelector(range(100), seed=42).draw(50)
+        assert a == b
+
+    def test_different_seed_different_sequence(self):
+        a = SampleSelector(range(100), seed=1).draw(50)
+        b = SampleSelector(range(100), seed=2).draw(50)
+        assert a != b
+
+    def test_with_replacement_produces_duplicates(self):
+        # Drawing far more than the pool size must repeat indices.
+        draws = SampleSelector(range(4), seed=0).draw(64)
+        assert len(set(draws)) <= 4
+        assert len(draws) == 64
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSelector([], seed=0)
+
+    def test_nonpositive_count_rejected(self):
+        selector = SampleSelector([1], seed=0)
+        with pytest.raises(ValueError):
+            selector.draw(0)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_draw_count_respected(self, count):
+        selector = SampleSelector(range(10), seed=3)
+        assert len(selector.draw(count)) == count
+
+
+class TestQueryFactory:
+    def test_unique_query_ids(self):
+        factory = QueryFactory()
+        queries = [factory.make_query([0]) for _ in range(10)]
+        ids = [q.id for q in queries]
+        assert len(set(ids)) == 10
+
+    def test_unique_sample_ids_across_queries(self):
+        factory = QueryFactory()
+        a = factory.make_query([7, 7])
+        b = factory.make_query([7])
+        all_ids = [s.id for s in a.samples] + [s.id for s in b.samples]
+        assert len(set(all_ids)) == 3
+
+    def test_sample_indices_preserved_in_order(self):
+        factory = QueryFactory()
+        query = factory.make_query([3, 1, 4, 1, 5])
+        assert query.sample_indices == (3, 1, 4, 1, 5)
+
+
+class TestAccuracyMode:
+    def test_visits_every_index_once(self):
+        assert accuracy_mode_indices(5) == [0, 1, 2, 3, 4]
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_mode_indices(0)
+
+
+class TestChunking:
+    def test_even_chunks(self):
+        assert list(chunk_indices([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunk_indices([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_chunk_larger_than_input(self):
+        assert list(chunk_indices([1], 10)) == [[1]]
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            list(chunk_indices([1], 0))
+
+    @given(st.lists(st.integers(), min_size=0, max_size=100),
+           st.integers(min_value=1, max_value=17))
+    def test_chunking_partitions_exactly(self, indices, chunk):
+        chunks = list(chunk_indices(indices, chunk))
+        flat = [i for c in chunks for i in c]
+        assert flat == indices
+        assert all(1 <= len(c) <= chunk for c in chunks)

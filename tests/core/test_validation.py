@@ -1,0 +1,172 @@
+"""Run-validity rules."""
+
+import pytest
+
+from repro.core.config import Scenario, Task, TestMode, TestSettings
+from repro.core.logging import QueryLog
+from repro.core.query import Query, QuerySample, QuerySampleResponse
+from repro.core.scenarios import DriverStats
+from repro.core.validation import validate_run
+
+
+def build_log(latencies, samples_per_query=1, start=0.0, gap=0.1):
+    """A log of sequential queries with the given latencies."""
+    log = QueryLog()
+    sample_id = 0
+    for i, latency in enumerate(latencies):
+        sample_id += samples_per_query
+        samples = tuple(
+            QuerySample(id=sample_id - j, index=j)
+            for j in range(samples_per_query)
+        )
+        query = Query(id=i + 1, samples=samples)
+        issue = start + i * gap
+        log.record_issue(query, issue)
+        responses = [QuerySampleResponse(s.id, None) for s in samples]
+        log.record_completion(query, issue + latency, responses,
+                              keep_responses=False)
+    return log
+
+
+def stats(start=0.0, **kwargs):
+    s = DriverStats(start_time=start)
+    for key, value in kwargs.items():
+        setattr(s, key, value)
+    return s
+
+
+class TestGeneralRules:
+    def test_valid_baseline(self):
+        log = build_log([0.01] * 20, gap=0.1)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=10, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert report.valid, report.reasons
+
+    def test_too_few_queries(self):
+        log = build_log([0.01] * 5, gap=1.0)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=100, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert any("minimum is 100" in r for r in report.reasons)
+
+    def test_too_short_duration(self):
+        log = build_log([0.001] * 200, gap=0.001)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=10, min_duration=60.0)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert any("below minimum" in r for r in report.reasons)
+
+    def test_outstanding_queries_invalidate(self):
+        log = build_log([0.01] * 10, gap=0.2)
+        query = Query(id=999, samples=(QuerySample(9999, 0),))
+        log.record_issue(query, 5.0)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=5, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert any("never completed" in r for r in report.reasons)
+
+    def test_empty_run_invalid(self):
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM)
+        report = validate_run(QueryLog(), settings, stats())
+        assert not report.valid
+
+    def test_default_minimums_are_the_paper_rules(self):
+        # 1,024 queries is not enough for the 60-second rule at 1 ms.
+        log = build_log([0.001] * 1024, gap=0.001)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+
+
+class TestAccuracyModeExemptions:
+    def test_short_accuracy_run_is_valid(self):
+        log = build_log([0.01] * 3, gap=0.1)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                mode=TestMode.ACCURACY)
+        report = validate_run(log, settings, stats())
+        assert report.valid
+
+
+class TestServerRules:
+    def _settings(self, bound=0.05, **kwargs):
+        return TestSettings(scenario=Scenario.SERVER,
+                            server_latency_bound=bound,
+                            min_query_count=10, min_duration=1.0, **kwargs)
+
+    def test_within_budget(self):
+        # 1 violation in 200 queries = 0.5% <= 1%.
+        latencies = [0.01] * 199 + [0.09]
+        log = build_log(latencies, gap=0.01)
+        report = validate_run(log, self._settings(), stats())
+        assert report.valid
+
+    def test_over_budget(self):
+        # 5 violations in 100 = 5% > 1%.
+        latencies = [0.01] * 95 + [0.09] * 5
+        log = build_log(latencies, gap=0.05)
+        report = validate_run(log, self._settings(), stats())
+        assert not report.valid
+        assert any("bound" in r for r in report.reasons)
+
+    def test_translation_gets_3_percent_budget(self):
+        # 2% violations: fails vision budget, passes translation budget.
+        latencies = [0.01] * 98 + [0.26, 0.26]
+        log = build_log(latencies, gap=0.05)
+        settings = TestSettings(scenario=Scenario.SERVER,
+                                task=Task.MACHINE_TRANSLATION,
+                                min_query_count=10, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert report.valid
+
+    def test_violation_fraction_in_details(self):
+        latencies = [0.01] * 99 + [0.09]
+        log = build_log(latencies, gap=0.05)
+        report = validate_run(log, self._settings(), stats())
+        assert report.details["violation_fraction"] == pytest.approx(0.01)
+
+
+class TestMultiStreamRules:
+    def _settings(self):
+        return TestSettings(scenario=Scenario.MULTI_STREAM,
+                            multistream_interval=0.05,
+                            min_query_count=10, min_duration=1.0)
+
+    def test_no_skips_valid(self):
+        log = build_log([0.01] * 50, gap=0.05)
+        report = validate_run(log, self._settings(), stats())
+        assert report.valid
+
+    def test_skips_over_budget(self):
+        log = build_log([0.01] * 50, gap=0.05)
+        skip_stats = stats(skipped_intervals={1: 1, 2: 2}, total_skipped_ticks=3)
+        report = validate_run(log, self._settings(), skip_stats)
+        assert not report.valid
+        assert any("skipped" in r for r in report.reasons)
+
+    def test_skips_within_budget(self):
+        log = build_log([0.01] * 200, gap=0.05)
+        skip_stats = stats(skipped_intervals={1: 1}, total_skipped_ticks=1)
+        report = validate_run(log, self._settings(), skip_stats)
+        assert report.valid
+        assert report.details["skipped_query_fraction"] == pytest.approx(1 / 200)
+
+
+class TestOfflineRules:
+    def test_minimum_samples(self):
+        log = build_log([10.0], samples_per_query=100)
+        settings = TestSettings(scenario=Scenario.OFFLINE,
+                                offline_sample_count=500, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert any("samples" in r for r in report.reasons)
+
+    def test_enough_samples_valid(self):
+        log = build_log([10.0], samples_per_query=500)
+        settings = TestSettings(scenario=Scenario.OFFLINE,
+                                offline_sample_count=500, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert report.valid

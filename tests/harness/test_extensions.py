@@ -1,0 +1,202 @@
+"""Experimental extensions: burst mode and multitenancy."""
+
+import pytest
+
+from repro.core import Scenario, Task, TestMode, TestSettings
+from repro.core.experimental import (
+    BurstSettings,
+    find_max_burst_rate,
+    run_burst_benchmark,
+)
+from repro.harness.multitenant import (
+    TenantSpec,
+    all_tenants_valid,
+    run_multitenant,
+)
+from repro.sut.device import ComputeMotif, DeviceModel, ProcessorType
+from repro.sut.fleet import task_workload
+from repro.sut.simulated import SimulatedSUT, WorkloadProfile
+
+
+class NullQSL:
+    name = "ext"
+    total_sample_count = 4096
+    performance_sample_count = 1024
+
+    def load_samples(self, indices):
+        pass
+
+    def unload_samples(self, indices):
+        pass
+
+    def get_sample(self, index):
+        return None
+
+
+def make_device(**kwargs):
+    defaults = dict(
+        name="ext-dev", processor=ProcessorType.GPU, peak_gops=40_000.0,
+        base_utilization=0.06, saturation_gops=150.0, overhead=0.5e-3,
+        max_batch=64,
+        structure_efficiency={ComputeMotif.RNN: 0.3},
+    )
+    defaults.update(kwargs)
+    return DeviceModel(**defaults)
+
+
+class TestBurstSettings:
+    def test_defaults_from_task_rules(self):
+        burst = BurstSettings(task=Task.IMAGE_CLASSIFICATION_HEAVY)
+        assert burst.resolved_bound == 0.015
+        assert burst.average_qps == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstSettings(task=Task.IMAGE_CLASSIFICATION_HEAVY, burst_size=0)
+        with pytest.raises(ValueError):
+            BurstSettings(task=Task.IMAGE_CLASSIFICATION_HEAVY,
+                          bursts_per_second=0.0)
+
+
+class TestBurstRuns:
+    def _burst(self, **kwargs):
+        defaults = dict(task=Task.IMAGE_CLASSIFICATION_HEAVY, burst_size=16,
+                        bursts_per_second=10.0, min_query_count=1_000,
+                        min_duration=1.5)
+        defaults.update(kwargs)
+        return BurstSettings(**defaults)
+
+    def test_valid_run_at_low_rate(self):
+        sut = SimulatedSUT(make_device(), WorkloadProfile(8.2))
+        result = run_burst_benchmark(sut, NullQSL(), self._burst())
+        assert result.valid
+        assert result.metrics.query_count >= 1_000
+
+    def test_queries_arrive_in_bursts(self):
+        sut = SimulatedSUT(make_device(), WorkloadProfile(8.2))
+        result = run_burst_benchmark(sut, NullQSL(), self._burst())
+        issues = sorted(r.issue_time for r in result.log.records())
+        # Within a burst, queries share an issue instant.
+        same_instant = sum(
+            1 for a, b in zip(issues, issues[1:]) if b - a < 1e-12)
+        assert same_instant >= result.metrics.query_count * 0.8
+
+    def test_overload_is_invalid(self):
+        slow = make_device(peak_gops=400.0)
+        sut = SimulatedSUT(slow, WorkloadProfile(8.2))
+        result = run_burst_benchmark(
+            sut, NullQSL(), self._burst(bursts_per_second=100.0))
+        assert not result.valid
+
+    def test_burst_capacity_below_smooth_server_capacity(self):
+        """Bursty traffic at equal average rate is strictly harder than
+        smooth Poisson arrivals."""
+        from repro.harness.tuning import QUICK_SCALE, find_max_server_qps
+
+        device = make_device()
+        workload = WorkloadProfile(8.2)
+        smooth = find_max_server_qps(
+            lambda: SimulatedSUT(device, workload), NullQSL(),
+            Task.IMAGE_CLASSIFICATION_HEAVY, QUICK_SCALE)
+        bursty = find_max_burst_rate(
+            lambda: SimulatedSUT(device, workload), NullQSL(),
+            self._burst(burst_size=16))
+        assert bursty is not None
+        assert bursty < smooth.value
+
+    def test_oversized_bursts_can_never_qualify(self):
+        """A burst whose minimum service time exceeds the bound fails
+        at every rate - burst size itself is a latency floor."""
+        rate = find_max_burst_rate(
+            lambda: SimulatedSUT(make_device(), WorkloadProfile(8.2)),
+            NullQSL(), self._burst(burst_size=64))
+        assert rate is None
+
+    def test_hopeless_bound_returns_none(self):
+        glacial = make_device(peak_gops=50.0)
+        rate = find_max_burst_rate(
+            lambda: SimulatedSUT(glacial, WorkloadProfile(8.2)), NullQSL(),
+            self._burst())
+        assert rate is None
+
+
+def tenant(name, task, qps, seed=0):
+    return TenantSpec(
+        name=name,
+        workload=task_workload(task),
+        settings=TestSettings(
+            scenario=Scenario.SERVER, task=task, server_target_qps=qps,
+            min_query_count=800, min_duration=1.0, seed=seed,
+        ),
+    )
+
+
+class TestMultiTenant:
+    def test_two_light_tenants_both_valid(self):
+        results = run_multitenant(make_device(), [
+            tenant("resnet", Task.IMAGE_CLASSIFICATION_HEAVY, 500.0),
+            tenant("mobilenet", Task.IMAGE_CLASSIFICATION_LIGHT, 500.0,
+                   seed=5),
+        ])
+        assert set(results) == {"resnet", "mobilenet"}
+        assert all_tenants_valid(results)
+
+    def test_tenants_validated_independently(self):
+        """An overloaded tenant fails its own QoS; the light one is
+        degraded by interference but may still qualify."""
+        results = run_multitenant(make_device(), [
+            tenant("greedy", Task.IMAGE_CLASSIFICATION_HEAVY, 50_000.0),
+            tenant("modest", Task.IMAGE_CLASSIFICATION_LIGHT, 50.0, seed=5),
+        ])
+        assert not results["greedy"].valid
+
+    def test_colocation_interference(self):
+        """A rate that is comfortable alone fails when co-located with a
+        heavy neighbour - the QoS-maintenance challenge the paper's
+        multitenancy mode is about."""
+        device = make_device()
+        rate = 3_000.0
+        alone = run_multitenant(device, [
+            tenant("resnet", Task.IMAGE_CLASSIFICATION_HEAVY, rate),
+        ])
+        assert alone["resnet"].valid
+
+        together = run_multitenant(device, [
+            tenant("resnet", Task.IMAGE_CLASSIFICATION_HEAVY, rate),
+            tenant("gnmt", Task.MACHINE_TRANSLATION, 600.0, seed=9),
+        ])
+        resnet = together["resnet"]
+        assert (not resnet.valid) or (
+            resnet.metrics.latency_p99
+            > alone["resnet"].metrics.latency_p99)
+
+    def test_batches_never_mix_tenants(self):
+        from repro.harness.multitenant import _SharedEnginePool
+        device = make_device()
+        results = run_multitenant(device, [
+            tenant("a", Task.IMAGE_CLASSIFICATION_HEAVY, 300.0),
+            tenant("b", Task.IMAGE_CLASSIFICATION_LIGHT, 300.0, seed=5),
+        ])
+        # Indirect check: both tenants completed everything.
+        assert all(r.log.outstanding == 0 for r in results.values())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            run_multitenant(make_device(), [
+                tenant("x", Task.IMAGE_CLASSIFICATION_HEAVY, 10.0),
+                tenant("x", Task.IMAGE_CLASSIFICATION_LIGHT, 10.0),
+            ])
+
+    def test_empty_tenant_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_multitenant(make_device(), [])
+
+    def test_accuracy_mode_rejected(self):
+        spec = TenantSpec(
+            name="acc", workload=task_workload(Task.IMAGE_CLASSIFICATION_HEAVY),
+            settings=TestSettings(scenario=Scenario.SERVER,
+                                  task=Task.IMAGE_CLASSIFICATION_HEAVY,
+                                  mode=TestMode.ACCURACY),
+        )
+        with pytest.raises(ValueError):
+            run_multitenant(make_device(), [spec])

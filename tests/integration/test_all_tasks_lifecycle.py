@@ -1,0 +1,136 @@
+"""Closed-division lifecycles for the detection and translation tasks.
+
+The classifier lifecycle is covered in ``test_submission_lifecycle``;
+these exercise the same accuracy-target machinery with the mAP and BLEU
+metrics and the corresponding runnable models.
+"""
+
+import pytest
+
+from repro.accuracy import check_accuracy
+from repro.core import Scenario, Task, TestMode, TestSettings, run_benchmark
+from repro.datasets import DatasetQSL, SyntheticCoco, SyntheticWmt
+from repro.models.quantization import NumericFormat, QuantizationSpec
+from repro.models.registry import model_info
+from repro.models.runtime import (
+    build_cipher_translator,
+    build_glyph_detector,
+    evaluate_detector,
+    evaluate_translator,
+)
+from repro.submission import (
+    BenchmarkResult,
+    Category,
+    Division,
+    Submission,
+    SystemDescription,
+    check_submission,
+)
+from repro.sut.backend import DetectorSUT, TranslatorSUT
+
+
+def make_submission(entry, numerics=(NumericFormat.FP32,)):
+    return Submission(
+        system=SystemDescription(
+            name="lifecycle", submitter="tests", processor="CPU",
+            accelerator_count=0, host_cpu_count=2,
+            software_stack="repro-numpy", memory_gb=8.0, numerics=numerics),
+        division=Division.CLOSED, category=Category.AVAILABLE,
+        results=[entry])
+
+
+class TestDetectionLifecycle:
+    @pytest.fixture(scope="class")
+    def coco(self):
+        return SyntheticCoco(size=120)
+
+    def _entry(self, coco, model, target):
+        qsl = DatasetQSL(coco)
+
+        def sut():
+            return DetectorSUT(model, qsl,
+                               service_time_fn=lambda n: 0.01 * n)
+
+        perf = run_benchmark(sut(), qsl, TestSettings(
+            scenario=Scenario.SINGLE_STREAM,
+            task=Task.OBJECT_DETECTION_HEAVY,
+            min_query_count=64, min_duration=0.5))
+        acc_run = run_benchmark(sut(), qsl, TestSettings(
+            scenario=Scenario.SINGLE_STREAM, mode=TestMode.ACCURACY))
+        accuracy = check_accuracy(acc_run, coco, "detection", target)
+        return BenchmarkResult(
+            task=Task.OBJECT_DETECTION_HEAVY,
+            scenario=Scenario.SINGLE_STREAM,
+            performance=perf, accuracy=accuracy)
+
+    def test_fp32_detector_clears_review(self, coco):
+        model = build_glyph_detector(coco, "heavy")
+        # Reference quality is measured over the same (full) set the
+        # accuracy run covers.
+        reference = evaluate_detector(model, coco, indices=range(len(coco)))
+        target = model_info(Task.OBJECT_DETECTION_HEAVY)\
+            .quality_target_factor * reference
+        entry = self._entry(coco, model, target)
+        report = check_submission(make_submission(entry))
+        assert report.passed, [str(i) for i in report.issues]
+        assert entry.accuracy.metric_name == "mAP"
+
+    def test_wrecked_detector_rejected(self, coco):
+        model = build_glyph_detector(coco, "heavy")
+        reference = evaluate_detector(model, coco, indices=range(len(coco)))
+        target = model_info(Task.OBJECT_DETECTION_HEAVY)\
+            .quality_target_factor * reference
+        # INT4 with hostile clipping wrecks the template correlations.
+        broken = model.quantized(
+            QuantizationSpec(NumericFormat.INT4, clip_percentile=75.0))
+        entry = self._entry(coco, broken, target)
+        report = check_submission(
+            make_submission(entry, numerics=(NumericFormat.INT4,)))
+        assert not report.passed
+        assert any(i.code == "quality-target" for i in report.errors)
+
+
+class TestTranslationLifecycle:
+    @pytest.fixture(scope="class")
+    def wmt(self):
+        return SyntheticWmt(size=200)
+
+    def _entry(self, wmt, model, target):
+        qsl = DatasetQSL(wmt)
+
+        def sut():
+            return TranslatorSUT(model, qsl,
+                                 service_time_fn=lambda n: 0.005 * n)
+
+        perf = run_benchmark(sut(), qsl, TestSettings(
+            scenario=Scenario.SINGLE_STREAM,
+            task=Task.MACHINE_TRANSLATION,
+            min_query_count=64, min_duration=0.5))
+        acc_run = run_benchmark(sut(), qsl, TestSettings(
+            scenario=Scenario.SINGLE_STREAM, mode=TestMode.ACCURACY))
+        accuracy = check_accuracy(acc_run, wmt, "translation", target)
+        return BenchmarkResult(
+            task=Task.MACHINE_TRANSLATION,
+            scenario=Scenario.SINGLE_STREAM,
+            performance=perf, accuracy=accuracy)
+
+    def test_fp32_translator_clears_review(self, wmt):
+        model = build_cipher_translator(wmt)
+        reference = evaluate_translator(model, wmt, indices=range(len(wmt)))
+        target = model_info(Task.MACHINE_TRANSLATION)\
+            .quality_target_factor * reference
+        entry = self._entry(wmt, model, target)
+        report = check_submission(make_submission(entry))
+        assert report.passed
+        assert entry.accuracy.metric_name == "SacreBLEU"
+
+    def test_int8_translator_still_clears_the_99_percent_target(self, wmt):
+        model = build_cipher_translator(wmt)
+        reference = evaluate_translator(model, wmt, indices=range(len(wmt)))
+        target = model_info(Task.MACHINE_TRANSLATION)\
+            .quality_target_factor * reference
+        int8 = model.quantized(QuantizationSpec(NumericFormat.INT8))
+        entry = self._entry(wmt, int8, target)
+        report = check_submission(
+            make_submission(entry, numerics=(NumericFormat.INT8,)))
+        assert report.passed, [str(i) for i in report.issues]

@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_all_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-50 v1.5" in out
+        assert "270,336" in out
+        assert "Poisson" in out
+
+    def test_single_table(self, capsys):
+        assert main(["tables", "--which", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "latency constraints" in out
+        assert "ResNet-50 v1.5" not in out
+
+
+class TestRun:
+    def test_single_stream(self, capsys):
+        code = main([
+            "run", "--task", "mobilenet-v1", "--scenario", "single-stream",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single_stream" in out
+        assert "VALID" in out
+
+    def test_offline(self, capsys):
+        assert main([
+            "run", "--task", "resnet50-v1.5", "--scenario", "offline",
+        ]) == 0
+        assert "samples/s" in capsys.readouterr().out
+
+    def test_server_reports_rate(self, capsys):
+        assert main([
+            "run", "--task", "mobilenet-v1", "--scenario", "server",
+            "--peak-gops", "20000",
+        ]) == 0
+        assert "max server rate" in capsys.readouterr().out
+
+    def test_impossible_server_fails_nonzero(self, capsys):
+        code = main([
+            "run", "--task", "resnet50-v1.5", "--scenario", "server",
+            "--peak-gops", "50",
+        ])
+        assert code == 1
+        assert "cannot meet" in capsys.readouterr().out
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--task", "bert", "--scenario", "offline"])
+
+
+class TestFleet:
+    def test_subset_survey(self, capsys):
+        code = main(["fleet", "--systems", "mobile-dsp-a", "laptop-cpu"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results from 2 systems" in out
+        assert "TOTAL" in out
+
+    def test_unknown_system_rejected(self, capsys):
+        assert main(["fleet", "--systems", "not-a-system"]) == 2
+        assert "unknown systems" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_clean_directory(self, tmp_path, capsys):
+        from repro.submission.artifacts import write_submission
+        from tests.submission.test_submission import submission
+
+        root = write_submission(submission(), tmp_path / "sub")
+        assert main(["check", str(root)]) == 0
+        assert "CLEARED" in capsys.readouterr().out
+
+    def test_check_bad_directory(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path)]) == 1
+        assert "REJECTED" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Property-based end-to-end invariants of the LoadGen/SUT system.
+
+Hypothesis generates random scenario configurations and device shapes;
+the invariants must hold for every combination:
+
+* conservation - every issued sample is answered exactly once;
+* causality - no completion precedes its issue;
+* isolation - the traffic trace depends only on the seed, never on the
+  SUT's speed (for open-loop scenarios);
+* validity soundness - a VALID verdict implies the rule thresholds hold
+  when recomputed from the raw log.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.core.stats import percentile
+from repro.sut.device import DeviceModel, ProcessorType
+from repro.sut.simulated import SimulatedSUT, WorkloadProfile
+
+from tests.conftest import EchoQSL
+
+
+def device_strategy():
+    return st.builds(
+        DeviceModel,
+        name=st.just("prop-dev"),
+        processor=st.just(ProcessorType.GPU),
+        peak_gops=st.floats(min_value=100.0, max_value=100_000.0),
+        base_utilization=st.floats(min_value=0.05, max_value=1.0),
+        saturation_gops=st.floats(min_value=1.0, max_value=500.0),
+        overhead=st.floats(min_value=0.0, max_value=5e-3),
+        max_batch=st.integers(min_value=1, max_value=64),
+        engines=st.integers(min_value=1, max_value=3),
+    )
+
+
+def settings_strategy():
+    scenario = st.sampled_from(list(Scenario))
+
+    def build(scenario, qps, n, count, seed):
+        return TestSettings(
+            scenario=scenario,
+            server_target_qps=qps,
+            server_latency_bound=10.0,          # loose: runs always finish
+            multistream_interval=0.05,
+            multistream_samples_per_query=n,
+            min_query_count=count,
+            min_duration=0.2,
+            offline_sample_count=max(count, 64),
+            seed=seed,
+        )
+
+    return st.builds(
+        build,
+        scenario,
+        st.floats(min_value=10.0, max_value=2_000.0),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=16, max_value=128),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+
+
+workload_strategy = st.builds(
+    WorkloadProfile,
+    gops_per_sample=st.floats(min_value=0.1, max_value=50.0),
+    variability=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestEndToEndInvariants:
+    @given(device=device_strategy(), run_settings=settings_strategy(),
+           workload=workload_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_and_causality(self, device, run_settings,
+                                        workload):
+        sut = SimulatedSUT(device, workload)
+        result = run_benchmark(sut, EchoQSL(), run_settings)
+        records = result.log.records()
+        # Conservation: everything completed, with one response/sample.
+        assert result.log.outstanding == 0
+        for record in records:
+            assert record.completed
+            assert record.completion_time >= record.issue_time
+        # Sample ids globally unique across the run.
+        ids = [s.id for r in records for s in r.query.samples]
+        assert len(ids) == len(set(ids))
+
+    @given(device=device_strategy(),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_open_loop_traffic_independent_of_sut_speed(self, device, seed):
+        """Server arrivals depend on the seed only (Section V-B's
+        alternate-seed test relies on this)."""
+        run_settings = TestSettings(
+            scenario=Scenario.SERVER, server_target_qps=500.0,
+            server_latency_bound=10.0, min_query_count=64,
+            min_duration=0.1, seed=seed,
+        )
+        issue_times = []
+        for gops in (0.1, 20.0):
+            result = run_benchmark(
+                SimulatedSUT(device, WorkloadProfile(gops)),
+                EchoQSL(), run_settings)
+            issue_times.append(
+                [r.issue_time for r in result.log.records()][:64])
+        assert issue_times[0] == issue_times[1]
+
+    @given(device=device_strategy(), run_settings=settings_strategy(),
+           workload=workload_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_validity_verdict_is_sound(self, device, run_settings,
+                                       workload):
+        result = run_benchmark(SimulatedSUT(device, workload), EchoQSL(),
+                               run_settings)
+        if not result.valid:
+            return
+        records = result.log.completed_records()
+        latencies = [r.latency for r in records]
+        # Recompute the rules from the raw log.
+        assert len(records) >= (
+            1 if run_settings.scenario is Scenario.OFFLINE
+            else run_settings.resolved_min_query_count
+        )
+        if run_settings.scenario is Scenario.SERVER:
+            bound = run_settings.resolved_server_latency_bound
+            violations = sum(1 for l in latencies if l > bound)
+            assert violations / len(latencies) <= \
+                run_settings.resolved_max_violation_fraction + 1e-12
+        if run_settings.scenario is Scenario.OFFLINE:
+            samples = sum(r.query.sample_count for r in records)
+            assert samples >= run_settings.resolved_offline_samples
+
+    @given(device=device_strategy(), workload=workload_strategy,
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_reported_p90_matches_raw_log(self, device, workload, seed):
+        run_settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                    min_query_count=32, min_duration=0.1,
+                                    seed=seed)
+        result = run_benchmark(SimulatedSUT(device, workload), EchoQSL(),
+                               run_settings)
+        raw = [r.latency for r in result.log.completed_records()]
+        assert result.primary_metric == pytest.approx(percentile(raw, 0.90))

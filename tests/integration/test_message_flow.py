@@ -1,0 +1,99 @@
+"""Figure 3: the LoadGen <-> SUT message sequence.
+
+(1) LoadGen requests sample loading; (2-3) the QSL brings samples into
+memory; (4) ready; (5) queries issued; (6) responses returned; (7) logs
+written for the accuracy script.
+"""
+
+import pytest
+
+from repro.core import Scenario, TestMode, TestSettings, run_benchmark
+from repro.core.query import QuerySampleResponse
+from repro.core.sut import SutBase
+from repro.datasets import DatasetQSL, SyntheticImageNet
+
+
+class TracingSUT(SutBase):
+    """Records every protocol interaction in order."""
+
+    def __init__(self, qsl, trace):
+        super().__init__("tracing")
+        self.qsl = qsl
+        self.trace = trace
+
+    def start_run(self, loop, responder):
+        super().start_run(loop, responder)
+        self.trace.append("start_run")
+
+    def issue_query(self, query):
+        self.trace.append("issue")
+        # Fetching samples mid-query must succeed: they were preloaded.
+        payloads = [self.qsl.get_sample(s.index) for s in query.samples]
+        responses = [
+            QuerySampleResponse(s.id, int(p.sum() * 0))
+            for s, p in zip(query.samples, payloads)
+        ]
+        self.loop.schedule_after(
+            0.001, lambda: (self.trace.append("complete"),
+                            self.complete(query, responses)))
+
+
+def test_fig3_message_order():
+    dataset = SyntheticImageNet(size=64)
+    qsl = DatasetQSL(dataset)
+    trace = []
+
+    class TracingQSL(DatasetQSL):
+        def load_samples(self, indices):
+            trace.append("load_samples")
+            super().load_samples(indices)
+
+        def unload_samples(self, indices):
+            trace.append("unload_samples")
+            super().unload_samples(indices)
+
+    tracing_qsl = TracingQSL(dataset)
+    sut = TracingSUT(tracing_qsl, trace)
+    settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=5, min_duration=0.0)
+    result = run_benchmark(sut, tracing_qsl, settings)
+
+    # Steps 1-4: load before the run starts.
+    assert trace[0] == "load_samples"
+    assert trace[1] == "start_run"
+    # Step 5-6: strictly alternating issue/complete in single-stream.
+    body = trace[2:-1]
+    assert body == ["issue", "complete"] * (len(body) // 2)
+    # Unload at the very end.
+    assert trace[-1] == "unload_samples"
+    # Step 7: the run log exists for the accuracy script.
+    assert result.log.query_count == 5
+
+
+def test_untimed_loading_does_not_count_against_latency():
+    dataset = SyntheticImageNet(size=64)
+    qsl = DatasetQSL(dataset)
+    trace = []
+    sut = TracingSUT(qsl, trace)
+    settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=5, min_duration=0.0)
+    result = run_benchmark(sut, qsl, settings)
+    # Latency is pure SUT service time: loading happened at t<0
+    # (outside the virtual clock entirely).
+    assert result.metrics.latency_mean == pytest.approx(0.001)
+
+
+def test_sample_access_outside_loaded_set_fails():
+    dataset = SyntheticImageNet(size=64)
+    qsl = DatasetQSL(dataset)
+
+    class RogueSUT(SutBase):
+        def issue_query(self, query):
+            # Touch a sample that was never loaded.
+            qsl.get_sample((query.samples[0].index + 1) % 64)
+
+    settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=4, min_duration=0.0,
+                            performance_sample_count=1)
+    with pytest.raises(RuntimeError, match="protocol violation"):
+        run_benchmark(RogueSUT("rogue"), qsl, settings)

@@ -1,0 +1,127 @@
+"""Full closed-division submission lifecycle, end to end.
+
+Build a runnable model, measure FP32 reference quality, run accuracy and
+performance modes through the LoadGen, assemble a submission, and push
+it through the checker - including a quantized variant that must still
+meet the quality target, and one that must not.
+"""
+
+import pytest
+
+from repro.accuracy import check_accuracy
+from repro.core import Scenario, Task, TestMode, TestSettings, run_benchmark
+from repro.datasets import DatasetQSL, SyntheticImageNet
+from repro.models.quantization import NumericFormat, QuantizationSpec
+from repro.models.registry import model_info
+from repro.models.runtime import build_glyph_classifier, evaluate_classifier
+from repro.submission import (
+    BenchmarkResult,
+    Category,
+    Division,
+    Submission,
+    SystemDescription,
+    check_submission,
+)
+from repro.sut.backend import ClassifierSUT
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticImageNet(size=300)
+
+
+@pytest.fixture(scope="module")
+def reference_quality(dataset):
+    """FP32 reference accuracy over the full set (what accuracy mode
+    covers)."""
+    model = build_glyph_classifier(dataset, "light")
+    return evaluate_classifier(model, dataset, indices=range(len(dataset)))
+
+
+def build_entry(dataset, model, quality_target):
+    qsl = DatasetQSL(dataset)
+
+    def sut():
+        return ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.002 * n)
+
+    perf_settings = TestSettings(
+        scenario=Scenario.SINGLE_STREAM, task=Task.IMAGE_CLASSIFICATION_LIGHT,
+        min_query_count=128, min_duration=0.5,
+    )
+    performance = run_benchmark(sut(), qsl, perf_settings)
+
+    accuracy_settings = perf_settings.with_overrides(mode=TestMode.ACCURACY)
+    accuracy_run = run_benchmark(sut(), qsl, accuracy_settings)
+    accuracy = check_accuracy(accuracy_run, dataset, "classification",
+                              quality_target)
+    return BenchmarkResult(
+        task=Task.IMAGE_CLASSIFICATION_LIGHT,
+        scenario=Scenario.SINGLE_STREAM,
+        performance=performance,
+        accuracy=accuracy,
+    )
+
+
+def make_submission(entry, numerics=(NumericFormat.FP32,)):
+    return Submission(
+        system=SystemDescription(
+            name="laptop", submitter="repro", processor="CPU",
+            accelerator_count=0, host_cpu_count=4,
+            software_stack="repro-numpy", memory_gb=8.0, numerics=numerics,
+        ),
+        division=Division.CLOSED,
+        category=Category.AVAILABLE,
+        results=[entry],
+    )
+
+
+class TestClosedDivisionLifecycle:
+    def test_fp32_submission_clears_review(self, dataset, reference_quality):
+        info = model_info(Task.IMAGE_CLASSIFICATION_LIGHT)
+        target = info.quality_target_factor * reference_quality
+        model = build_glyph_classifier(dataset, "light")
+        entry = build_entry(dataset, model, target)
+        submission = make_submission(entry)
+        report = check_submission(submission)
+        assert report.passed, [str(i) for i in report.issues]
+
+    def test_per_channel_int8_clears_the_98_percent_target(
+            self, dataset, reference_quality):
+        info = model_info(Task.IMAGE_CLASSIFICATION_LIGHT)
+        target = info.quality_target_factor * reference_quality
+        model = build_glyph_classifier(dataset, "light").quantized(
+            QuantizationSpec(NumericFormat.INT8, per_channel=True))
+        entry = build_entry(dataset, model, target)
+        submission = make_submission(entry, numerics=(NumericFormat.INT8,))
+        assert check_submission(submission).passed
+
+    def test_per_tensor_int8_fails_review(self, dataset, reference_quality):
+        """Section III-B: naive mobile-model quantization misses the
+        target; the checker rejects the submission."""
+        info = model_info(Task.IMAGE_CLASSIFICATION_LIGHT)
+        target = info.quality_target_factor * reference_quality
+        model = build_glyph_classifier(dataset, "light").quantized(
+            QuantizationSpec(NumericFormat.INT8, per_channel=False))
+        entry = build_entry(dataset, model, target)
+        submission = make_submission(entry, numerics=(NumericFormat.INT8,))
+        report = check_submission(submission)
+        assert not report.passed
+        assert any(i.code == "quality-target" for i in report.errors)
+
+    def test_calibration_flow_uses_only_calibration_split(self, dataset):
+        """The Section IV-A calibration loop: pick the clip percentile on
+        the calibration set, then verify on the evaluation set."""
+        from repro.models.quantization import calibrate_clip_percentile
+
+        base = build_glyph_classifier(dataset, "light")
+        calibration = dataset.calibration_indices
+
+        def build_and_eval(spec):
+            return evaluate_classifier(base.quantized(spec), dataset,
+                                       indices=calibration)
+
+        best_spec, cal_quality = calibrate_clip_percentile(
+            build_and_eval, NumericFormat.INT8, per_channel=True)
+        final = evaluate_classifier(base.quantized(best_spec), dataset)
+        assert cal_quality > 0
+        assert final > 0.9 * evaluate_classifier(base, dataset)

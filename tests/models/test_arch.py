@@ -1,0 +1,172 @@
+"""Architecture definitions reproduce the Table I characteristics."""
+
+import pytest
+
+from repro.models.arch.gnmt import GNMTArch, build_gnmt
+from repro.models.arch.mobilenet import build_mobilenet_v1, mobilenet_v1
+from repro.models.arch.resnet import build_resnet, resnet50_v15
+from repro.models.arch.ssd import (
+    SSD_RESNET34_ANCHORS,
+    build_ssd_mobilenet_v1,
+    build_ssd_resnet34,
+)
+
+IMAGE = (224, 224, 3)
+
+
+class TestResNet50:
+    def test_parameters_match_table_i(self):
+        # 25.6 M in the paper; exact torchvision figure is 25,557,032.
+        assert resnet50_v15().param_count(IMAGE) == 25_557_032
+
+    def test_gops_match_table_i(self):
+        gops = 2 * resnet50_v15().macs(IMAGE) / 1e9
+        assert gops == pytest.approx(8.2, rel=0.01)
+
+    def test_v15_costs_more_than_v1(self):
+        v1 = build_resnet(50, version="v1")
+        v15 = build_resnet(50, version="v1.5")
+        assert v15.macs(IMAGE) > v1.macs(IMAGE)
+        # ...but has identical parameters (only the stride moved).
+        assert v15.param_count(IMAGE) == v1.param_count(IMAGE)
+
+    def test_resnet34_parameters(self):
+        # torchvision: 21,797,672.
+        assert build_resnet(34).param_count(IMAGE) == 21_797_672
+
+    def test_depth_scaling(self):
+        p18 = build_resnet(18).param_count(IMAGE)
+        p34 = build_resnet(34).param_count(IMAGE)
+        p50 = build_resnet(50).param_count(IMAGE)
+        assert p18 < p34 < p50
+
+    def test_unsupported_depth_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet(42)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet(50, version="v3")
+
+    def test_truncated_backbone_has_fewer_stages(self):
+        full = build_resnet(34, include_top=False)
+        trunk = build_resnet(34, include_top=False, stages=3)
+        assert trunk.param_count(IMAGE) < full.param_count(IMAGE)
+
+    def test_classifier_output_shape(self):
+        assert resnet50_v15().output_shape(IMAGE) == (1000,)
+
+
+class TestMobileNet:
+    def test_parameters_match_table_i(self):
+        # 4.2 M in the paper; the canonical figure is 4,231,976.
+        assert mobilenet_v1().param_count(IMAGE) == 4_231_976
+
+    def test_gops_match_table_i(self):
+        gops = 2 * mobilenet_v1().macs(IMAGE) / 1e9
+        assert gops == pytest.approx(1.138, rel=0.005)
+
+    def test_reduction_versus_resnet(self):
+        # Paper: 6.1x fewer parameters, 6.8x fewer operations.
+        r50 = resnet50_v15()
+        mn = mobilenet_v1()
+        assert r50.param_count(IMAGE) / mn.param_count(IMAGE) == pytest.approx(6.1, abs=0.2)
+        assert r50.macs(IMAGE) / mn.macs(IMAGE) == pytest.approx(7.2, abs=0.5)
+
+    def test_width_multiplier_scales_cost(self):
+        half = build_mobilenet_v1(width_multiplier=0.5)
+        full = build_mobilenet_v1(width_multiplier=1.0)
+        assert half.macs(IMAGE) < 0.4 * full.macs(IMAGE)
+        assert half.param_count(IMAGE) < full.param_count(IMAGE)
+
+    def test_invalid_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_v1(num_blocks=0)
+
+
+class TestSSDMobileNet:
+    SHAPE = (300, 300, 3)
+
+    def test_parameters_match_table_i(self):
+        params = build_ssd_mobilenet_v1().param_count(self.SHAPE)
+        assert params == pytest.approx(6.91e6, rel=0.05)
+
+    def test_gops_match_table_i(self):
+        gops = 2 * build_ssd_mobilenet_v1().macs(self.SHAPE) / 1e9
+        assert gops == pytest.approx(2.47, rel=0.05)
+
+    def test_feature_map_ladder(self):
+        fms = [s[:2] for s in build_ssd_mobilenet_v1().feature_shapes(self.SHAPE)]
+        assert fms == [(19, 19), (10, 10), (5, 5), (3, 3), (2, 2), (1, 1)]
+
+    def test_output_shape_is_anchors_by_classes_plus_box(self):
+        ssd = build_ssd_mobilenet_v1()
+        anchors, per_anchor = ssd.output_shape(self.SHAPE)
+        assert per_anchor == 91 + 4
+        assert anchors == ssd.total_anchors(self.SHAPE)
+
+
+class TestSSDResNet34:
+    SHAPE = (1200, 1200, 3)
+
+    def test_parameters_match_table_i(self):
+        params = build_ssd_resnet34().param_count(self.SHAPE)
+        assert params == pytest.approx(36.3e6, rel=0.10)
+
+    def test_gops_match_table_i(self):
+        gops = 2 * build_ssd_resnet34().macs(self.SHAPE) / 1e9
+        assert gops == pytest.approx(433.0, rel=0.05)
+
+    def test_feature_map_ladder_matches_mlperf(self):
+        fms = [s[:2] for s in build_ssd_resnet34().feature_shapes(self.SHAPE)]
+        assert fms == [(50, 50), (25, 25), (13, 13), (7, 7), (3, 3), (3, 3)]
+
+    def test_total_anchor_count_matches_mlperf(self):
+        # The real 1200x1200 model has exactly 15,130 anchors.
+        assert build_ssd_resnet34().total_anchors(self.SHAPE) == 15_130
+
+    def test_anchor_config(self):
+        assert SSD_RESNET34_ANCHORS == (4, 6, 6, 6, 4, 4)
+
+    def test_ops_ratio_versus_light_detector(self):
+        # Section VII-D: SSD-R34 needs ~175x the operations per image.
+        heavy = build_ssd_resnet34().macs(self.SHAPE)
+        light = build_ssd_mobilenet_v1().macs((300, 300, 3))
+        assert heavy / light == pytest.approx(175.0, rel=0.06)
+
+    def test_mismatched_anchor_spec_rejected(self):
+        from repro.models.arch.ssd import SSDArch
+        from repro.models.graph import Sequential
+        with pytest.raises(ValueError):
+            SSDArch([Sequential([])], anchors_per_cell=(2, 2), num_classes=3)
+
+
+class TestGNMT:
+    def test_parameters_match_table_i(self):
+        assert build_gnmt().param_count() == pytest.approx(210e6, rel=0.05)
+
+    def test_macs_scale_with_sequence_length(self):
+        gnmt = build_gnmt()
+        short = gnmt.macs(src_len=10, tgt_len=10)
+        long = gnmt.macs(src_len=40, tgt_len=40)
+        assert long > 3.5 * short
+
+    def test_encoder_layer_widths(self):
+        gnmt = build_gnmt()
+        widths = gnmt._encoder_input_widths()
+        assert widths[0] == 1024          # embedding
+        assert widths[1] == 2048          # bidirectional concat
+        assert all(w == 1024 for w in widths[2:])
+
+    def test_decoder_gets_attention_context(self):
+        gnmt = build_gnmt()
+        widths = gnmt._decoder_input_widths()
+        assert widths[0] == 1024
+        assert all(w == 2048 for w in widths[1:])
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            GNMTArch(encoder_layers=1)
+
+    def test_gops_positive(self):
+        assert build_gnmt().gops() > 1.0

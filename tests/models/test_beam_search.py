@@ -1,0 +1,64 @@
+"""Beam-search decoding on TinyGNMT."""
+
+import pytest
+
+from repro.models.runtime.gnmt_tiny import TinyGNMT
+
+SOURCE = [5, 9, 12, 33, 8]
+
+
+@pytest.fixture(scope="module")
+def gnmt():
+    return TinyGNMT()
+
+
+def test_beam_one_equals_greedy(gnmt):
+    assert gnmt.translate_beam(SOURCE, beam_size=1) == \
+        gnmt.translate(SOURCE)
+
+
+def test_beam_never_scores_below_greedy(gnmt):
+    """Beam search optimizes sequence log-prob (length-normalized); with
+    the same normalization it cannot do worse than greedy."""
+    def normalized(tokens):
+        length = max(len(tokens), 1)
+        return gnmt.sequence_log_prob(SOURCE, tokens) / \
+            (((5.0 + length) / 6.0) ** 0.6)
+
+    greedy = gnmt.translate(SOURCE)
+    beam = gnmt.translate_beam(SOURCE, beam_size=4)
+    assert normalized(beam) >= normalized(greedy) - 1e-9
+
+
+def test_beam_deterministic(gnmt):
+    assert gnmt.translate_beam(SOURCE, beam_size=4) == \
+        TinyGNMT().translate_beam(SOURCE, beam_size=4)
+
+
+def test_max_length_respected(gnmt):
+    tokens = gnmt.translate_beam(SOURCE, beam_size=3, max_length=4)
+    assert len(tokens) <= 4
+
+
+def test_invalid_beam_size(gnmt):
+    with pytest.raises(ValueError):
+        gnmt.translate_beam(SOURCE, beam_size=0)
+
+
+def test_sequence_log_prob_is_negative(gnmt):
+    tokens = gnmt.translate(SOURCE)
+    assert gnmt.sequence_log_prob(SOURCE, tokens) < 0.0
+
+
+def test_beam_cost_scales_with_width(gnmt):
+    """More hypotheses -> more decoder steps (a real compute knob for
+    the translation workload)."""
+    import time
+
+    start = time.perf_counter()
+    gnmt.translate_beam(SOURCE, beam_size=1)
+    narrow = time.perf_counter() - start
+    start = time.perf_counter()
+    gnmt.translate_beam(SOURCE, beam_size=8)
+    wide = time.perf_counter() - start
+    assert wide > narrow

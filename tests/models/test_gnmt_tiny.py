@@ -1,0 +1,74 @@
+"""TinyGNMT: the executable LSTM encoder-decoder workload."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.wmt import EOS_ID
+from repro.models.runtime.gnmt_tiny import TinyGNMT
+
+
+@pytest.fixture(scope="module")
+def gnmt():
+    return TinyGNMT()
+
+
+class TestEncoder:
+    def test_memory_shape(self, gnmt):
+        memory = gnmt.encode([5, 9, 12])
+        assert memory.shape == (3, gnmt.hidden)
+
+    def test_deterministic(self, gnmt):
+        a = gnmt.encode([5, 9, 12])
+        b = TinyGNMT().encode([5, 9, 12])
+        assert np.allclose(a, b)
+
+    def test_order_sensitivity(self, gnmt):
+        """An RNN encoder is not a bag of words."""
+        a = gnmt.encode([5, 9, 12])
+        b = gnmt.encode([12, 9, 5])
+        assert not np.allclose(a, b)
+
+    def test_empty_source_rejected(self, gnmt):
+        with pytest.raises(ValueError):
+            gnmt.encode([])
+
+    def test_states_bounded(self, gnmt):
+        memory = gnmt.encode(list(range(3, 40)))
+        assert np.all(np.abs(memory) < 10.0)
+
+
+class TestDecoder:
+    def test_translate_produces_tokens(self, gnmt):
+        out = gnmt.translate([5, 9, 12, 33])
+        assert isinstance(out, list)
+        assert all(0 <= t < gnmt.vocab_size for t in out)
+        assert EOS_ID not in out
+
+    def test_deterministic(self, gnmt):
+        assert gnmt.translate([5, 9, 12]) == TinyGNMT().translate([5, 9, 12])
+
+    def test_max_length_respected(self, gnmt):
+        out = gnmt.translate([5, 9, 12], max_length=3)
+        assert len(out) <= 3
+
+    def test_default_budget_scales_with_source(self, gnmt):
+        out = gnmt.translate([5] * 6)
+        assert len(out) <= 2 * 6 + 4
+
+    def test_input_sensitivity(self, gnmt):
+        """Different sources produce different translations (the network
+        is actually reading its input, not emitting a constant)."""
+        outputs = {tuple(gnmt.translate([t, t + 1, t + 2]))
+                   for t in range(5, 25, 4)}
+        assert len(outputs) > 1
+
+
+class TestAccounting:
+    def test_macs_grow_with_both_lengths(self, gnmt):
+        base = gnmt.macs_per_sentence(5, 5)
+        assert gnmt.macs_per_sentence(10, 5) > base
+        assert gnmt.macs_per_sentence(5, 10) > base
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            TinyGNMT(encoder_layers=1)

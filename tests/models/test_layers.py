@@ -1,0 +1,221 @@
+"""Numpy kernels vs naive references and analytic properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import layers as F
+
+
+def naive_conv2d(x, w, stride, pad_before_h, pad_before_w):
+    """Straightforward nested-loop convolution for cross-checking."""
+    n, h, wd, cin = x.shape
+    kh, kw, _, cout = w.shape
+    padded = np.zeros((n, h + kh, wd + kw, cin), dtype=x.dtype)
+    padded[:, pad_before_h:pad_before_h + h,
+           pad_before_w:pad_before_w + wd] = x
+    oh = (h + 2 * 0 + (kh - 1)) // 1  # computed by caller instead
+    return padded
+
+
+class TestConv2D:
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).normal(size=(2, 5, 5, 3)).astype(np.float32)
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        for c in range(3):
+            w[0, 0, c, c] = 1.0
+        out = F.conv2d(x, w, stride=1, padding="same")
+        assert np.allclose(out, x)
+
+    def test_matches_naive_valid_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 6, 6, 2)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 2, 4)).astype(np.float32)
+        out = F.conv2d(x, w, stride=1, padding="valid")
+        assert out.shape == (1, 4, 4, 4)
+        # Check one output position by hand.
+        patch = x[0, 1:4, 2:5, :]
+        expected = np.tensordot(patch, w, axes=([0, 1, 2], [0, 1, 2]))
+        assert np.allclose(out[0, 1, 2], expected, atol=1e-5)
+
+    def test_stride_two_shape(self):
+        x = np.zeros((1, 7, 7, 1), dtype=np.float32)
+        w = np.zeros((3, 3, 1, 2), dtype=np.float32)
+        assert F.conv2d(x, w, stride=2, padding="same").shape == (1, 4, 4, 2)
+        assert F.conv2d(x, w, stride=2, padding="valid").shape == (1, 3, 3, 2)
+
+    def test_bias_added(self):
+        x = np.zeros((1, 3, 3, 1), dtype=np.float32)
+        w = np.zeros((1, 1, 1, 2), dtype=np.float32)
+        out = F.conv2d(x, w, bias=np.array([1.0, -2.0], dtype=np.float32))
+        assert np.allclose(out[..., 0], 1.0)
+        assert np.allclose(out[..., 1], -2.0)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 3, 3, 2)), np.zeros((1, 1, 3, 1)))
+
+    def test_translation_equivariance(self):
+        """Shifting the input by the stride shifts the output by one."""
+        rng = np.random.default_rng(2)
+        x = np.zeros((1, 10, 10, 1), dtype=np.float32)
+        x[0, 2:5, 2:5, 0] = rng.normal(size=(3, 3))
+        w = rng.normal(size=(3, 3, 1, 1)).astype(np.float32)
+        out_a = F.conv2d(x, w, padding="valid")
+        x_shift = np.roll(x, 1, axis=1)
+        out_b = F.conv2d(x_shift, w, padding="valid")
+        assert np.allclose(out_a[0, 1:-1], out_b[0, 2:], atol=1e-5)
+
+
+class TestDepthwiseConv:
+    def test_identity(self):
+        x = np.random.default_rng(0).normal(size=(1, 4, 4, 3)).astype(np.float32)
+        w = np.zeros((1, 1, 3), dtype=np.float32)
+        w[0, 0, :] = 1.0
+        assert np.allclose(F.depthwise_conv2d(x, w), x)
+
+    def test_channels_do_not_mix(self):
+        x = np.zeros((1, 4, 4, 2), dtype=np.float32)
+        x[..., 0] = 1.0
+        w = np.ones((3, 3, 2), dtype=np.float32)
+        out = F.depthwise_conv2d(x, w, padding="valid")
+        assert np.all(out[..., 0] == 9.0)
+        assert np.all(out[..., 1] == 0.0)
+
+    def test_matches_full_conv_with_diagonal_kernel(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 6, 6, 2)).astype(np.float32)
+        dw = rng.normal(size=(3, 3, 2)).astype(np.float32)
+        full = np.zeros((3, 3, 2, 2), dtype=np.float32)
+        for c in range(2):
+            full[:, :, c, c] = dw[:, :, c]
+        assert np.allclose(
+            F.depthwise_conv2d(x, dw, padding="valid"),
+            F.conv2d(x, full, padding="valid"),
+            atol=1e-5,
+        )
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.depthwise_conv2d(np.zeros((1, 3, 3, 2)), np.zeros((3, 3, 5)))
+
+
+class TestPadding:
+    def test_same_output_size(self):
+        for size in (5, 6, 7, 8):
+            for stride in (1, 2, 3):
+                assert F.conv_output_size(size, 3, stride, "same") == -(-size // stride)
+
+    def test_valid_output_size(self):
+        assert F.conv_output_size(7, 3, 1, "valid") == 5
+        assert F.conv_output_size(7, 3, 2, "valid") == 3
+
+    def test_valid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 3, 1, "valid")
+
+    def test_unknown_padding_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(5, 3, 1, "reflect")
+
+    def test_pad_same_value_for_maxpool(self):
+        x = np.full((1, 3, 3, 1), 5.0, dtype=np.float32)
+        padded = F.pad_same(x, (2, 2), (2, 2), value=-np.inf)
+        assert padded.shape[1] == 4
+        assert np.isneginf(padded).any()
+
+
+class TestPooling:
+    def test_maxpool_known(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = F.maxpool2d(x, kernel=2, stride=2)
+        assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_global_avgpool(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        out = F.global_avgpool(x)
+        assert out.shape == (1, 2)
+        assert np.allclose(out[0], [3.0, 4.0])
+
+
+class TestActivationsAndSoftmax:
+    def test_relu6_clips(self):
+        x = np.array([-1.0, 3.0, 9.0], dtype=np.float32)
+        assert F.relu6(x).tolist() == [0.0, 3.0, 6.0]
+
+    def test_sigmoid_extremes_stable(self):
+        x = np.array([-1000.0, 0.0, 1000.0], dtype=np.float64)
+        out = F.sigmoid(x)
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50),
+                    min_size=2, max_size=20))
+    def test_softmax_is_a_distribution(self, values):
+        out = F.softmax(np.array(values, dtype=np.float64))
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (out >= 0).all()
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50),
+                    min_size=2, max_size=10),
+           st.floats(min_value=-100, max_value=100))
+    def test_softmax_shift_invariant(self, values, shift):
+        a = F.softmax(np.array(values))
+        b = F.softmax(np.array(values) + shift)
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestLSTMCell:
+    def _params(self, inputs, hidden, seed=0):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(0, 0.1, size=(inputs, 4 * hidden)).astype(np.float32)
+        u = rng.normal(0, 0.1, size=(hidden, 4 * hidden)).astype(np.float32)
+        b = np.zeros(4 * hidden, dtype=np.float32)
+        return w, u, b
+
+    def test_shapes(self):
+        w, u, b = self._params(3, 5)
+        h = np.zeros((2, 5), dtype=np.float32)
+        c = np.zeros((2, 5), dtype=np.float32)
+        x = np.ones((2, 3), dtype=np.float32)
+        h2, c2 = F.lstm_cell(x, h, c, w, u, b)
+        assert h2.shape == (2, 5) and c2.shape == (2, 5)
+
+    def test_hidden_state_bounded(self):
+        w, u, b = self._params(3, 5)
+        h = np.zeros((1, 5), dtype=np.float32)
+        c = np.zeros((1, 5), dtype=np.float32)
+        x = np.full((1, 3), 100.0, dtype=np.float32)
+        for _ in range(20):
+            h, c = F.lstm_cell(x, h, c, w, u, b)
+        assert np.all(np.abs(h) <= 1.0)
+
+    def test_forget_gate_bias_preserves_cell(self):
+        hidden = 4
+        w = np.zeros((2, 4 * hidden), dtype=np.float32)
+        u = np.zeros((hidden, 4 * hidden), dtype=np.float32)
+        b = np.zeros(4 * hidden, dtype=np.float32)
+        b[hidden:2 * hidden] = 100.0   # forget gate saturated open
+        b[:hidden] = -100.0            # input gate shut
+        c0 = np.array([[0.1, -0.2, 0.3, 0.0]], dtype=np.float32)
+        h0 = np.zeros((1, hidden), dtype=np.float32)
+        x = np.ones((1, 2), dtype=np.float32)
+        _h, c1 = F.lstm_cell(x, h0, c0, w, u, b)
+        assert np.allclose(c1, c0, atol=1e-5)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        table = np.arange(12, dtype=np.float32).reshape(4, 3)
+        out = F.embedding_lookup(table, np.array([1, 3]))
+        assert np.allclose(out[0], [3, 4, 5])
+        assert np.allclose(out[1], [9, 10, 11])
+
+    def test_out_of_range_rejected(self):
+        table = np.zeros((4, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            F.embedding_lookup(table, np.array([4]))
+        with pytest.raises(ValueError):
+            F.embedding_lookup(table, np.array([-1]))

@@ -1,0 +1,76 @@
+"""MobileNet-v2: the Section III-A candidate that was not selected."""
+
+import numpy as np
+import pytest
+
+from repro.models.arch.mobilenet import mobilenet_v1
+from repro.models.arch.mobilenet_v2 import (
+    INVERTED_RESIDUAL_SPECS,
+    build_mobilenet_v2,
+    inverted_residual,
+    mobilenet_v2,
+)
+from repro.models.graph import Residual, Sequential
+
+IMAGE = (224, 224, 3)
+
+
+class TestAccounting:
+    def test_parameters_match_canonical_figure(self):
+        # torchvision mobilenet_v2: 3,504,872 parameters.
+        assert mobilenet_v2().param_count(IMAGE) == 3_504_872
+
+    def test_gops_match_canonical_figure(self):
+        # ~300 MMACs -> 0.60 GOPs.
+        gops = 2 * mobilenet_v2().macs(IMAGE) / 1e9
+        assert gops == pytest.approx(0.60, rel=0.02)
+
+    def test_v2_cheaper_than_v1(self):
+        v1 = mobilenet_v1()
+        v2 = mobilenet_v2()
+        assert v2.macs(IMAGE) < 0.6 * v1.macs(IMAGE)
+        assert v2.param_count(IMAGE) < v1.param_count(IMAGE)
+
+    def test_classifier_output_shape(self):
+        assert mobilenet_v2().output_shape(IMAGE) == (1000,)
+
+    def test_width_multiplier_scales(self):
+        half = build_mobilenet_v2(width_multiplier=0.5)
+        assert half.macs(IMAGE) < 0.5 * mobilenet_v2().macs(IMAGE)
+
+    def test_spec_table_matches_paper(self):
+        assert INVERTED_RESIDUAL_SPECS[0] == (1, 16, 1, 1)
+        assert INVERTED_RESIDUAL_SPECS[-1] == (6, 320, 1, 1)
+        assert sum(n for _t, _c, n, _s in INVERTED_RESIDUAL_SPECS) == 17
+
+
+class TestInvertedResiduals:
+    def test_stride1_same_channels_gets_residual(self):
+        block = inverted_residual(32, 6, 32, 1, "b")
+        assert isinstance(block, Residual)
+        # Linear bottleneck: no activation after the join.
+        assert block.activation is None
+
+    def test_stride2_or_channel_change_is_plain(self):
+        assert isinstance(inverted_residual(32, 6, 64, 1, "b"), Sequential)
+        assert isinstance(inverted_residual(32, 6, 32, 2, "b"), Sequential)
+
+    def test_expansion_one_skips_expand_conv(self):
+        no_expand = inverted_residual(32, 1, 16, 1, "b")
+        expand = inverted_residual(32, 6, 16, 1, "b")
+        assert no_expand.param_count((8, 8, 32)) < \
+            expand.param_count((8, 8, 32))
+
+    def test_executes(self):
+        block = inverted_residual(8, 6, 8, 1, "b")
+        block.initialize((8, 8, 8), np.random.default_rng(0))
+        out = block.forward(np.ones((1, 8, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 8, 8, 8)
+
+    def test_linear_bottleneck_passes_negative_values(self):
+        """The defining v2 property: the join output is NOT rectified."""
+        block = inverted_residual(4, 6, 4, 1, "b")
+        block.initialize((4, 4, 4), np.random.default_rng(1))
+        x = -np.ones((1, 4, 4, 4), dtype=np.float32)
+        out = block.forward(x)
+        assert (out < 0).any()

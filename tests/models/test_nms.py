@@ -1,0 +1,181 @@
+"""NMS: IoU properties, greedy vs fast behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.nms import (
+    Detection,
+    box_area,
+    fast_nms,
+    iou_matrix,
+    multiclass_nms,
+    nms,
+)
+
+
+def boxes_strategy(n):
+    coord = st.floats(min_value=0.0, max_value=50.0)
+    def build(vals):
+        arr = np.array(vals, dtype=np.float64).reshape(-1, 4)
+        y1 = np.minimum(arr[:, 0], arr[:, 2])
+        y2 = np.maximum(arr[:, 0], arr[:, 2]) + 1.0
+        x1 = np.minimum(arr[:, 1], arr[:, 3])
+        x2 = np.maximum(arr[:, 1], arr[:, 3]) + 1.0
+        return np.stack([y1, x1, y2, x2], axis=1)
+    return st.lists(coord, min_size=4 * n, max_size=4 * n).map(build)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        a = np.array([[0, 0, 10, 10]], dtype=float)
+        assert iou_matrix(a, a)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0, 0, 10, 10]], dtype=float)
+        b = np.array([[20, 20, 30, 30]], dtype=float)
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]], dtype=float)
+        b = np.array([[0, 5, 10, 15]], dtype=float)
+        # intersection 50, union 150.
+        assert iou_matrix(a, b)[0, 0] == pytest.approx(1 / 3)
+
+    def test_degenerate_box_zero_iou(self):
+        a = np.array([[5, 5, 5, 5]], dtype=float)
+        b = np.array([[0, 0, 10, 10]], dtype=float)
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_area(self):
+        boxes = np.array([[0, 0, 2, 3], [1, 1, 1, 5]], dtype=float)
+        assert box_area(boxes).tolist() == [6.0, 0.0]
+
+    @given(boxes_strategy(4))
+    def test_iou_matrix_properties(self, boxes):
+        m = iou_matrix(boxes, boxes)
+        assert np.allclose(m, m.T, atol=1e-9)
+        assert np.allclose(np.diag(m), 1.0)
+        assert (m >= 0).all() and (m <= 1 + 1e-9).all()
+
+
+class TestGreedyNMS:
+    def test_keeps_highest_of_overlapping_pair(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11]], dtype=float)
+        scores = np.array([0.6, 0.9])
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert keep.tolist() == [1]
+
+    def test_keeps_disjoint_boxes(self):
+        boxes = np.array([[0, 0, 10, 10], [50, 50, 60, 60]], dtype=float)
+        scores = np.array([0.6, 0.9])
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert sorted(keep.tolist()) == [0, 1]
+
+    def test_result_in_score_order(self):
+        boxes = np.array([[0, 0, 5, 5], [20, 20, 25, 25], [40, 40, 45, 45]],
+                         dtype=float)
+        scores = np.array([0.2, 0.9, 0.5])
+        assert nms(boxes, scores).tolist() == [1, 2, 0]
+
+    def test_max_output_truncates(self):
+        boxes = np.array([[i * 20, 0, i * 20 + 5, 5] for i in range(5)],
+                         dtype=float)
+        scores = np.linspace(0.9, 0.5, 5)
+        assert len(nms(boxes, scores, max_output=2)) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nms(np.zeros((2, 4)), np.zeros(3))
+
+    def test_suppressed_box_cannot_suppress(self):
+        """The defining difference from fast NMS: chain A > B > C where
+        A suppresses B and B overlaps C but A does not: greedy keeps C."""
+        boxes = np.array([
+            [0, 0, 10, 10],      # A
+            [0, 5, 10, 15],      # B overlaps A and C (IoU 1/3 each)
+            [0, 10, 10, 20],     # C overlaps B only
+        ], dtype=float)
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = nms(boxes, scores, iou_threshold=0.25)
+        assert sorted(keep.tolist()) == [0, 2]
+
+
+class TestFastNMS:
+    def test_over_suppresses_the_chain(self):
+        boxes = np.array([
+            [0, 0, 10, 10],
+            [0, 5, 10, 15],
+            [0, 10, 10, 20],
+        ], dtype=float)
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = fast_nms(boxes, scores, iou_threshold=0.25)
+        # B (suppressed) still kills C: only A survives.
+        assert keep.tolist() == [0]
+
+    def test_agrees_with_greedy_on_disjoint_boxes(self):
+        boxes = np.array([[i * 30, 0, i * 30 + 5, 5] for i in range(4)],
+                         dtype=float)
+        scores = np.linspace(0.9, 0.6, 4)
+        assert sorted(fast_nms(boxes, scores).tolist()) == \
+            sorted(nms(boxes, scores).tolist())
+
+    @given(boxes_strategy(6))
+    def test_fast_never_keeps_more_than_greedy(self, boxes):
+        scores = np.linspace(0.9, 0.4, len(boxes))
+        fast_kept = set(fast_nms(boxes, scores, iou_threshold=0.5).tolist())
+        greedy_kept = set(nms(boxes, scores, iou_threshold=0.5).tolist())
+        assert fast_kept <= greedy_kept
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fast_nms(np.zeros((2, 4)), np.zeros(3))
+
+
+class TestMulticlassNMS:
+    def _scores(self, rows):
+        return np.array(rows, dtype=float)
+
+    def test_background_column_skipped(self):
+        boxes = np.array([[0, 0, 10, 10]], dtype=float)
+        scores = self._scores([[0.9, 0.1]])   # background wins
+        detections = multiclass_nms(boxes, scores, score_threshold=0.05)
+        assert all(d.class_id != 0 for d in detections)
+
+    def test_per_class_suppression_is_independent(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11]], dtype=float)
+        scores = self._scores([[0.0, 0.9, 0.0], [0.0, 0.0, 0.8]])
+        detections = multiclass_nms(boxes, scores, score_threshold=0.5)
+        # Same location, different classes: both survive.
+        assert {d.class_id for d in detections} == {1, 2}
+
+    def test_score_threshold_filters(self):
+        boxes = np.array([[0, 0, 10, 10]], dtype=float)
+        scores = self._scores([[0.0, 0.04]])
+        assert multiclass_nms(boxes, scores, score_threshold=0.05) == []
+
+    def test_sorted_by_score_and_capped(self):
+        boxes = np.array([[i * 30, 0, i * 30 + 5, 5] for i in range(4)],
+                         dtype=float)
+        scores = np.zeros((4, 2))
+        scores[:, 1] = [0.3, 0.9, 0.6, 0.8]
+        detections = multiclass_nms(boxes, scores, score_threshold=0.1,
+                                    max_total=3)
+        assert len(detections) == 3
+        assert [d.score for d in detections] == sorted(
+            (d.score for d in detections), reverse=True)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            multiclass_nms(np.zeros((1, 4)), np.zeros((1, 2)),
+                           algorithm="medium")
+
+    def test_detection_fields(self):
+        boxes = np.array([[1, 2, 3, 4]], dtype=float)
+        scores = self._scores([[0.0, 0.7]])
+        det = multiclass_nms(boxes, scores, score_threshold=0.1)[0]
+        assert isinstance(det, Detection)
+        assert det.box == (1.0, 2.0, 3.0, 4.0)
+        assert det.class_id == 1
+        assert det.score == pytest.approx(0.7)

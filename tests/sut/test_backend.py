@@ -1,0 +1,85 @@
+"""Real-model backends under the LoadGen."""
+
+import pytest
+
+from repro.core import Scenario, TestMode, TestSettings, run_benchmark
+from repro.datasets import DatasetQSL
+from repro.models.runtime import (
+    build_cipher_translator,
+    build_glyph_classifier,
+    build_glyph_detector,
+)
+from repro.sut.backend import ClassifierSUT, DetectorSUT, TranslatorSUT
+
+
+def perf_settings(**kwargs):
+    defaults = dict(scenario=Scenario.SINGLE_STREAM, min_query_count=64,
+                    min_duration=0.2)
+    defaults.update(kwargs)
+    return TestSettings(**defaults)
+
+
+class TestClassifierSUT:
+    def test_performance_run_valid(self, imagenet):
+        qsl = DatasetQSL(imagenet)
+        model = build_glyph_classifier(imagenet, "light")
+        sut = ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.002 * n)
+        result = run_benchmark(sut, qsl, perf_settings())
+        assert result.valid
+        assert result.primary_metric == pytest.approx(0.002)
+
+    def test_compute_seconds_accumulates(self, imagenet):
+        qsl = DatasetQSL(imagenet)
+        model = build_glyph_classifier(imagenet, "light")
+        sut = ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.001)
+        run_benchmark(sut, qsl, perf_settings())
+        assert sut.compute_seconds > 0.0
+
+    def test_measured_time_mode(self, imagenet):
+        """Without a service_time_fn, latency reflects real execution."""
+        qsl = DatasetQSL(imagenet)
+        model = build_glyph_classifier(imagenet, "light")
+        sut = ClassifierSUT(model, qsl)
+        result = run_benchmark(
+            sut, qsl, perf_settings(min_query_count=32, min_duration=0.0))
+        assert result.metrics.latency_mean > 0.0
+
+    def test_batched_offline_query(self, imagenet):
+        qsl = DatasetQSL(imagenet)
+        model = build_glyph_classifier(imagenet, "light")
+        sut = ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.0005 * n,
+                            batch_size=32)
+        settings = TestSettings(scenario=Scenario.OFFLINE,
+                                offline_sample_count=128, min_duration=0.0)
+        result = run_benchmark(sut, qsl, settings)
+        assert result.valid is False or result.metrics.sample_count >= 128
+        assert result.metrics.sample_count >= 128
+
+
+class TestDetectorSUT:
+    def test_accuracy_payloads_are_detections(self, coco):
+        qsl = DatasetQSL(coco)
+        model = build_glyph_detector(coco, "heavy")
+        sut = DetectorSUT(model, qsl, service_time_fn=lambda n: 0.001)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                mode=TestMode.ACCURACY)
+        result = run_benchmark(sut, qsl, settings)
+        payloads = result.log.logged_responses()
+        assert len(payloads) == len(coco)
+        some = next(iter(payloads.values()))
+        assert isinstance(some, list)
+
+
+class TestTranslatorSUT:
+    def test_translates_sources(self, wmt):
+        qsl = DatasetQSL(wmt)
+        model = build_cipher_translator(wmt)
+        sut = TranslatorSUT(model, qsl, service_time_fn=lambda n: 0.001)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                mode=TestMode.ACCURACY)
+        result = run_benchmark(sut, qsl, settings)
+        payloads = result.log.logged_responses()
+        index_map = result.log.sample_index_map()
+        sid, tokens = next(iter(payloads.items()))
+        source = wmt.get_sample(index_map[sid])
+        assert len(tokens) == len(source)

@@ -1,0 +1,90 @@
+"""Device-model fitting from latency measurements."""
+
+import numpy as np
+import pytest
+
+from repro.sut.calibration import fit_device_model
+from repro.sut.device import DeviceModel, ProcessorType
+
+
+def truth_device(**kwargs):
+    defaults = dict(
+        name="truth", processor=ProcessorType.GPU, peak_gops=20_000.0,
+        base_utilization=0.1, saturation_gops=80.0, overhead=8e-4,
+        max_batch=64,
+    )
+    defaults.update(kwargs)
+    return DeviceModel(**defaults)
+
+
+def measure(device, gops, batches, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for batch in batches:
+        latency = device.service_time(gops, batch)
+        if noise:
+            latency *= float(np.exp(rng.normal(0.0, noise)))
+        out.append((batch, latency))
+    return out
+
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+GOPS = 8.2
+
+
+class TestFit:
+    def test_recovers_noiseless_latency_curve(self):
+        device = truth_device()
+        fit = fit_device_model(measure(device, GOPS, BATCHES), GOPS)
+        assert fit.rms_relative_error < 0.03
+        for batch in BATCHES:
+            predicted = fit.device.service_time(GOPS, batch)
+            assert predicted == pytest.approx(
+                device.service_time(GOPS, batch), rel=0.06)
+
+    def test_tolerates_measurement_noise(self):
+        device = truth_device()
+        fit = fit_device_model(
+            measure(device, GOPS, BATCHES, noise=0.05), GOPS)
+        assert fit.rms_relative_error < 0.12
+
+    def test_fitted_device_extrapolates_throughput(self):
+        device = truth_device()
+        fit = fit_device_model(measure(device, GOPS, BATCHES), GOPS)
+        assert fit.device.best_offline_throughput(GOPS) == pytest.approx(
+            device.best_offline_throughput(GOPS), rel=0.10)
+
+    def test_cpu_like_shape_also_fits(self):
+        cpu = truth_device(peak_gops=500.0, base_utilization=0.85,
+                           saturation_gops=10.0, overhead=1e-4,
+                           max_batch=16)
+        fit = fit_device_model(
+            measure(cpu, GOPS, (1, 2, 4, 8, 16)), GOPS)
+        assert fit.rms_relative_error < 0.05
+
+    def test_metadata_passthrough(self):
+        fit = fit_device_model(
+            measure(truth_device(), GOPS, BATCHES), GOPS,
+            name="bench-board", processor=ProcessorType.FPGA, max_batch=32)
+        assert fit.device.name == "bench-board"
+        assert fit.device.processor is ProcessorType.FPGA
+        assert fit.device.max_batch == 32
+
+    def test_predicted_view(self):
+        fit = fit_device_model(measure(truth_device(), GOPS, BATCHES), GOPS)
+        predicted = fit.predicted(GOPS)
+        assert len(predicted) == len(BATCHES)
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_device_model([(1, 0.01), (2, 0.02)], GOPS)
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            fit_device_model([(0, 0.01), (2, 0.02), (4, 0.03)], GOPS)
+        with pytest.raises(ValueError):
+            fit_device_model([(1, -0.01), (2, 0.02), (4, 0.03)], GOPS)
+        with pytest.raises(ValueError):
+            fit_device_model([(1, 0.01), (2, 0.02), (4, 0.03)], 0.0)

@@ -1,0 +1,123 @@
+"""Analytic device model properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sut.device import ComputeMotif, DeviceModel, ProcessorType
+
+
+def device(**kwargs):
+    defaults = dict(
+        name="dev", processor=ProcessorType.GPU, peak_gops=1000.0,
+        base_utilization=0.2, saturation_gops=50.0, overhead=1e-3,
+        max_batch=32,
+    )
+    defaults.update(kwargs)
+    return DeviceModel(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("peak_gops", 0.0),
+        ("base_utilization", 0.0),
+        ("base_utilization", 1.5),
+        ("saturation_gops", 0.0),
+        ("overhead", -1.0),
+        ("max_batch", 0),
+        ("engines", 0),
+    ])
+    def test_bad_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            device(**{field: value})
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            device(structure_efficiency={ComputeMotif.RNN: 1.5})
+
+
+class TestUtilization:
+    def test_ramps_from_base_to_one(self):
+        d = device(base_utilization=0.2, saturation_gops=50.0)
+        assert d.utilization(1e-9) == pytest.approx(0.2, abs=0.01)
+        assert d.utilization(25.0) == pytest.approx(0.6)
+        assert d.utilization(50.0) == 1.0
+        assert d.utilization(500.0) == 1.0   # saturated
+
+    @given(st.floats(min_value=0.01, max_value=1000.0),
+           st.floats(min_value=0.01, max_value=1000.0))
+    def test_monotone_in_work(self, a, b):
+        d = device()
+        lo, hi = sorted((a, b))
+        assert d.utilization(lo) <= d.utilization(hi) + 1e-12
+
+    def test_nonpositive_work_rejected(self):
+        with pytest.raises(ValueError):
+            device().utilization(0.0)
+
+
+class TestServiceTime:
+    def test_includes_overhead(self):
+        d = device(overhead=5e-3)
+        assert d.service_time(1.0, 1) > 5e-3
+
+    def test_monotone_in_batch(self):
+        d = device()
+        times = [d.service_time(2.0, b) for b in (1, 2, 4, 8, 16, 32)]
+        assert times == sorted(times)
+
+    def test_batching_amortizes_per_sample_cost(self):
+        d = device(base_utilization=0.05, saturation_gops=100.0)
+        per_sample_1 = d.service_time(2.0, 1) / 1
+        per_sample_32 = d.service_time(2.0, 32) / 32
+        assert per_sample_32 < per_sample_1 / 3
+
+    def test_motif_efficiency_slows_depthwise(self):
+        d = device(structure_efficiency={
+            ComputeMotif.DENSE_CNN: 1.0, ComputeMotif.DEPTHWISE_CNN: 0.5,
+        })
+        dense = d.service_time(2.0, 8, ComputeMotif.DENSE_CNN)
+        dw = d.service_time(2.0, 8, ComputeMotif.DEPTHWISE_CNN)
+        assert dw > dense
+
+    def test_unknown_motif_defaults_to_full_efficiency(self):
+        d = device()
+        assert d.motif_efficiency(ComputeMotif.RNN) == 1.0
+
+    def test_invalid_inputs_rejected(self):
+        d = device()
+        with pytest.raises(ValueError):
+            d.service_time(0.0, 1)
+        with pytest.raises(ValueError):
+            d.service_time(1.0, 0)
+
+
+class TestThroughput:
+    def test_best_offline_picks_a_good_batch(self):
+        d = device(base_utilization=0.05, saturation_gops=100.0)
+        best = d.best_offline_throughput(2.0)
+        for batch in (1, 2, 4, 8, 16, 32):
+            assert best >= d.throughput_at_batch(2.0, batch) - 1e-9
+
+    def test_engines_multiply_throughput(self):
+        single = device(engines=1)
+        dual = device(engines=2)
+        assert dual.best_offline_throughput(2.0) == pytest.approx(
+            2 * single.best_offline_throughput(2.0))
+
+    def test_structure_observation_of_section_7d(self):
+        """175x the ops but only ~50-60x the time (Section VII-D)."""
+        d = device(
+            peak_gops=100_000, base_utilization=0.05,
+            saturation_gops=200.0, max_batch=128,
+            structure_efficiency={
+                ComputeMotif.DENSE_CNN: 1.0,
+                ComputeMotif.DEPTHWISE_CNN: 0.33,
+            },
+        )
+        heavy = d.best_offline_throughput(433.0, ComputeMotif.DENSE_CNN)
+        light = d.best_offline_throughput(2.47, ComputeMotif.DEPTHWISE_CNN)
+        ratio = light / heavy
+        ops_ratio = 433.0 / 2.47
+        assert ratio == pytest.approx(ops_ratio * 0.33, rel=0.15)
+        assert 45 < ratio < 70

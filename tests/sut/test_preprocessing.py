@@ -1,0 +1,70 @@
+"""Preprocessing timing policies (untimed v0.5 rule vs timed proposal)."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.datasets import DatasetQSL, SyntheticImageNet
+from repro.models.runtime import build_glyph_classifier
+from repro.sut.backend import ClassifierSUT, PreprocessingModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = SyntheticImageNet(size=200)
+    qsl = DatasetQSL(dataset)
+    model = build_glyph_classifier(dataset, "light")
+    return qsl, model
+
+
+def run_with(qsl, model, preprocessing):
+    sut = ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.004 * n,
+                        preprocessing=preprocessing)
+    settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=100, min_duration=0.2)
+    return sut, run_benchmark(sut, qsl, settings)
+
+
+def test_untimed_preprocessing_does_not_affect_latency(setup):
+    qsl, model = setup
+    _plain_sut, plain = run_with(qsl, model, None)
+    sut, result = run_with(
+        qsl, model, PreprocessingModel(seconds_per_sample=0.002, timed=False))
+    assert result.primary_metric == pytest.approx(plain.primary_metric)
+    # ...but the work happened and is accounted for.
+    assert sut.untimed_preprocess_seconds > 0
+    assert sut.timed_preprocess_seconds == 0
+
+
+def test_timed_preprocessing_adds_to_latency(setup):
+    qsl, model = setup
+    sut, result = run_with(
+        qsl, model, PreprocessingModel(seconds_per_sample=0.002, timed=True))
+    assert result.primary_metric == pytest.approx(0.004 + 0.002)
+    assert sut.timed_preprocess_seconds > 0
+    assert sut.untimed_preprocess_seconds == 0
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        PreprocessingModel(seconds_per_sample=-0.001)
+
+
+def test_timed_policy_can_change_validity(setup):
+    """A run that meets a bound with untimed preprocessing can fail it
+    once the whole pipeline is timed - why the metric matters."""
+    qsl, model = setup
+    bound = 0.005
+    settings = TestSettings(scenario=Scenario.SERVER,
+                            server_target_qps=50.0,
+                            server_latency_bound=bound,
+                            min_query_count=100, min_duration=0.5)
+    untimed = run_benchmark(
+        ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.004,
+                      preprocessing=PreprocessingModel(0.002, timed=False)),
+        qsl, settings)
+    timed = run_benchmark(
+        ClassifierSUT(model, qsl, service_time_fn=lambda n: 0.004,
+                      preprocessing=PreprocessingModel(0.002, timed=True)),
+        qsl, settings)
+    assert untimed.valid
+    assert not timed.valid

@@ -1,0 +1,68 @@
+"""DVFS/thermal behaviour and the 60-second rule's rationale."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.sut.device import DeviceModel, ProcessorType
+from repro.sut.simulated import SimulatedSUT, WorkloadProfile
+
+from tests.conftest import EchoQSL
+
+
+def phone(cold_boost=1.5, tau=10.0):
+    return DeviceModel(
+        name="thermal-phone", processor=ProcessorType.DSP, peak_gops=60.0,
+        base_utilization=0.6, saturation_gops=3.0, overhead=1e-3,
+        max_batch=4, cold_boost=cold_boost, thermal_time_constant=tau,
+    )
+
+
+class TestSpeedMultiplier:
+    def test_starts_at_boost_decays_to_one(self):
+        device = phone()
+        assert device.speed_multiplier(0.0) == pytest.approx(1.5)
+        assert device.speed_multiplier(10.0) == pytest.approx(
+            1.0 + 0.5 / 2.718281828, rel=1e-6)
+        assert device.speed_multiplier(300.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone_decay(self):
+        device = phone()
+        values = [device.speed_multiplier(t) for t in (0, 5, 10, 30, 60)]
+        assert values == sorted(values, reverse=True)
+
+    def test_no_boost_is_identity(self):
+        device = phone(cold_boost=1.0)
+        assert device.speed_multiplier(0.0) == 1.0
+        assert device.speed_multiplier(100.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phone(cold_boost=0.9)
+        with pytest.raises(ValueError):
+            phone(tau=0.0)
+        with pytest.raises(ValueError):
+            phone().speed_multiplier(-1.0)
+
+
+class TestMinDurationRationale:
+    """Section III-D: short runs measure the DVFS boost, not the
+    equilibrium - the 60-second rule closes that loophole."""
+
+    def _p90(self, duration):
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=64, min_duration=duration)
+        sut = SimulatedSUT(phone(), WorkloadProfile(1.138))
+        result = run_benchmark(sut, EchoQSL(), settings)
+        return result.primary_metric
+
+    def test_short_run_flatters_the_device(self):
+        short = self._p90(duration=1.0)
+        long = self._p90(duration=60.0)
+        # The 1-second run reports meaningfully better latency.
+        assert short < 0.9 * long
+
+    def test_long_run_converges_to_equilibrium(self):
+        device = phone()
+        equilibrium = device.service_time(1.138, 1)
+        long = self._p90(duration=60.0)
+        assert long == pytest.approx(equilibrium, rel=0.05)
