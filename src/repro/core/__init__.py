@@ -13,7 +13,7 @@ from .config import (
     TestSettings,
     task_rules,
 )
-from .events import Clock, EventLoop, VirtualClock, WallClock
+from .events import Clock, EventLoop, RunAbortedError, VirtualClock, WallClock
 from .experimental import (
     BurstSettings,
     find_max_burst_rate,
@@ -21,8 +21,14 @@ from .experimental import (
 )
 from .loadgen import LoadGen, LoadGenResult, run_benchmark
 from .logging import QueryLog
-from .metrics import ScenarioMetrics, compute_metrics
-from .query import Query, QueryRecord, QuerySample, QuerySampleResponse
+from .metrics import ScenarioMetrics, compute_metrics, empty_metrics
+from .query import (
+    Query,
+    QueryFailure,
+    QueryRecord,
+    QuerySample,
+    QuerySampleResponse,
+)
 from .stats import (
     QueryRequirement,
     inverse_normal_cdf,
@@ -47,12 +53,14 @@ __all__ = [
     "MIN_DURATION_SECONDS",
     "OFFLINE_MIN_SAMPLES",
     "Query",
+    "QueryFailure",
     "QueryLog",
     "QueryRecord",
     "QueryRequirement",
     "QuerySample",
     "QuerySampleLibrary",
     "QuerySampleResponse",
+    "RunAbortedError",
     "SERVER_REQUIRED_RUNS",
     "SINGLE_STREAM_MIN_QUERIES",
     "Scenario",
@@ -67,6 +75,7 @@ __all__ = [
     "VirtualClock",
     "WallClock",
     "compute_metrics",
+    "empty_metrics",
     "find_max_burst_rate",
     "run_burst_benchmark",
     "inverse_normal_cdf",

@@ -204,6 +204,13 @@ class TestSettings:
     #: performance run draws from this loaded set with replacement.
     performance_sample_count: Optional[int] = None
 
+    #: Overall-run watchdog, in virtual seconds from the start of the
+    #: run.  When set, a run that is still incomplete at this time is
+    #: terminated and judged INVALID ("watchdog fired"), naming the
+    #: stuck queries - instead of deadlocking on a SUT that dropped a
+    #: response.  ``None`` disables the watchdog (trusted SUTs only).
+    watchdog_timeout: Optional[float] = None
+
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -215,6 +222,51 @@ class TestSettings:
             raise ValueError(
                 "multistream_samples_per_query must be >= 1, got "
                 f"{self.multistream_samples_per_query}"
+            )
+        if self.multistream_interval is not None and self.multistream_interval <= 0:
+            raise ValueError(
+                f"multistream_interval must be positive, got "
+                f"{self.multistream_interval}"
+            )
+        if self.server_latency_bound is not None and self.server_latency_bound <= 0:
+            raise ValueError(
+                f"server_latency_bound must be positive, got "
+                f"{self.server_latency_bound}"
+            )
+        if self.tail_latency_percentile is not None and not (
+            0.0 < self.tail_latency_percentile < 1.0
+        ):
+            raise ValueError(
+                "tail_latency_percentile must be in (0, 1), got "
+                f"{self.tail_latency_percentile}"
+            )
+        if self.min_query_count is not None and self.min_query_count < 1:
+            raise ValueError(
+                f"min_query_count must be >= 1, got {self.min_query_count}"
+            )
+        if self.min_duration is not None and (
+            self.min_duration < 0 or self.min_duration != self.min_duration
+        ):
+            raise ValueError(
+                f"min_duration must be a non-negative number, got "
+                f"{self.min_duration}"
+            )
+        if self.offline_sample_count is not None and self.offline_sample_count < 1:
+            raise ValueError(
+                f"offline_sample_count must be >= 1, got "
+                f"{self.offline_sample_count}"
+            )
+        if (
+            self.performance_sample_count is not None
+            and self.performance_sample_count < 1
+        ):
+            raise ValueError(
+                f"performance_sample_count must be >= 1, got "
+                f"{self.performance_sample_count}"
+            )
+        if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
+            raise ValueError(
+                f"watchdog_timeout must be positive, got {self.watchdog_timeout}"
             )
 
     # -- resolved rule values -------------------------------------------------

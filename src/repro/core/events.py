@@ -31,6 +31,23 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 
+class RunAbortedError(RuntimeError):
+    """An event callback raised and the run cannot continue.
+
+    Wraps the original exception with the event-loop context a bare
+    traceback loses: the virtual time at which the event fired and the
+    callback that owned it.  The LoadGen converts this into an INVALID
+    run result instead of crashing the whole process.
+    """
+
+    def __init__(self, message: str, *, time: float, origin: str,
+                 cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.time = time
+        self.origin = origin
+        self.cause = cause
+
+
 class Clock:
     """Minimal time source interface used throughout the benchmark."""
 
@@ -146,7 +163,21 @@ class EventLoop:
                 break
             heapq.heappop(self._heap)
             self.clock.advance_to(event.time)
-            event.callback()
+            try:
+                event.callback()
+            except RunAbortedError:
+                raise
+            except Exception as exc:
+                origin = getattr(
+                    event.callback, "__qualname__", None
+                ) or repr(event.callback)
+                raise RunAbortedError(
+                    f"event callback raised at t={event.time:.6f}s "
+                    f"(origin {origin}): {exc!r}",
+                    time=event.time,
+                    origin=origin,
+                    cause=exc,
+                ) from exc
         if until is not None and until > self.now:
             self.clock.advance_to(until)
         return self.now

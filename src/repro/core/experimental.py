@@ -29,10 +29,10 @@ from typing import Callable, Optional
 import numpy as np
 
 from .config import Scenario, Task, TestSettings, task_rules
-from .events import EventLoop, VirtualClock
+from .events import EventLoop, RunAbortedError, VirtualClock
 from .loadgen import LoadGenResult
 from .logging import QueryLog
-from .metrics import compute_metrics
+from .metrics import compute_metrics, empty_metrics
 from .query import Query
 from .sampler import SampleSelector
 from .scenarios import PerformanceSource, ScenarioDriver
@@ -144,16 +144,18 @@ def run_burst_benchmark(
                              burst_size=burst.burst_size)
         sut.start_run(loop, driver.handle_completion)
         driver.start()
-        loop.run()
-        if log.outstanding:
-            raise RuntimeError(
-                f"SUT '{sut.name}' left {log.outstanding} burst queries "
-                "uncompleted"
-            )
-        metrics = compute_metrics(log, settings)
+        try:
+            loop.run()
+        except RunAbortedError as abort:
+            driver.stats.aborted = str(abort)
+        if log.completed_records():
+            metrics = compute_metrics(log, settings)
+        else:
+            metrics = empty_metrics(log, settings)
         validity = validate_run(log, settings, driver.stats)
         return LoadGenResult(settings=settings, log=log, metrics=metrics,
-                             validity=validity, loaded_indices=loaded)
+                             validity=validity, loaded_indices=loaded,
+                             stats=driver.stats)
     finally:
         qsl.unload_samples(loaded)
 

@@ -19,14 +19,14 @@ real backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .config import Scenario, TestMode, TestSettings
-from .events import EventLoop, VirtualClock
+from .events import EventLoop, RunAbortedError, VirtualClock
 from .logging import QueryLog
-from .metrics import ScenarioMetrics, compute_metrics
+from .metrics import ScenarioMetrics, compute_metrics, empty_metrics
 from .sampler import SampleSelector, accuracy_mode_indices
 from .scenarios import (
     AccuracySource,
@@ -48,6 +48,8 @@ class LoadGenResult:
     metrics: ScenarioMetrics
     validity: ValidityReport
     loaded_indices: List[int]
+    #: Driver-side run accounting (watchdog / abort state lives here).
+    stats: Optional[DriverStats] = None
 
     @property
     def valid(self) -> bool:
@@ -99,6 +101,11 @@ class LoadGen:
         if total < 1:
             raise ValueError(f"query sample library '{qsl.name}' is empty")
         budget = self.settings.performance_sample_count
+        if budget is not None and budget > total:
+            raise ValueError(
+                f"performance_sample_count {budget} exceeds the "
+                f"{total} samples in query sample library '{qsl.name}'"
+            )
         if budget is None:
             budget = qsl.performance_sample_count
         budget = min(budget, total)
@@ -148,17 +155,31 @@ class LoadGen:
             source = self._make_source(loaded)
             driver = make_driver(loop, settings, sut, source, log)
 
+            watchdog = settings.watchdog_timeout
+            if watchdog is not None:
+                def _watchdog_fired() -> None:
+                    if log.outstanding == 0 and loop.pending() == 0:
+                        return  # run already finished; nothing is stuck
+                    driver.stats.watchdog_fired = True
+                    driver.stats.watchdog_time = loop.now
+                    loop.stop()
+
+                loop.schedule(watchdog, _watchdog_fired)
+
             sut.start_run(loop, driver.handle_completion)
             driver.start()
-            loop.run()
+            try:
+                loop.run()
+            except RunAbortedError as abort:
+                # A callback blew up mid-run.  The referee's job is to
+                # return a verdict, not a traceback: record the abort
+                # context and judge whatever the log holds.
+                driver.stats.aborted = str(abort)
 
-            if log.outstanding:
-                raise RuntimeError(
-                    f"SUT '{sut.name}' left {log.outstanding} queries "
-                    "uncompleted after the event loop drained"
-                )
-
-            metrics = compute_metrics(log, settings)
+            if log.completed_records():
+                metrics = compute_metrics(log, settings)
+            else:
+                metrics = empty_metrics(log, settings)
             validity = validate_run(log, settings, driver.stats)
             return LoadGenResult(
                 settings=settings,
@@ -166,6 +187,7 @@ class LoadGen:
                 metrics=metrics,
                 validity=validity,
                 loaded_indices=list(loaded),
+                stats=driver.stats,
             )
         finally:
             qsl.unload_samples(loaded)

@@ -14,7 +14,7 @@ random payload logging via ``log_sample_probability``.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,7 +22,17 @@ from .query import Query, QueryRecord, QuerySampleResponse
 
 
 class QueryLog:
-    """Append-only log of query lifecycles for one LoadGen run."""
+    """Append-only log of query lifecycles for one LoadGen run.
+
+    The log is also the referee's misbehavior detector: completions for
+    unknown queries, duplicate completions, and malformed response sets
+    are recorded as anomalies (``unsolicited_responses``,
+    ``duplicate_completions``, failed records) via
+    :meth:`observe_completion` so the run can terminate with a precise
+    INVALID verdict instead of crashing mid-flight.  The strict
+    :meth:`record_completion` API, which raises on the same conditions,
+    remains for callers that build logs by hand.
+    """
 
     def __init__(self, log_sample_probability: float = 0.0, seed: int = 0) -> None:
         if not 0.0 <= log_sample_probability <= 1.0:
@@ -35,6 +45,10 @@ class QueryLog:
         self._rng = np.random.default_rng(seed)
         #: Count of issued samples (not queries) for throughput metrics.
         self.issued_samples = 0
+        #: (query_id, time) of completions that arrived more than once.
+        self.duplicate_completions: List[Tuple[int, float]] = []
+        #: (query_id, time) of completions for queries never issued.
+        self.unsolicited_responses: List[Tuple[int, float]] = []
 
     def record_issue(self, query: Query, issue_time: float,
                      scheduled_time: Optional[float] = None) -> None:
@@ -56,7 +70,7 @@ class QueryLog:
         record = self._records.get(query.id)
         if record is None:
             raise ValueError(f"completion for unknown query {query.id}")
-        if record.completed:
+        if record.resolved:
             raise ValueError(f"query {query.id} completed twice")
         if completion_time < record.issue_time:
             raise ValueError(
@@ -75,6 +89,78 @@ class QueryLog:
         ):
             record.responses = list(responses)
 
+    # -- tolerant referee path -------------------------------------------------
+
+    def observe_completion(
+        self,
+        query: Query,
+        completion_time: float,
+        responses: List[QuerySampleResponse],
+        keep_responses: bool,
+    ) -> str:
+        """Record a completion, classifying misbehavior instead of raising.
+
+        Returns the terminal classification:
+
+        * ``"completed"``   - a clean completion, recorded as usual;
+        * ``"failed"``      - the query resolved, but its response set was
+          malformed (wrong count, wrong sample ids, time before issue);
+        * ``"duplicate"``   - the query was already resolved; noted in
+          :attr:`duplicate_completions`, record untouched;
+        * ``"unsolicited"`` - no such query was ever issued; noted in
+          :attr:`unsolicited_responses`.
+        """
+        record = self._records.get(query.id)
+        if record is None:
+            self.unsolicited_responses.append((query.id, completion_time))
+            return "unsolicited"
+        if record.resolved:
+            self.duplicate_completions.append((query.id, completion_time))
+            return "duplicate"
+        if completion_time < record.issue_time:
+            return self.record_failure(
+                query, completion_time,
+                f"completed at {completion_time} before issue at "
+                f"{record.issue_time}",
+            )
+        if len(responses) != query.sample_count:
+            return self.record_failure(
+                query, completion_time,
+                f"expected {query.sample_count} responses, got {len(responses)}",
+            )
+        expected_ids = {s.id for s in query.samples}
+        got_ids = {r.sample_id for r in responses}
+        if got_ids != expected_ids:
+            return self.record_failure(
+                query, completion_time,
+                f"{len(got_ids - expected_ids)} responses name sample ids "
+                "that are not part of the query",
+            )
+        record.completion_time = completion_time
+        if keep_responses or (
+            self.log_sample_probability > 0.0
+            and self._rng.random() < self.log_sample_probability
+        ):
+            record.responses = list(responses)
+        return "completed"
+
+    def record_failure(self, query: Query, time: float, reason: str) -> str:
+        """Mark an issued query as failed (it will never complete cleanly).
+
+        Classifies like :meth:`observe_completion`: failures for unknown
+        or already-resolved queries are themselves anomalies.
+        """
+        record = self._records.get(query.id)
+        if record is None:
+            self.unsolicited_responses.append((query.id, time))
+            return "unsolicited"
+        if record.resolved:
+            self.duplicate_completions.append((query.id, time))
+            return "duplicate"
+        record.failure_reason = reason
+        record.failure_time = time
+        return "failed"
+
     # -- views ----------------------------------------------------------------
 
     def records(self) -> List[QueryRecord]:
@@ -82,7 +168,16 @@ class QueryLog:
         return [self._records[qid] for qid in self._order]
 
     def completed_records(self) -> List[QueryRecord]:
-        return [r for r in self.records() if r.completed]
+        """Cleanly completed records (failed queries are excluded)."""
+        return [r for r in self.records() if r.completed and not r.failed]
+
+    def failed_records(self) -> List[QueryRecord]:
+        """Records that resolved as failures (malformed, retries spent)."""
+        return [r for r in self.records() if r.failed]
+
+    def outstanding_records(self) -> List[QueryRecord]:
+        """Issued queries that never reached a terminal state."""
+        return [r for r in self.records() if not r.resolved]
 
     def latencies(self) -> List[float]:
         return [r.latency for r in self.completed_records()]
@@ -93,7 +188,17 @@ class QueryLog:
 
     @property
     def outstanding(self) -> int:
-        return sum(1 for r in self._records.values() if not r.completed)
+        return sum(1 for r in self._records.values() if not r.resolved)
+
+    @property
+    def anomaly_count(self) -> int:
+        """Total misbehavior observations (duplicates + unsolicited +
+        failed records)."""
+        return (
+            len(self.duplicate_completions)
+            + len(self.unsolicited_responses)
+            + len(self.failed_records())
+        )
 
     def logged_responses(self) -> Dict[int, object]:
         """Map sample id -> response payload for records that kept them."""
@@ -136,6 +241,9 @@ class QueryLog:
                 "scheduled_time": record.scheduled_time,
                 "completion_time": record.completion_time,
             }
+            if record.failed:
+                entry["failure_reason"] = record.failure_reason
+                entry["failure_time"] = record.failure_time
             if record.responses is not None:
                 entry["responses"] = [
                     _jsonable(r.data) for r in record.responses

@@ -50,6 +50,38 @@ def run_duration(log: QueryLog) -> float:
     return last - first
 
 
+def scenario_metric_name(scenario: Scenario) -> str:
+    """The Table II primary-metric label for ``scenario``."""
+    return {
+        Scenario.SINGLE_STREAM: "90th-percentile latency (s)",
+        Scenario.MULTI_STREAM: "streams",
+        Scenario.SERVER: "scheduled queries/s",
+        Scenario.OFFLINE: "samples/s",
+    }[scenario]
+
+
+def empty_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
+    """Zeroed metrics for a run that completed no queries cleanly.
+
+    Such a run is necessarily INVALID, but the referee still reports a
+    result object (query counts, zero throughput) rather than crashing -
+    the verdict, not an exception, is how a misbehaving SUT surfaces.
+    """
+    return ScenarioMetrics(
+        scenario=settings.scenario,
+        query_count=log.query_count,
+        sample_count=0,
+        duration=0.0,
+        latency_mean=0.0,
+        latency_p50=0.0,
+        latency_p90=0.0,
+        latency_p99=0.0,
+        primary_metric=0.0,
+        primary_metric_name=scenario_metric_name(settings.scenario),
+        throughput=0.0,
+    )
+
+
 def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
     """Compute the Table II metric (plus latency summary) for a run."""
     latencies = log.latencies()
@@ -60,18 +92,15 @@ def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
     throughput = sample_count / duration if duration > 0 else float("inf")
 
     scenario = settings.scenario
+    name = scenario_metric_name(scenario)
     if scenario is Scenario.SINGLE_STREAM:
         primary = percentile(latencies, 0.90)
-        name = "90th-percentile latency (s)"
     elif scenario is Scenario.MULTI_STREAM:
         primary = float(settings.multistream_samples_per_query)
-        name = "streams"
     elif scenario is Scenario.SERVER:
         primary = settings.server_target_qps
-        name = "scheduled queries/s"
     elif scenario is Scenario.OFFLINE:
         primary = throughput
-        name = "samples/s"
     else:  # pragma: no cover - exhaustive over the enum
         raise ValueError(f"unknown scenario {scenario}")
 

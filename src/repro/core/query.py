@@ -57,6 +57,26 @@ class Query:
         return tuple(s.index for s in self.samples)
 
 
+class QueryFailure:
+    """A SUT's admission that it cannot answer a query.
+
+    Delivered through the same responder channel as a normal response
+    list (``SutBase.fail``), so the referee hears about permanent
+    failures - retry exhaustion, output-count mismatches, backend
+    crashes - instead of waiting forever for responses that will never
+    come.  The LoadGen records the query as *failed* (not completed) and
+    the run is INVALID, but it terminates cleanly.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"QueryFailure(reason={self.reason!r})"
+
+
 class QuerySampleResponse:
     """The SUT's answer for one sample of a query.
 
@@ -92,6 +112,10 @@ class QueryRecord:
     completion_time: Optional[float] = None
     responses: Optional[List[QuerySampleResponse]] = None
     scheduled_time: Optional[float] = None
+    #: Set when the query resolved as a failure (malformed completion,
+    #: retry exhaustion, ...) rather than a clean response.
+    failure_reason: Optional[str] = None
+    failure_time: Optional[float] = None
 
     @property
     def latency(self) -> float:
@@ -103,3 +127,12 @@ class QueryRecord:
     @property
     def completed(self) -> bool:
         return self.completion_time is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure_reason is not None
+
+    @property
+    def resolved(self) -> bool:
+        """The query reached *some* terminal state (clean or failed)."""
+        return self.completed or self.failed

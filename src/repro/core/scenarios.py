@@ -29,7 +29,7 @@ import numpy as np
 from .config import Scenario, TestMode, TestSettings
 from .events import EventLoop
 from .logging import QueryLog
-from .query import Query
+from .query import Query, QueryFailure
 from .sampler import QueryFactory, SampleSelector
 from .sut import SystemUnderTest
 
@@ -97,6 +97,12 @@ class DriverStats:
     #: Offline: number of batch queries issued (1 unless the minimum
     #: duration forced extras).
     offline_queries: int = 0
+    #: Watchdog: set when the overall-run timeout terminated the run.
+    watchdog_fired: bool = False
+    watchdog_time: float = 0.0
+    #: Set when an event callback raised and the run was aborted
+    #: (the RunAbortedError message, with virtual time and origin).
+    aborted: Optional[str] = None
 
 
 class ScenarioDriver:
@@ -138,10 +144,24 @@ class ScenarioDriver:
         return query
 
     def handle_completion(self, query: Query, responses) -> None:
-        keep = self.settings.mode is TestMode.ACCURACY
-        self.log.record_completion(query, self.loop.now, responses, keep_responses=keep)
-        self._outstanding -= 1
-        self.on_completion(query)
+        """Referee-side intake of whatever the SUT delivers.
+
+        Clean completions and recorded failures resolve the query and
+        advance the scenario; duplicate or unsolicited completions are
+        logged as anomalies and otherwise ignored - a misbehaving SUT
+        must be able to invalidate a run, never to corrupt or crash it.
+        """
+        now = self.loop.now
+        if isinstance(responses, QueryFailure):
+            status = self.log.record_failure(query, now, responses.reason)
+        else:
+            keep = self.settings.mode is TestMode.ACCURACY
+            status = self.log.observe_completion(
+                query, now, responses, keep_responses=keep
+            )
+        if status in ("completed", "failed"):
+            self._outstanding -= 1
+            self.on_completion(query)
 
     def _performance_goals_met(self) -> bool:
         elapsed = self.loop.now - self.stats.start_time

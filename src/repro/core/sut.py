@@ -20,9 +20,12 @@ from __future__ import annotations
 from typing import Callable, List, Protocol, Sequence, runtime_checkable
 
 from .events import EventLoop
-from .query import Query, QuerySampleResponse
+from .query import Query, QueryFailure, QuerySampleResponse
 
-#: Signature of the completion callback handed to the SUT.
+#: Signature of the completion callback handed to the SUT.  The second
+#: argument is normally the response list; a SUT may instead deliver a
+#: :class:`~repro.core.query.QueryFailure` (see :meth:`SutBase.fail`) to
+#: report that the query will never complete cleanly.
 Responder = Callable[[Query, List[QuerySampleResponse]], None]
 
 
@@ -108,6 +111,17 @@ class SutBase:
         if self._responder is None:
             raise RuntimeError("start_run was never called on this SUT")
         self._responder(query, responses)
+
+    def fail(self, query: Query, reason: str) -> None:
+        """Report that ``query`` will never complete cleanly.
+
+        The referee records the failure (the run becomes INVALID with a
+        "malformed responses" verdict) but keeps running - a misbehaving
+        backend must not kill the harness.
+        """
+        if self._responder is None:
+            raise RuntimeError("start_run was never called on this SUT")
+        self._responder(query, QueryFailure(reason))
 
     def issue_query(self, query: Query) -> None:
         raise NotImplementedError

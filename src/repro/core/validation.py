@@ -13,8 +13,15 @@ A performance run is VALID only if:
 * multistream: no more than 1% (3%) of queries produced one or more
   skipped arrival intervals.
 
-Accuracy-mode runs only require full completion - their pass/fail
-judgement belongs to the accuracy script (``repro.accuracy.checker``).
+On top of the paper's rules, the referee flags SUT misbehavior it
+detected while the run was in flight (the paper's v0.5 round relied on
+audits to catch exactly this, Section V): duplicate completions,
+unsolicited responses for queries never issued, malformed response sets,
+a fired watchdog, and aborted runs all yield their own INVALID reasons.
+
+Accuracy-mode runs only require full, well-formed completion - their
+pass/fail judgement belongs to the accuracy script
+(``repro.accuracy.checker``).
 """
 
 from __future__ import annotations
@@ -33,10 +40,68 @@ class ValidityReport:
 
     valid: bool
     reasons: List[str] = field(default_factory=list)
-    details: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.valid
+
+
+#: Cap on per-query diagnostics (issue times, reasons) copied into
+#: ``ValidityReport.details`` - enough to see where a run stalled
+#: without dragging a 270k-query log into the report.
+_DETAIL_LIMIT = 16
+
+
+def _check_misbehavior(
+    log: QueryLog, stats: DriverStats,
+    reasons: List[str], details: Dict[str, object],
+) -> None:
+    """SUT-misbehavior verdicts; they apply to every mode and scenario."""
+    if stats.aborted:
+        reasons.append(f"run aborted: {stats.aborted}")
+
+    if stats.watchdog_fired:
+        reasons.append(
+            f"watchdog fired at {stats.watchdog_time:.3f}s with "
+            f"{log.outstanding} queries outstanding"
+        )
+        details["watchdog_time"] = stats.watchdog_time
+
+    if log.outstanding:
+        stuck = log.outstanding_records()
+        issue_times = sorted(r.issue_time for r in stuck)
+        reasons.append(f"{log.outstanding} queries never completed")
+        # Where the run stalled: the first/last stuck issue, plus a
+        # sample of issue times for the report.
+        details["outstanding_issue_times"] = issue_times[:_DETAIL_LIMIT]
+        details["first_stuck_issue_time"] = issue_times[0]
+        details["last_stuck_issue_time"] = issue_times[-1]
+
+    if log.duplicate_completions:
+        times = [t for _qid, t in log.duplicate_completions]
+        reasons.append(
+            f"{len(log.duplicate_completions)} duplicate completions"
+        )
+        details["duplicate_completion_count"] = len(log.duplicate_completions)
+        details["first_duplicate_time"] = min(times)
+
+    if log.unsolicited_responses:
+        reasons.append(
+            f"{len(log.unsolicited_responses)} unsolicited responses "
+            "(completions for queries never issued)"
+        )
+        details["unsolicited_response_count"] = len(log.unsolicited_responses)
+
+    failed = log.failed_records()
+    if failed:
+        reasons.append(
+            f"{len(failed)} malformed responses "
+            f"(e.g. query {failed[0].query.id}: {failed[0].failure_reason})"
+        )
+        details["malformed_response_count"] = len(failed)
+        details["failure_reasons"] = [
+            r.failure_reason for r in failed[:_DETAIL_LIMIT]
+        ]
 
 
 def validate_run(
@@ -44,15 +109,14 @@ def validate_run(
 ) -> ValidityReport:
     """Apply the v0.5 validity rules to a finished run."""
     reasons: List[str] = []
-    details: Dict[str, float] = {}
+    details: Dict[str, object] = {}
 
-    if log.outstanding:
-        reasons.append(f"{log.outstanding} queries never completed")
+    _check_misbehavior(log, stats, reasons, details)
 
     records = log.completed_records()
     if not records:
-        return ValidityReport(valid=False, reasons=["no queries completed"],
-                              details=details)
+        reasons.append("no queries completed")
+        return ValidityReport(valid=False, reasons=reasons, details=details)
 
     # Duration runs from the driver's start (the clock the 60 s rule is
     # written against) to the final completion.

@@ -1,0 +1,30 @@
+"""Fault injection and run-resilience tooling.
+
+The referee side of MLPerf Inference is only credible if it can referee:
+this package supplies deterministic misbehavior (``FaultPlan`` /
+``FaultInjector`` / ``FaultySUT``) to prove the hardened LoadGen always
+terminates with the right verdict, and a submitter-side retry wrapper
+(``ResilientSUT``) that turns transient faults back into VALID runs.
+"""
+
+from .plan import (
+    TRANSIENT_FAULTS,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultType,
+)
+from .resilient import ResilienceStats, ResilientSUT, RetryPolicy
+from .sut import FaultySUT
+
+__all__ = [
+    "TRANSIENT_FAULTS",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultType",
+    "FaultySUT",
+    "ResilienceStats",
+    "ResilientSUT",
+    "RetryPolicy",
+]

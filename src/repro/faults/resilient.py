@@ -1,0 +1,170 @@
+"""Retry/deadline wrapper that makes a flaky SUT presentable.
+
+``ResilientSUT`` is the submitter-side mirror of the referee hardening:
+it wraps an unreliable backend and enforces a per-attempt deadline,
+bounded retries with exponential backoff, and response hygiene
+(duplicate and unsolicited completions are filtered, malformed response
+sets are retried).  Transient faults - drops, latency spikes - are
+recovered at the cost of the retry latency; permanent ones are reported
+to the LoadGen as recorded failures (:meth:`SutBase.fail`) so the run
+terminates with a clean INVALID verdict instead of hanging.
+
+All timing runs on the run's event loop, so resilience behavior is as
+deterministic and virtual-time-fast as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.events import EventHandle, EventLoop
+from ..core.query import Query, QueryFailure
+from ..core.sut import Responder, SutBase, SystemUnderTest
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry parameters for :class:`ResilientSUT`."""
+
+    #: Total attempts per query (first try included).
+    max_attempts: int = 4
+    #: Per-attempt deadline, seconds: how long to wait for the inner SUT
+    #: before declaring the attempt lost.
+    attempt_timeout: float = 0.050
+    #: Backoff before attempt ``n`` retries: ``base * factor**(n-1)``.
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.attempt_timeout <= 0:
+            raise ValueError(
+                f"attempt_timeout must be positive, got {self.attempt_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before re-issuing after losing ``attempt`` (0-based)."""
+        return self.backoff_base * (self.backoff_factor ** attempt)
+
+
+@dataclass
+class ResilienceStats:
+    """What the wrapper did during one run."""
+
+    retries: int = 0
+    recovered_queries: int = 0
+    gave_up_queries: int = 0
+    filtered_completions: int = 0
+    malformed_attempts: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"retries={self.retries} recovered={self.recovered_queries} "
+            f"gave_up={self.gave_up_queries} "
+            f"filtered={self.filtered_completions} "
+            f"malformed={self.malformed_attempts}"
+        )
+
+
+@dataclass
+class _Inflight:
+    query: Query
+    attempt: int = 0
+    timer: Optional[EventHandle] = None
+
+
+class ResilientSUT(SutBase):
+    """Bounded retry + per-attempt deadline around an inner SUT."""
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        policy: Optional[RetryPolicy] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"resilient[{inner.name}]")
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = ResilienceStats()
+        self._inflight: Dict[int, _Inflight] = {}
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.stats = ResilienceStats()
+        self._inflight = {}
+        self.inner.start_run(loop, self._on_inner_completion)
+
+    def issue_query(self, query: Query) -> None:
+        state = _Inflight(query=query)
+        self._inflight[query.id] = state
+        self._attempt(state)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    # -- attempts ---------------------------------------------------------------
+
+    def _attempt(self, state: _Inflight) -> None:
+        state.timer = self.loop.schedule_after(
+            self.policy.attempt_timeout, lambda: self._attempt_lost(state)
+        )
+        self.inner.issue_query(state.query)
+
+    def _attempt_lost(self, state: _Inflight) -> None:
+        qid = state.query.id
+        if self._inflight.get(qid) is not state:
+            return  # resolved in the meantime
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        if state.attempt + 1 >= self.policy.max_attempts:
+            del self._inflight[qid]
+            self.stats.gave_up_queries += 1
+            self.fail(
+                state.query,
+                f"no valid response after {self.policy.max_attempts} attempts",
+            )
+            return
+        backoff = self.policy.backoff(state.attempt)
+        state.attempt += 1
+        self.stats.retries += 1
+        self.loop.schedule_after(backoff, lambda: self._reissue(state))
+
+    def _reissue(self, state: _Inflight) -> None:
+        if self._inflight.get(state.query.id) is state:
+            self._attempt(state)
+
+    # -- inner completions ------------------------------------------------------
+
+    def _is_malformed(self, query: Query, responses) -> bool:
+        if len(responses) != query.sample_count:
+            return True
+        return {r.sample_id for r in responses} != {s.id for s in query.samples}
+
+    def _on_inner_completion(self, query: Query, responses) -> None:
+        state = self._inflight.get(query.id)
+        if state is None:
+            # Duplicate, unsolicited, or post-deadline straggler: the
+            # resilience layer absorbs it so the referee never sees it.
+            self.stats.filtered_completions += 1
+            return
+        if isinstance(responses, QueryFailure) or self._is_malformed(query, responses):
+            # A bad attempt is a lost attempt; retry immediately rather
+            # than waiting out the deadline.
+            self.stats.malformed_attempts += 1
+            self._attempt_lost(state)
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        del self._inflight[query.id]
+        if state.attempt > 0:
+            self.stats.recovered_queries += 1
+        self.complete(query, responses)

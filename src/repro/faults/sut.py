@@ -1,0 +1,147 @@
+"""A fault-injecting wrapper around any :class:`SystemUnderTest`.
+
+``FaultySUT`` sits between the LoadGen and a real SUT on the event loop
+and perturbs the completion stream according to a deterministic
+:class:`~repro.faults.plan.FaultPlan`.  It exercises exactly the
+misbehavior the hardened referee must survive: dropped and duplicated
+completions, completions for phantom queries, mis-sized and corrupted
+response sets, latency spikes, and a full SUT crash.  The wrapped SUT is
+never told it is being sabotaged - like a real flaky runtime, it does
+its work and the failures happen on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Union
+
+from ..core.query import Query, QueryFailure, QuerySample, QuerySampleResponse
+from ..core.sut import Responder, SutBase, SystemUnderTest
+from ..core.events import EventLoop
+from .plan import FaultDecision, FaultInjector, FaultPlan, FaultType
+
+#: Offset added to sample ids by the CORRUPT fault, large enough to
+#: never collide with real ids issued by the QueryFactory.
+_CORRUPT_ID_OFFSET = 1_000_000_007
+
+#: Base for phantom query ids fabricated by the UNSOLICITED fault.
+_PHANTOM_ID_BASE = 2_000_000_000
+
+
+class FaultySUT(SutBase):
+    """Injects plan-scheduled faults around an inner SUT.
+
+    Faults that need a completion to act on (drop, duplicate, delay,
+    missized, corrupt, unsolicited) are applied when the inner SUT
+    completes; STALL acts at issue time and silently swallows that query
+    and every later one, modelling a crashed backend.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        plan_or_injector: Union[FaultPlan, FaultInjector],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"faulty[{inner.name}]")
+        self.inner = inner
+        self.injector = (
+            plan_or_injector
+            if isinstance(plan_or_injector, FaultInjector)
+            else FaultInjector(plan_or_injector)
+        )
+        self.crashed = False
+        self._attempts: dict = {}
+        self._decisions: dict = {}
+        self._phantom_ids = itertools.count(_PHANTOM_ID_BASE)
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.crashed = False
+        self._attempts = {}
+        self._decisions = {}
+        self.injector.reset()
+        self.inner.start_run(loop, self._intercept)
+
+    def issue_query(self, query: Query) -> None:
+        if self.crashed:
+            return  # a crashed SUT swallows everything, silently
+        attempt = self._attempts.get(query.id, 0)
+        self._attempts[query.id] = attempt + 1
+        decision = self.injector.decide(query.id, attempt)
+        if decision is not None and decision.fault is FaultType.STALL:
+            self.crashed = True
+            return
+        self._decisions[query.id] = decision
+        self.inner.issue_query(query)
+
+    def flush(self) -> None:
+        if not self.crashed:
+            self.inner.flush()
+
+    # -- the wire ---------------------------------------------------------------
+
+    def _intercept(self, query: Query, responses) -> None:
+        decision = self._decisions.pop(query.id, None)
+        if decision is None or isinstance(responses, QueryFailure):
+            self.complete(query, responses)
+            return
+        fault = decision.fault
+
+        if fault is FaultType.DROP:
+            return  # the response vanishes
+
+        if fault is FaultType.DELAY:
+            self.loop.schedule_after(
+                decision.delay, lambda: self.complete(query, responses)
+            )
+            return
+
+        if fault is FaultType.DUPLICATE:
+            self.complete(query, responses)
+            twin = list(responses)
+            self.loop.schedule_after(
+                self.injector.plan.duplicate_lag,
+                lambda: self.complete(query, twin),
+            )
+            return
+
+        if fault is FaultType.MISSIZED:
+            self.complete(query, self._missize(responses))
+            return
+
+        if fault is FaultType.CORRUPT:
+            corrupted = [
+                QuerySampleResponse(r.sample_id + _CORRUPT_ID_OFFSET, r.data)
+                for r in responses
+            ]
+            self.complete(query, corrupted)
+            return
+
+        if fault is FaultType.UNSOLICITED:
+            # The genuine answer still arrives; an extra completion for
+            # a query the LoadGen never issued rides along with it.
+            self.complete(query, responses)
+            phantom_sample = QuerySample(id=next(self._phantom_ids), index=0)
+            phantom = Query(
+                id=next(self._phantom_ids),
+                samples=(phantom_sample,),
+                issue_time=self.loop.now,
+            )
+            self.complete(
+                phantom, [QuerySampleResponse(phantom_sample.id, None)]
+            )
+            return
+
+        # pragma: no cover - exhaustive over FaultType minus STALL
+        raise AssertionError(f"unhandled fault {fault}")
+
+    @staticmethod
+    def _missize(responses: List[QuerySampleResponse]) -> List[QuerySampleResponse]:
+        """Return a response set with the wrong cardinality."""
+        if len(responses) > 1:
+            return responses[:-1]
+        # A single-sample query cannot lose a response and stay
+        # non-empty in an interesting way; grow it instead.
+        extra_id = (responses[0].sample_id if responses else 0) + _CORRUPT_ID_OFFSET
+        return list(responses) + [QuerySampleResponse(extra_id, None)]

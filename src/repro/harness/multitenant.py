@@ -21,10 +21,10 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..core.config import TestMode, TestSettings
-from ..core.events import EventLoop, VirtualClock
+from ..core.events import EventLoop, RunAbortedError, VirtualClock
 from ..core.loadgen import LoadGenResult
 from ..core.logging import QueryLog
-from ..core.metrics import compute_metrics
+from ..core.metrics import compute_metrics, empty_metrics
 from ..core.query import Query, QuerySampleResponse
 from ..core.sampler import SampleSelector
 from ..core.scenarios import PerformanceSource, make_driver
@@ -186,21 +186,27 @@ def run_multitenant(
 
     for _spec, driver in drivers:
         driver.start()
-    loop.run()
+    try:
+        loop.run()
+    except RunAbortedError as abort:
+        for _spec, driver in drivers:
+            driver.stats.aborted = str(abort)
 
     results: Dict[str, LoadGenResult] = {}
     for spec, driver in drivers:
         log = logs[spec.name]
-        if log.outstanding:
-            raise RuntimeError(
-                f"tenant {spec.name} left {log.outstanding} queries open"
-            )
+        metrics = (
+            compute_metrics(log, spec.settings)
+            if log.completed_records()
+            else empty_metrics(log, spec.settings)
+        )
         results[spec.name] = LoadGenResult(
             settings=spec.settings,
             log=log,
-            metrics=compute_metrics(log, spec.settings),
+            metrics=metrics,
             validity=validate_run(log, spec.settings, driver.stats),
             loaded_indices=list(range(pool_size)),
+            stats=driver.stats,
         )
     return results
 

@@ -88,16 +88,23 @@ class _ModelSUT(SutBase):
         outputs = self._predict(samples)
         elapsed = time.perf_counter() - started
         self.compute_seconds += elapsed
-        if len(outputs) != len(query.samples):
-            raise RuntimeError(
-                f"{self.name}: {len(outputs)} outputs for "
-                f"{len(query.samples)} samples"
-            )
         if self.service_time_fn is not None:
             duration = self.service_time_fn(query.sample_count)
         else:
             duration = elapsed
         duration += self._preprocess_duration(query.sample_count)
+        if len(outputs) != len(query.samples):
+            # A backend that mis-sizes its output batch is a recorded
+            # query failure (the run goes INVALID), not an exception
+            # that kills the event loop.
+            reason = (
+                f"{self.name} produced {len(outputs)} outputs for "
+                f"{len(query.samples)} samples"
+            )
+            self.loop.schedule_after(
+                duration, lambda: self.fail(query, reason)
+            )
+            return
         responses = [
             QuerySampleResponse(sample.id, output)
             for sample, output in zip(query.samples, outputs)

@@ -142,3 +142,73 @@ class TestSettingsResolution:
 
     def test_default_mode_is_performance(self):
         assert TestSettings(scenario=Scenario.OFFLINE).mode is TestMode.PERFORMANCE
+
+
+class TestSettingsInputValidation:
+    """Every nonsensical knob is rejected at construction time."""
+
+    def test_negative_qps_rejected(self):
+        with pytest.raises(ValueError, match="server_target_qps"):
+            TestSettings(scenario=Scenario.SERVER, server_target_qps=-1.0)
+
+    def test_zero_multistream_interval_rejected(self):
+        with pytest.raises(ValueError, match="multistream_interval"):
+            TestSettings(scenario=Scenario.MULTI_STREAM,
+                         multistream_interval=0.0)
+
+    def test_negative_multistream_interval_rejected(self):
+        with pytest.raises(ValueError, match="multistream_interval"):
+            TestSettings(scenario=Scenario.MULTI_STREAM,
+                         multistream_interval=-0.05)
+
+    def test_zero_server_latency_bound_rejected(self):
+        with pytest.raises(ValueError, match="server_latency_bound"):
+            TestSettings(scenario=Scenario.SERVER, server_latency_bound=0.0)
+
+    @pytest.mark.parametrize("percentile", [0.0, 1.0, -0.5, 1.5])
+    def test_tail_percentile_outside_unit_interval_rejected(self, percentile):
+        with pytest.raises(ValueError, match="tail_latency_percentile"):
+            TestSettings(scenario=Scenario.SERVER,
+                         tail_latency_percentile=percentile)
+
+    def test_zero_min_query_count_rejected(self):
+        with pytest.raises(ValueError, match="min_query_count"):
+            TestSettings(scenario=Scenario.SINGLE_STREAM, min_query_count=0)
+
+    def test_negative_min_duration_rejected(self):
+        with pytest.raises(ValueError, match="min_duration"):
+            TestSettings(scenario=Scenario.SINGLE_STREAM, min_duration=-1.0)
+
+    def test_nan_min_duration_rejected(self):
+        with pytest.raises(ValueError, match="min_duration"):
+            TestSettings(scenario=Scenario.SINGLE_STREAM,
+                         min_duration=float("nan"))
+
+    def test_zero_offline_sample_count_rejected(self):
+        with pytest.raises(ValueError, match="offline_sample_count"):
+            TestSettings(scenario=Scenario.OFFLINE, offline_sample_count=0)
+
+    def test_zero_performance_sample_count_rejected(self):
+        with pytest.raises(ValueError, match="performance_sample_count"):
+            TestSettings(scenario=Scenario.SINGLE_STREAM,
+                         performance_sample_count=0)
+
+    def test_zero_watchdog_timeout_rejected(self):
+        with pytest.raises(ValueError, match="watchdog_timeout"):
+            TestSettings(scenario=Scenario.SINGLE_STREAM,
+                         watchdog_timeout=0.0)
+
+    def test_negative_watchdog_timeout_rejected(self):
+        with pytest.raises(ValueError, match="watchdog_timeout"):
+            TestSettings(scenario=Scenario.SINGLE_STREAM,
+                         watchdog_timeout=-5.0)
+
+    def test_valid_watchdog_accepted(self):
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                watchdog_timeout=30.0)
+        assert settings.watchdog_timeout == 30.0
+
+    def test_with_overrides_revalidates(self):
+        settings = TestSettings(scenario=Scenario.SERVER)
+        with pytest.raises(ValueError):
+            settings.with_overrides(server_target_qps=0.0)

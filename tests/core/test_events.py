@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.events import EventLoop, VirtualClock, WallClock
+from repro.core.events import EventLoop, RunAbortedError, VirtualClock, WallClock
 
 
 def test_virtual_clock_starts_at_zero():
@@ -111,6 +111,47 @@ def test_stop_halts_processing():
     loop.run()
     assert seen == ["a"]
     assert loop.pending() == 1
+
+
+class TestRunAbortedError:
+    def test_callback_exception_becomes_run_aborted(self):
+        loop = EventLoop()
+
+        def explode():
+            raise KeyError("boom")
+
+        loop.schedule(2.5, explode)
+        with pytest.raises(RunAbortedError) as excinfo:
+            loop.run()
+        err = excinfo.value
+        assert err.time == 2.5
+        assert "explode" in err.origin
+        assert isinstance(err.cause, KeyError)
+        assert "t=2.500000s" in str(err)
+
+    def test_existing_run_aborted_error_propagates_unwrapped(self):
+        loop = EventLoop()
+        original = RunAbortedError("inner abort", time=1.0, origin="x")
+
+        def reraise():
+            raise original
+
+        loop.schedule(1.0, reraise)
+        with pytest.raises(RunAbortedError) as excinfo:
+            loop.run()
+        assert excinfo.value is original
+
+    def test_loop_state_is_consistent_after_abort(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(2.0, lambda: (_ for _ in ()).throw(ValueError("bad")))
+        loop.schedule(3.0, lambda: seen.append("c"))
+        with pytest.raises(RunAbortedError):
+            loop.run()
+        assert seen == ["a"]
+        assert loop.now == 2.0
+        assert loop.pending() == 1  # the event after the abort survives
 
 
 def test_pending_and_next_event_time():

@@ -119,21 +119,82 @@ class TestAccuracyMode:
 
 
 class TestMisbehavingSuts:
-    def test_sut_that_never_completes_raises(self, echo_qsl):
+    def test_sut_that_never_completes_yields_invalid(self, echo_qsl):
+        """A black-hole SUT must invalidate the run, not crash the harness."""
         class BlackHole(SutBase):
             def issue_query(self, query):
                 pass
 
         settings = TestSettings(scenario=Scenario.OFFLINE,
                                 offline_sample_count=10, min_duration=0.0)
-        with pytest.raises(RuntimeError, match="uncompleted"):
-            run_benchmark(BlackHole("hole"), echo_qsl, settings)
+        result = run_benchmark(BlackHole("hole"), echo_qsl, settings)
+        assert not result.valid
+        assert any("never completed" in r for r in result.validity.reasons)
+        assert result.validity.details["first_stuck_issue_time"] == 0.0
+
+    def test_sut_whose_callback_raises_yields_invalid_aborted(self, echo_qsl):
+        """An exception inside a scheduled callback aborts the run with a
+        structured INVALID verdict instead of escaping to the caller."""
+        class Exploder(SutBase):
+            def issue_query(self, query):
+                def blow_up():
+                    raise RuntimeError("backend segfault")
+                self.loop.schedule_after(0.001, blow_up)
+
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=5, min_duration=0.0)
+        result = run_benchmark(Exploder("boom"), echo_qsl, settings)
+        assert not result.valid
+        aborted = [r for r in result.validity.reasons if "run aborted" in r]
+        assert aborted and "backend segfault" in aborted[0]
+        assert "blow_up" in aborted[0]  # the origin callback is named
 
     def test_empty_qsl_rejected(self):
         qsl = EchoQSL(total=0)
         settings = TestSettings(scenario=Scenario.SINGLE_STREAM)
         with pytest.raises(ValueError):
             run_benchmark(FixedLatencySUT(), qsl, settings)
+
+    def test_performance_sample_count_beyond_library_rejected(self):
+        qsl = EchoQSL(total=50)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=10, min_duration=0.1,
+                                performance_sample_count=51)
+        with pytest.raises(ValueError, match="exceeds"):
+            run_benchmark(FixedLatencySUT(), qsl, settings)
+
+
+class TestWatchdog:
+    def test_healthy_run_unaffected_by_watchdog(self, echo_qsl):
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=20, min_duration=0.1,
+                                watchdog_timeout=100.0)
+        result = run_benchmark(FixedLatencySUT(0.002), echo_qsl, settings)
+        assert result.valid
+        assert not result.stats.watchdog_fired
+
+    def test_watchdog_terminates_stuck_run(self, echo_qsl):
+        class SlowerEveryQuery(SutBase):
+            """Latency doubles per query: the run effectively wedges."""
+
+            issued = 0
+
+            def issue_query(self, query):
+                self.issued += 1
+                latency = 0.001 * (2 ** self.issued)
+                responses = [QuerySampleResponse(s.id, None)
+                             for s in query.samples]
+                self.loop.schedule_after(
+                    latency, lambda: self.complete(query, responses))
+
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                min_query_count=1000, min_duration=0.0,
+                                watchdog_timeout=2.0)
+        result = run_benchmark(SlowerEveryQuery("slow"), echo_qsl, settings)
+        assert not result.valid
+        assert result.stats.watchdog_fired
+        assert result.stats.watchdog_time == pytest.approx(2.0)
+        assert any("watchdog fired" in r for r in result.validity.reasons)
 
 
 class TestResultSummary:

@@ -155,6 +155,131 @@ class TestMultiStreamRules:
         assert report.details["skipped_query_fraction"] == pytest.approx(1 / 200)
 
 
+class TestValidationEdgeCases:
+    """Exact INVALID reason strings for degenerate runs."""
+
+    def test_zero_completions_names_the_reason(self):
+        log = QueryLog()
+        query = Query(id=1, samples=(QuerySample(1, 0),))
+        log.record_issue(query, 0.5)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert "no queries completed" in report.reasons
+        assert "1 queries never completed" in report.reasons
+
+    def test_truly_empty_log_reports_no_completions(self):
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM)
+        report = validate_run(QueryLog(), settings, stats())
+        assert report.reasons == ["no queries completed"]
+
+    def test_accuracy_mode_with_outstanding_is_invalid(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        stuck = Query(id=998, samples=(QuerySample(9998, 0),))
+        log.record_issue(stuck, 0.7)
+        settings = TestSettings(scenario=Scenario.SINGLE_STREAM,
+                                mode=TestMode.ACCURACY)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert "1 queries never completed" in report.reasons
+
+    def test_offline_below_default_minimum_samples(self):
+        # No offline_sample_count override: the paper's 24,576 floor applies.
+        log = build_log([10.0], samples_per_query=100)
+        settings = TestSettings(scenario=Scenario.OFFLINE, min_duration=1.0)
+        report = validate_run(log, settings, stats())
+        assert not report.valid
+        assert ("offline processed 100 samples, minimum is 24576"
+                in report.reasons)
+
+
+class TestMisbehaviorReasons:
+    def _settings(self):
+        return TestSettings(scenario=Scenario.SINGLE_STREAM,
+                            min_query_count=5, min_duration=0.0)
+
+    def test_outstanding_issue_times_in_details(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        for i, issue_time in enumerate((0.55, 0.75)):
+            stuck = Query(id=900 + i, samples=(QuerySample(9900 + i, 0),))
+            log.record_issue(stuck, issue_time)
+        report = validate_run(log, self._settings(), stats())
+        assert not report.valid
+        assert "2 queries never completed" in report.reasons
+        assert report.details["outstanding_issue_times"] == [0.55, 0.75]
+        assert report.details["first_stuck_issue_time"] == 0.55
+        assert report.details["last_stuck_issue_time"] == 0.75
+
+    def test_outstanding_issue_times_are_capped(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        for i in range(50):
+            stuck = Query(id=900 + i, samples=(QuerySample(9900 + i, 0),))
+            log.record_issue(stuck, 1.0 + i)
+        report = validate_run(log, self._settings(), stats())
+        assert len(report.details["outstanding_issue_times"]) == 16
+        assert report.details["last_stuck_issue_time"] == 50.0
+
+    def test_duplicate_completions_reason(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        record = log.records()[0]
+        responses = [QuerySampleResponse(s.id, None)
+                     for s in record.query.samples]
+        status = log.observe_completion(record.query, 0.9, responses,
+                                        keep_responses=False)
+        assert status == "duplicate"
+        report = validate_run(log, self._settings(), stats())
+        assert not report.valid
+        assert "1 duplicate completions" in report.reasons
+        assert report.details["first_duplicate_time"] == 0.9
+
+    def test_unsolicited_responses_reason(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        phantom = Query(id=777, samples=(QuerySample(7777, 0),))
+        status = log.observe_completion(
+            phantom, 0.3, [QuerySampleResponse(7777, None)],
+            keep_responses=False)
+        assert status == "unsolicited"
+        report = validate_run(log, self._settings(), stats())
+        assert not report.valid
+        assert ("1 unsolicited responses (completions for queries never "
+                "issued)" in report.reasons)
+
+    def test_malformed_responses_reason_names_first_offender(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        bad = Query(id=55, samples=(QuerySample(5555, 0),))
+        log.record_issue(bad, 0.6)
+        log.record_failure(bad, 0.65, "expected 1 responses, got 3")
+        report = validate_run(log, self._settings(), stats())
+        assert not report.valid
+        assert ("1 malformed responses (e.g. query 55: expected 1 "
+                "responses, got 3)" in report.reasons)
+        assert report.details["failure_reasons"] == [
+            "expected 1 responses, got 3"]
+
+    def test_watchdog_reason_includes_time_and_outstanding(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        stuck = Query(id=60, samples=(QuerySample(6000, 0),))
+        log.record_issue(stuck, 0.8)
+        wd_stats = stats(watchdog_fired=True, watchdog_time=30.0)
+        report = validate_run(log, self._settings(), wd_stats)
+        assert not report.valid
+        assert ("watchdog fired at 30.000s with 1 queries outstanding"
+                in report.reasons)
+        assert report.details["watchdog_time"] == 30.0
+
+    def test_aborted_reason(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        report = validate_run(log, self._settings(),
+                              stats(aborted="callback exploded at t=1.2"))
+        assert not report.valid
+        assert "run aborted: callback exploded at t=1.2" in report.reasons
+
+    def test_clean_run_has_no_misbehavior_reasons(self):
+        log = build_log([0.01] * 5, gap=0.1)
+        report = validate_run(log, self._settings(), stats())
+        assert report.valid, report.reasons
+
+
 class TestOfflineRules:
     def test_minimum_samples(self):
         log = build_log([10.0], samples_per_query=100)

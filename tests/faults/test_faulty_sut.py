@@ -1,0 +1,146 @@
+"""FaultySUT behavior, one fault class at a time, through full runs."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.faults import FaultInjector, FaultPlan, FaultType, FaultySUT
+
+from tests.conftest import FixedLatencySUT
+
+
+def quick_settings(**overrides):
+    base = dict(scenario=Scenario.SINGLE_STREAM, min_query_count=12,
+                min_duration=0.0, watchdog_timeout=30.0)
+    base.update(overrides)
+    return TestSettings(**base)
+
+
+def run_with_fault(echo_qsl, fault, rate=1.0, settings=None, **plan_kwargs):
+    plan = FaultPlan.single(fault, rate, **plan_kwargs)
+    sut = FaultySUT(FixedLatencySUT(0.005), plan)
+    result = run_benchmark(sut, echo_qsl, settings or quick_settings())
+    return result, sut
+
+
+class TestEachFaultClass:
+    def test_no_faults_passes_through(self, echo_qsl):
+        sut = FaultySUT(FixedLatencySUT(0.005), FaultPlan())
+        result = run_benchmark(sut, echo_qsl, quick_settings())
+        assert result.valid
+        assert sut.injector.trace == []
+
+    def test_drop_leaves_query_outstanding(self, echo_qsl):
+        result, _ = run_with_fault(echo_qsl, FaultType.DROP)
+        assert not result.valid
+        assert any("never completed" in r for r in result.validity.reasons)
+        assert result.log.outstanding > 0
+
+    def test_delay_adds_latency_but_completes(self, echo_qsl):
+        result, _ = run_with_fault(
+            echo_qsl, FaultType.DELAY, delay_scale=0.030)
+        # Every completion still arrives (inside the watchdog), so the
+        # run is clean - just slower than the 5 ms service time.
+        assert result.log.outstanding == 0
+        assert result.log.anomaly_count == 0
+        latencies = [r.latency for r in result.log.completed_records()]
+        assert min(latencies) > 0.005
+
+    def test_duplicate_completions_detected(self, echo_qsl):
+        result, _ = run_with_fault(echo_qsl, FaultType.DUPLICATE)
+        assert not result.valid
+        assert any("duplicate completions" in r
+                   for r in result.validity.reasons)
+        assert len(result.log.duplicate_completions) > 0
+        # The first copy of each completion still counts.
+        assert len(result.log.completed_records()) == result.log.query_count
+
+    def test_unsolicited_completions_detected(self, echo_qsl):
+        result, _ = run_with_fault(echo_qsl, FaultType.UNSOLICITED)
+        assert not result.valid
+        assert any("unsolicited responses" in r
+                   for r in result.validity.reasons)
+        assert len(result.log.unsolicited_responses) > 0
+
+    def test_missized_responses_recorded_as_failures(self, echo_qsl):
+        result, _ = run_with_fault(echo_qsl, FaultType.MISSIZED)
+        assert not result.valid
+        assert any("malformed responses" in r for r in result.validity.reasons)
+        assert all("expected" in r.failure_reason
+                   for r in result.log.failed_records())
+
+    def test_corrupt_sample_ids_recorded_as_failures(self, echo_qsl):
+        result, _ = run_with_fault(echo_qsl, FaultType.CORRUPT)
+        assert not result.valid
+        assert any("malformed responses" in r for r in result.validity.reasons)
+        assert len(result.log.failed_records()) == result.log.query_count
+
+    def test_stall_swallows_everything_after_the_crash(self, echo_qsl):
+        result, sut = run_with_fault(echo_qsl, FaultType.STALL)
+        assert not result.valid
+        assert sut.crashed
+        assert result.stats.watchdog_fired
+        assert any("never completed" in r for r in result.validity.reasons)
+
+
+class TestPartialRates:
+    def test_low_drop_rate_degrades_not_destroys(self, echo_qsl):
+        # Server arrivals are independent, so a 5% drop rate thins the
+        # completion stream instead of stalling the whole run.
+        settings = quick_settings(
+            scenario=Scenario.SERVER, server_target_qps=200.0,
+            server_latency_bound=0.05, min_query_count=200)
+        result, sut = run_with_fault(
+            echo_qsl, FaultType.DROP, rate=0.05, settings=settings)
+        dropped = sut.injector.injected.get(FaultType.DROP, 0)
+        assert 0 < dropped < 40
+        assert result.log.outstanding == dropped
+        assert not result.valid
+
+    def test_anomaly_count_totals_everything(self, echo_qsl):
+        plan = FaultPlan(rates={FaultType.DUPLICATE: 0.3,
+                                FaultType.MISSIZED: 0.3,
+                                FaultType.UNSOLICITED: 0.3})
+        sut = FaultySUT(FixedLatencySUT(0.002), plan)
+        result = run_benchmark(
+            sut, echo_qsl, quick_settings(min_query_count=100))
+        log = result.log
+        assert log.anomaly_count == (
+            len(log.duplicate_completions)
+            + len(log.unsolicited_responses)
+            + len(log.failed_records())
+        )
+        assert log.anomaly_count > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scenario,extra", [
+        (Scenario.SINGLE_STREAM, dict(min_query_count=50)),
+        (Scenario.SERVER, dict(server_target_qps=100.0,
+                               server_latency_bound=0.05,
+                               min_query_count=50)),
+        (Scenario.OFFLINE, dict(offline_sample_count=64)),
+    ])
+    def test_same_seed_identical_log_and_verdict(
+            self, echo_qsl, scenario, extra):
+        settings = quick_settings(scenario=scenario, **extra)
+        plan = FaultPlan.uniform(0.08, seed=99)
+
+        def one_run():
+            sut = FaultySUT(FixedLatencySUT(0.005), plan)
+            result = run_benchmark(sut, echo_qsl, settings)
+            return result, sut
+
+        first, sut_a = one_run()
+        second, sut_b = one_run()
+        assert sut_a.injector.trace == sut_b.injector.trace
+        assert first.log.to_jsonl() == second.log.to_jsonl()
+        assert first.valid == second.valid
+        assert first.validity.reasons == second.validity.reasons
+
+    def test_injector_can_be_shared_and_reset(self, echo_qsl):
+        injector = FaultInjector(FaultPlan.uniform(0.1, seed=5))
+        sut = FaultySUT(FixedLatencySUT(0.005), injector)
+        run_benchmark(sut, echo_qsl, quick_settings())
+        first_trace = list(injector.trace)
+        run_benchmark(sut, echo_qsl, quick_settings())
+        assert injector.trace == first_trace  # reset + same seed => same

@@ -1,0 +1,79 @@
+"""Chaos smoke: every fault class, every scenario, 100% injection rate.
+
+The hang-safety contract of the hardened referee: no matter how the SUT
+misbehaves, the run terminates within the watchdog bound and comes back
+``valid=False`` with a reason naming the fault class.  This is the
+fast tier-1 version of the full degradation study in
+``benchmarks/test_ext_fault_injection.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.faults import FaultPlan, FaultType, FaultySUT
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+WATCHDOG = 10.0
+
+#: Wall-clock budget per faulted run; virtual time makes even the
+#: watchdog-bounded runs near-instant, so this is a generous ceiling
+#: that still catches a real (non-virtual) hang.
+WALL_CLOCK_BUDGET = 10.0
+
+#: For each fault class, a substring that must appear in at least one
+#: INVALID reason when the fault fires on every query.
+EXPECTED_REASON = {
+    FaultType.DROP: "never completed",
+    FaultType.DUPLICATE: "duplicate completions",
+    FaultType.UNSOLICITED: "unsolicited responses",
+    FaultType.MISSIZED: "malformed responses",
+    FaultType.CORRUPT: "malformed responses",
+    FaultType.DELAY: "watchdog fired",
+    FaultType.STALL: "never completed",
+}
+
+
+def settings_for(scenario: Scenario) -> TestSettings:
+    common = dict(min_duration=0.0, watchdog_timeout=WATCHDOG)
+    if scenario is Scenario.SINGLE_STREAM:
+        return TestSettings(scenario=scenario, min_query_count=8, **common)
+    if scenario is Scenario.SERVER:
+        return TestSettings(scenario=scenario, server_target_qps=100.0,
+                            server_latency_bound=0.05, min_query_count=8,
+                            **common)
+    if scenario is Scenario.MULTI_STREAM:
+        return TestSettings(scenario=scenario, multistream_interval=0.05,
+                            multistream_samples_per_query=2,
+                            min_query_count=8, **common)
+    return TestSettings(scenario=scenario, offline_sample_count=16, **common)
+
+
+@pytest.mark.parametrize("scenario", list(Scenario),
+                         ids=lambda s: s.value)
+@pytest.mark.parametrize("fault", list(FaultType),
+                         ids=lambda f: f.value)
+def test_total_fault_rate_terminates_invalid(scenario, fault):
+    # DELAY needs spikes far beyond the watchdog so the run visibly
+    # wedges; everything else uses the plan defaults.
+    plan_kwargs = {"delay_scale": 1e6} if fault is FaultType.DELAY else {}
+    plan = FaultPlan.single(fault, 1.0, **plan_kwargs)
+    sut = FaultySUT(FixedLatencySUT(0.005), plan)
+
+    started = time.monotonic()
+    result = run_benchmark(sut, EchoQSL(total=64), settings_for(scenario))
+    elapsed = time.monotonic() - started
+
+    assert result is not None  # the run terminated and reported
+    assert elapsed < WALL_CLOCK_BUDGET
+    assert not result.valid
+    assert any(EXPECTED_REASON[fault] in reason
+               for reason in result.validity.reasons), result.validity.reasons
+    # The event loop never ran past the watchdog bound.
+    assert result.stats.watchdog_time <= WATCHDOG
+
+
+def test_chaos_matrix_is_exhaustive():
+    assert set(EXPECTED_REASON) == set(FaultType)
