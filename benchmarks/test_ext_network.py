@@ -1,0 +1,148 @@
+"""Extension: Network-division overhead and QoS-degradation study.
+
+The real MLPerf Network division asks one question the in-process
+benchmark cannot: what does the serving boundary itself cost?  This
+study answers it two ways with the same echo backend:
+
+* **Per-query network overhead** - the same Server-scenario run measured
+  in-process (wall clock, no wire) and through the full
+  ``InferenceServer``/``NetworkSUT`` TCP path on loopback.  The latency
+  difference is the serving stack: protocol encode/decode, kernel
+  sockets, the server's admission queue and worker handoff.  It must be
+  measurable (the wire is not free) yet small against the backend's own
+  service time (the stack is not the bottleneck).
+
+* **QoS degradation versus channel latency** - the deterministic twin:
+  a virtual-time ``SimulatedChannelSUT`` sweep over one-way latencies.
+  Tail latency must grow by exactly the added round trip, and the
+  Server-scenario verdict must flip from VALID to INVALID where the
+  wire eats the latency bound - the cliff a Network-division submitter
+  walks toward as they move the SUT farther from the LoadGen.
+"""
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.core.events import WallClock
+from repro.harness.netbench import (
+    SyntheticQSL,
+    latency_overhead,
+    run_over_localhost,
+    run_over_simulated_channel,
+)
+from repro.network import ChannelModel
+from repro.sut.echo import EchoSUT
+
+pytestmark = pytest.mark.socket(timeout=120.0)
+
+BACKEND_LATENCY = 0.002
+LATENCY_BOUND = 0.015           # the paper's ResNet-50 server bound
+SWEEP_ONE_WAY_MS = (0.1, 1.0, 3.0, 6.0, 12.0)
+
+
+def server_settings(queries=150, bound=0.1):
+    return TestSettings(
+        scenario=Scenario.SERVER,
+        server_target_qps=200.0,
+        server_latency_bound=bound,
+        min_query_count=queries,
+        min_duration=0.0,
+        watchdog_timeout=60.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def overhead_measurement():
+    """One in-process and one networked run of the same workload."""
+    settings = server_settings()
+    qsl = SyntheticQSL()
+    baseline = run_benchmark(
+        EchoSUT(latency=BACKEND_LATENCY), qsl, settings, clock=WallClock())
+    networked = run_over_localhost(
+        lambda: EchoSUT(latency=BACKEND_LATENCY), qsl, settings,
+        query_timeout=5.0)
+    return baseline, networked
+
+
+class TestPerQueryOverhead:
+    def test_both_runs_valid(self, overhead_measurement):
+        baseline, networked = overhead_measurement
+        assert baseline.valid, baseline.validity.reasons
+        assert networked.valid, networked.result.validity.reasons
+
+    def test_overhead_is_positive_and_bounded(self, overhead_measurement):
+        baseline, networked = overhead_measurement
+        overhead = latency_overhead(networked, baseline)
+        # The wire must cost something...
+        assert overhead["wire_share_s"] > 0
+        # ...but on loopback it stays well under the 2 ms backend
+        # service time: the serving stack is overhead, not bottleneck.
+        assert overhead["mean_overhead_s"] < BACKEND_LATENCY
+
+    def test_transport_accounting_is_consistent(self, overhead_measurement):
+        _, networked = overhead_measurement
+        for timing in networked.transport.values():
+            assert timing.round_trip > 0
+            assert 0 <= timing.server_time <= timing.round_trip + 1e-6
+            assert timing.network_time == pytest.approx(
+                timing.round_trip - timing.server_time, abs=1e-9)
+
+    def test_server_saw_every_query(self, overhead_measurement):
+        _, networked = overhead_measurement
+        assert (networked.server_stats["completed"]
+                >= networked.result.metrics.query_count)
+
+
+@pytest.fixture(scope="module")
+def latency_sweep():
+    """Virtual-time QoS sweep: one run per one-way channel latency."""
+    results = {}
+    for one_way_ms in SWEEP_ONE_WAY_MS:
+        model = ChannelModel(latency=one_way_ms * 1e-3, seed=71)
+        results[one_way_ms] = run_over_simulated_channel(
+            EchoSUT(latency=BACKEND_LATENCY), SyntheticQSL(),
+            server_settings(bound=LATENCY_BOUND), model)
+    return results
+
+
+class TestQosDegradation:
+    def test_latency_grows_with_the_channel(self, latency_sweep):
+        means = [latency_sweep[ms].result.metrics.latency_mean
+                 for ms in SWEEP_ONE_WAY_MS]
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_added_latency_is_the_round_trip(self, latency_sweep):
+        """Each extra millisecond of one-way latency costs exactly two
+        on the measured query latency (deterministic channel, no jitter,
+        no queueing at these rates)."""
+        fast = latency_sweep[SWEEP_ONE_WAY_MS[0]].result.metrics
+        slow = latency_sweep[SWEEP_ONE_WAY_MS[-1]].result.metrics
+        added_one_way = (SWEEP_ONE_WAY_MS[-1] - SWEEP_ONE_WAY_MS[0]) * 1e-3
+        assert (slow.latency_mean - fast.latency_mean
+                == pytest.approx(2 * added_one_way, rel=0.02))
+
+    def test_verdict_flips_exactly_at_the_budget_cliff(self, latency_sweep):
+        """VALID while 2 * one_way + backend fits the bound, INVALID
+        beyond - and the transition is monotone (no flapping)."""
+        verdicts = [latency_sweep[ms].valid for ms in SWEEP_ONE_WAY_MS]
+        assert verdicts[0] is True
+        assert verdicts[-1] is False
+        assert verdicts == sorted(verdicts, reverse=True)
+        for one_way_ms, valid in zip(SWEEP_ONE_WAY_MS, verdicts):
+            fits = 2 * one_way_ms * 1e-3 + BACKEND_LATENCY < LATENCY_BOUND
+            if fits and one_way_ms <= 3.0:
+                assert valid, f"{one_way_ms} ms should fit the budget"
+            if not fits:
+                assert not valid, f"{one_way_ms} ms cannot fit the budget"
+
+    def test_sweep_is_deterministic(self):
+        model = ChannelModel(latency=0.003, jitter=0.0005, seed=71)
+        a = run_over_simulated_channel(
+            EchoSUT(latency=BACKEND_LATENCY), SyntheticQSL(),
+            server_settings(queries=80, bound=LATENCY_BOUND), model)
+        b = run_over_simulated_channel(
+            EchoSUT(latency=BACKEND_LATENCY), SyntheticQSL(),
+            server_settings(queries=80, bound=LATENCY_BOUND), model)
+        assert (a.result.metrics.latency_p99
+                == b.result.metrics.latency_p99)
+        assert a.channel_stats == b.channel_stats

@@ -1,10 +1,15 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 * ``tables``  - print the paper's normative tables (I-V) from the code.
 * ``run``     - measure one (task, scenario) on a parameterized
-                simulated device, printing the LoadGen summary.
+                simulated device, printing the LoadGen summary; with
+                ``--sut network --addr HOST:PORT`` the same LoadGen
+                instead drives a remote ``repro serve`` instance over
+                TCP on the wall clock.
+* ``serve``   - host a backend behind the network protocol so a
+                ``run --sut network`` (or any NetworkSUT) can drive it.
 * ``fleet``   - run the Section VI fleet survey (optionally a subset)
                 and print the coverage matrix and per-model counts.
 * ``check``   - run the submission checker over an on-disk submission
@@ -48,8 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--which", choices=["1", "2", "3", "4", "5", "all"], default="all")
 
     run = sub.add_parser("run", help="benchmark a simulated device")
-    run.add_argument("--task", choices=sorted(_TASKS), required=True)
+    run.add_argument("--task", choices=sorted(_TASKS))
     run.add_argument("--scenario", choices=sorted(_SCENARIOS), required=True)
+    run.add_argument("--sut", choices=["device", "network"], default="device",
+                     help="device: in-process simulated device; "
+                          "network: drive a remote 'repro serve' over TCP")
     run.add_argument("--peak-gops", type=float, default=40_000.0)
     run.add_argument("--base-utilization", type=float, default=0.06)
     run.add_argument("--saturation-gops", type=float, default=150.0)
@@ -57,6 +65,32 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-batch", type=int, default=64)
     run.add_argument("--engines", type=int, default=1)
     run.add_argument("--batch-window-ms", type=float, default=0.0)
+    net = run.add_argument_group("network SUT (--sut network)")
+    net.add_argument("--addr", metavar="HOST:PORT",
+                     help="address of the remote inference server")
+    net.add_argument("--target-qps", type=float, default=100.0,
+                     help="server-scenario Poisson arrival rate")
+    net.add_argument("--queries", type=int, default=200,
+                     help="minimum query count for the measured run")
+    net.add_argument("--latency-bound-ms", type=float, default=100.0)
+    net.add_argument("--connections", type=int, default=1)
+    net.add_argument("--query-timeout", type=float, default=2.0)
+    net.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace (with network spans) here")
+
+    serve = sub.add_parser(
+        "serve", help="host a backend behind the network protocol")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9090)
+    serve.add_argument("--latency-ms", type=float, default=1.0,
+                       help="echo backend per-query service time")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--batch-window-ms", type=float, default=0.0)
+    serve.add_argument("--queue", type=int, default=256,
+                       help="admission-queue bound, in requests")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="stop after this long (default: until Ctrl-C)")
 
     fleet = sub.add_parser("fleet", help="run the Section VI fleet survey")
     fleet.add_argument("--systems", nargs="*", default=None,
@@ -85,7 +119,92 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _cmd_run_network(args) -> int:
+    from .core.config import TestSettings
+    from .harness.netbench import NetworkRunResult, SyntheticQSL
+    from .core.events import WallClock
+    from .core.loadgen import run_benchmark
+    from .core.trace import write_chrome_trace
+    from .network.client import NetworkSUT
+
+    if not args.addr:
+        print("--sut network requires --addr HOST:PORT", file=sys.stderr)
+        return 2
+    scenario = _SCENARIOS[args.scenario]
+    settings = TestSettings(
+        scenario=scenario,
+        task=_TASKS[args.task] if args.task else None,
+        server_target_qps=args.target_qps,
+        server_latency_bound=args.latency_bound_ms * 1e-3,
+        min_query_count=args.queries,
+        min_duration=0.0,
+        watchdog_timeout=60.0,
+    )
+    qsl = SyntheticQSL()
+    sut = NetworkSUT(
+        args.addr,
+        connections=args.connections,
+        query_timeout=args.query_timeout,
+    )
+    try:
+        result = run_benchmark(sut, qsl, settings, clock=WallClock())
+    finally:
+        sut.close()
+    print(result.summary())
+    print(f"client: {sut.stats.summary()}")
+    if sut.server_stats:
+        print(f"server: {sut.server_stats}")
+    bundle = NetworkRunResult(
+        result=result, client_stats=sut.stats,
+        transport=dict(sut.transport_records),
+    )
+    print(f"mean round trip : {bundle.mean_round_trip() * 1e3:.3f} ms")
+    print(f"mean wire share : {bundle.mean_network_time() * 1e3:.3f} ms")
+    if args.trace:
+        write_chrome_trace(result.log, args.trace,
+                           transport=sut.transport_records)
+        print(f"trace written to {args.trace}")
+    return 0 if result.valid else 1
+
+
+def _cmd_serve(args) -> int:
+    import time as _time
+
+    from .network.server import InferenceServer, ServerConfig
+    from .sut.echo import EchoSUT
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.queue,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window_ms * 1e-3,
+    )
+    latency = args.latency_ms * 1e-3
+    server = InferenceServer(lambda: EchoSUT(latency=latency), config)
+    host, port = server.start()
+    print(f"serving echo backend ({args.latency_ms} ms) on {host}:{port}")
+    try:
+        if args.max_seconds is not None:
+            _time.sleep(args.max_seconds)
+        else:
+            while True:
+                _time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print(f"server stats: {server.stats.snapshot()}")
+    return 0
+
+
 def _cmd_run(args) -> int:
+    if args.sut == "network":
+        return _cmd_run_network(args)
+    if args.task is None:
+        print("--sut device requires --task", file=sys.stderr)
+        return 2
     from .harness.tuning import (
         QUICK_SCALE,
         find_max_multistream_n,
@@ -205,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "tables": _cmd_tables,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "fleet": _cmd_fleet,
         "check": _cmd_check,
     }

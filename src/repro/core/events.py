@@ -20,15 +20,24 @@ The event loop is intentionally small: a heap of ``(time, sequence,
 callback)`` entries.  The sequence number guarantees FIFO ordering among
 events scheduled for the same instant, which matters for reproducibility
 of query logs.
+
+A loop built over a non-virtual clock (any :class:`Clock` that is not a
+:class:`VirtualClock`) runs in *realtime* mode: instead of teleporting
+the clock to the next event it sleeps until that event is due, and it
+accepts work from other threads through the thread-safe :meth:`EventLoop.post`
+- the mechanism the network subsystem's socket reader threads use to
+deliver completions back onto the run's single-threaded timeline.
 """
 
 from __future__ import annotations
 
+import collections
 import heapq
 import itertools
+import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Deque, List, Optional
 
 
 class RunAbortedError(RuntimeError):
@@ -114,13 +123,26 @@ class EventLoop:
     drains the heap; each callback may schedule further events.  The loop
     is single-threaded, which makes every benchmark run reproducible given
     the same seeds.
+
+    Over a non-virtual clock the loop runs in *realtime* mode: ``run``
+    sleeps until the next event is due instead of advancing the clock,
+    and callbacks handed to :meth:`post` from other threads (socket
+    readers, worker pools) wake the sleep and execute on the loop's
+    thread.  Everything else - ordering, cancellation, abort wrapping -
+    behaves identically, so scenario drivers work unmodified under
+    measured time.
     """
 
-    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+    def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else VirtualClock()
+        #: True when this loop runs against real time (sleeps) rather
+        #: than a virtual clock (teleports).
+        self.realtime = not isinstance(self.clock, VirtualClock)
         self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._stopped = False
+        self._posted: Deque[Callable[[], None]] = collections.deque()
+        self._wakeup = threading.Condition()
 
     @property
     def now(self) -> float:
@@ -129,12 +151,29 @@ class EventLoop:
     def schedule(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute time ``when`` (seconds)."""
         if when < self.now:
-            raise ValueError(
-                f"cannot schedule event in the past: now={self.now}, when={when}"
-            )
+            if not self.realtime:
+                raise ValueError(
+                    f"cannot schedule event in the past: now={self.now}, when={when}"
+                )
+            # Under measured time "the past" is routine - a deadline
+            # computed a microsecond ago has already slipped.  Run the
+            # callback as soon as possible instead of failing the run.
+            when = self.now
         event = _Event(time=when, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, event)
         return EventHandle(event)
+
+    def post(self, callback: Callable[[], None]) -> None:
+        """Hand ``callback`` to the loop from any thread.
+
+        The only :class:`EventLoop` entry point that is safe to call off
+        the loop's own thread.  Posted callbacks run at the loop's
+        current time, before any heap event, in posting order; a sleeping
+        realtime loop is woken immediately.
+        """
+        with self._wakeup:
+            self._posted.append(callback)
+            self._wakeup.notify()
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` ``delay`` seconds from now."""
@@ -152,35 +191,63 @@ class EventLoop:
         Runs until the heap is empty, ``stop`` is called, or the next
         event would occur after ``until`` (in which case the clock is
         advanced to ``until``).  Returns the final clock reading.
+
+        In realtime mode the loop sleeps (interruptibly - :meth:`post`
+        wakes it) until the next event is due, and exits once both the
+        heap and the posted queue are empty; callers that expect work
+        from other threads keep a future event (deadline, janitor tick)
+        in the heap so the loop stays alive to receive it.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+        while not self._stopped:
+            posted = self._next_posted()
+            if posted is not None:
+                self._execute(posted, self.now)
                 continue
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            event = self._heap[0]
             if until is not None and event.time > until:
                 break
+            if self.realtime:
+                delay = event.time - self.now
+                if delay > 0:
+                    with self._wakeup:
+                        if not self._posted:
+                            self._wakeup.wait(timeout=delay)
+                    continue  # re-check: a post may have arrived
             heapq.heappop(self._heap)
-            self.clock.advance_to(event.time)
-            try:
-                event.callback()
-            except RunAbortedError:
-                raise
-            except Exception as exc:
-                origin = getattr(
-                    event.callback, "__qualname__", None
-                ) or repr(event.callback)
-                raise RunAbortedError(
-                    f"event callback raised at t={event.time:.6f}s "
-                    f"(origin {origin}): {exc!r}",
-                    time=event.time,
-                    origin=origin,
-                    cause=exc,
-                ) from exc
-        if until is not None and until > self.now:
+            if not self.realtime:
+                self.clock.advance_to(event.time)
+            self._execute(event.callback, event.time)
+        if until is not None and until > self.now and not self.realtime:
             self.clock.advance_to(until)
         return self.now
+
+    def _next_posted(self) -> Optional[Callable[[], None]]:
+        with self._wakeup:
+            if self._posted:
+                return self._posted.popleft()
+        return None
+
+    def _execute(self, callback: Callable[[], None], when: float) -> None:
+        try:
+            callback()
+        except RunAbortedError:
+            raise
+        except Exception as exc:
+            origin = getattr(
+                callback, "__qualname__", None
+            ) or repr(callback)
+            raise RunAbortedError(
+                f"event callback raised at t={when:.6f}s "
+                f"(origin {origin}): {exc!r}",
+                time=when,
+                origin=origin,
+                cause=exc,
+            ) from exc
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue."""

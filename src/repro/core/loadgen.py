@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .config import Scenario, TestMode, TestSettings
-from .events import EventLoop, RunAbortedError, VirtualClock
+from .events import Clock, EventLoop, RunAbortedError, VirtualClock
 from .logging import QueryLog
 from .metrics import ScenarioMetrics, compute_metrics, empty_metrics
 from .sampler import SampleSelector, accuracy_mode_indices
@@ -81,6 +81,12 @@ class LoadGenResult:
         return "\n".join(lines)
 
 
+#: Realtime-mode janitor period, seconds: how often a wall-clock run
+#: checks whether it has drained.  Bounds both the loop's idle wake-up
+#: rate and the end-of-run detection latency.
+_JANITOR_PERIOD = 0.010
+
+
 class LoadGen:
     """Drives one SUT through one scenario run."""
 
@@ -132,12 +138,20 @@ class LoadGen:
         sut: SystemUnderTest,
         qsl: QuerySampleLibrary,
         log_sample_probability: float = 0.0,
+        clock: Optional[Clock] = None,
     ) -> LoadGenResult:
         """Execute one full run and return its result.
 
         ``log_sample_probability`` enables the accuracy-verification
         audit: in performance mode, each completed query's responses are
         retained with this probability.
+
+        ``clock`` selects the time base.  The default ``VirtualClock``
+        gives the deterministic fast path; passing a ``WallClock`` runs
+        the identical scenario logic against real time - the measured
+        path used when the SUT sits on the far side of a network
+        (``repro.network``), where wall-clock send/receive time is the
+        quantity under test.
         """
         settings = self.settings
         if settings.mode is TestMode.ACCURACY:
@@ -147,7 +161,7 @@ class LoadGen:
 
         qsl.load_samples(loaded)
         try:
-            loop = EventLoop(VirtualClock())
+            loop = EventLoop(clock if clock is not None else VirtualClock())
             log = QueryLog(
                 log_sample_probability=log_sample_probability,
                 seed=settings.seed ^ 0xA0D17,
@@ -158,13 +172,30 @@ class LoadGen:
             watchdog = settings.watchdog_timeout
             if watchdog is not None:
                 def _watchdog_fired() -> None:
-                    if log.outstanding == 0 and loop.pending() == 0:
+                    finished = log.outstanding == 0 and (
+                        loop.pending() == 0 or not driver.issue_phase_open
+                    )
+                    if finished:
                         return  # run already finished; nothing is stuck
                     driver.stats.watchdog_fired = True
                     driver.stats.watchdog_time = loop.now
                     loop.stop()
 
-                loop.schedule(watchdog, _watchdog_fired)
+                loop.schedule_after(watchdog, _watchdog_fired)
+
+            if loop.realtime:
+                # A realtime loop cannot teleport past idle stretches,
+                # and completions arrive asynchronously via ``post`` - so
+                # a janitor tick keeps the loop alive while queries are
+                # in flight and stops it as soon as the run has drained
+                # (rather than sleeping out the watchdog).
+                def _janitor() -> None:
+                    if not driver.issue_phase_open and log.outstanding == 0:
+                        loop.stop()
+                    else:
+                        loop.schedule_after(_JANITOR_PERIOD, _janitor)
+
+                loop.schedule_after(_JANITOR_PERIOD, _janitor)
 
             sut.start_run(loop, driver.handle_completion)
             driver.start()
@@ -198,6 +229,7 @@ def run_benchmark(
     qsl: QuerySampleLibrary,
     settings: TestSettings,
     log_sample_probability: float = 0.0,
+    clock: Optional[Clock] = None,
 ) -> LoadGenResult:
     """Convenience wrapper: build a LoadGen and run once."""
-    return LoadGen(settings).run(sut, qsl, log_sample_probability)
+    return LoadGen(settings).run(sut, qsl, log_sample_probability, clock=clock)

@@ -134,6 +134,13 @@ class ScenarioDriver:
     def samples_per_query(self) -> int:
         return 1
 
+    @property
+    def issue_phase_open(self) -> bool:
+        """True while the driver may still issue queries (the LoadGen's
+        realtime janitor and watchdog use this to tell a drained run
+        from a stuck one)."""
+        return self._issue_phase_open
+
     def _issue(self, indices: List[int], scheduled_time: Optional[float] = None) -> Query:
         now = self.loop.now
         query = self.factory.make_query(indices, issue_time=now)

@@ -6,17 +6,60 @@ The real LoadGen emits ``mlperf_trace.json`` viewable in
 query on a per-wave track, plus instant events for issues.  Useful for
 eyeballing batching behaviour, queue buildup, and the scenario's arrival
 pattern.
+
+For Network-division runs the exporter also accepts per-query
+:class:`TransportTiming` records (kept by ``NetworkSUT`` and
+``SimulatedChannelSUT``): each query then gains a "network" process with
+its round-trip span plus send/receive instants, so the wire's share of a
+latency bound is visible next to the query's total.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from .logging import QueryLog
 
 #: Trace timestamps are microseconds.
 _US = 1e6
+
+
+@dataclass(frozen=True)
+class TransportTiming:
+    """Wire timestamps for one query's round trip.
+
+    ``send_time`` and ``recv_time`` are client-clock readings (the run
+    loop's clock); ``server_recv`` and ``server_send`` are server-clock
+    readings.  The two clocks share no epoch, so only *durations* are
+    comparable across them - which is all the accounting needs: the
+    network's share of a round trip is what the server did not spend.
+    """
+
+    #: Client clock: the ISSUE frame left the adapter.
+    send_time: float
+    #: Client clock: the COMPLETE frame finished arriving.
+    recv_time: float
+    #: Server clock: the ISSUE frame was admitted.
+    server_recv: float
+    #: Server clock: the COMPLETE frame was written back.
+    server_send: float
+
+    @property
+    def round_trip(self) -> float:
+        """Client-observed seconds from send to receive."""
+        return self.recv_time - self.send_time
+
+    @property
+    def server_time(self) -> float:
+        """Seconds the query spent inside the server (queue + compute)."""
+        return self.server_send - self.server_recv
+
+    @property
+    def network_time(self) -> float:
+        """The wire's share of the round trip (both directions)."""
+        return max(0.0, self.round_trip - self.server_time)
 
 
 def _assign_tracks(records) -> Dict[int, int]:
@@ -44,8 +87,18 @@ def _assign_tracks(records) -> Dict[int, int]:
     return assignment
 
 
-def to_chrome_trace(log: QueryLog, process_name: str = "SUT") -> str:
-    """Serialize the log as a Chrome trace-event JSON string."""
+def to_chrome_trace(
+    log: QueryLog,
+    process_name: str = "SUT",
+    transport: Optional[Dict[int, TransportTiming]] = None,
+) -> str:
+    """Serialize the log as a Chrome trace-event JSON string.
+
+    ``transport`` maps query id to its :class:`TransportTiming`; when
+    given, each covered query also gets a round-trip span plus send and
+    receive instants on a separate "network" process, with the
+    server/network duration split in the span's args.
+    """
     records = log.completed_records()
     tracks = _assign_tracks(records)
     events = [{
@@ -69,13 +122,60 @@ def to_chrome_trace(log: QueryLog, process_name: str = "SUT") -> str:
                 "scheduled": record.scheduled_time,
             },
         })
+    if transport:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "args": {"name": "network"},
+        })
+        for record in records:
+            timing = transport.get(record.query.id)
+            if timing is None:
+                continue
+            track = tracks[record.query.id]
+            events.append({
+                "name": f"rpc query {record.query.id}",
+                "cat": "network",
+                "ph": "X",
+                "pid": 2,
+                "tid": track,
+                "ts": timing.send_time * _US,
+                "dur": timing.round_trip * _US,
+                "args": {
+                    "server_time_ms": timing.server_time * 1e3,
+                    "network_time_ms": timing.network_time * 1e3,
+                },
+            })
+            events.append({
+                "name": "send",
+                "cat": "network",
+                "ph": "i",
+                "s": "t",
+                "pid": 2,
+                "tid": track,
+                "ts": timing.send_time * _US,
+            })
+            events.append({
+                "name": "receive",
+                "cat": "network",
+                "ph": "i",
+                "s": "t",
+                "pid": 2,
+                "tid": track,
+                "ts": timing.recv_time * _US,
+            })
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
                       indent=1)
 
 
-def write_chrome_trace(log: QueryLog, path, process_name: str = "SUT"
-                       ) -> None:
+def write_chrome_trace(
+    log: QueryLog,
+    path,
+    process_name: str = "SUT",
+    transport: Optional[Dict[int, TransportTiming]] = None,
+) -> None:
     """Write the trace to ``path`` (the mlperf_trace.json equivalent)."""
     from pathlib import Path
 
-    Path(path).write_text(to_chrome_trace(log, process_name))
+    Path(path).write_text(to_chrome_trace(log, process_name, transport))

@@ -7,6 +7,7 @@ terminates with the right verdict, and a submitter-side retry wrapper
 (``ResilientSUT``) that turns transient faults back into VALID runs.
 """
 
+from .filtering import CompletionFilter, Screened, malformed_reason
 from .plan import (
     TRANSIENT_FAULTS,
     FaultDecision,
@@ -19,6 +20,7 @@ from .sut import FaultySUT
 
 __all__ = [
     "TRANSIENT_FAULTS",
+    "CompletionFilter",
     "FaultDecision",
     "FaultInjector",
     "FaultPlan",
@@ -27,4 +29,6 @@ __all__ = [
     "ResilienceStats",
     "ResilientSUT",
     "RetryPolicy",
+    "Screened",
+    "malformed_reason",
 ]

@@ -1,0 +1,113 @@
+"""Response hygiene shared by every wrapper that re-issues work.
+
+Both the retry wrapper (:class:`~repro.faults.resilient.ResilientSUT`)
+and the network client (:class:`~repro.network.client.NetworkSUT`) face
+the same problem: completions arrive from an unreliable source, so a
+completion may be a duplicate, a straggler that lost its deadline race,
+an answer to a query the wrapper never sent, or a malformed response
+set.  None of those may reach the referee - the wrapper either retries
+or reports a recorded failure.
+
+:class:`CompletionFilter` is that shared screen: an in-flight registry
+keyed by query id plus the classification logic.  Callers attach an
+opaque per-query state object at :meth:`~CompletionFilter.admit` time
+(retry counters, deadline timers, the connection a query went out on)
+and get it back from :meth:`~CompletionFilter.screen`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, TypeVar
+
+from ..core.query import Query, QueryFailure
+
+S = TypeVar("S")
+
+
+def malformed_reason(query: Query, responses) -> Optional[str]:
+    """Why ``responses`` is not a well-formed answer to ``query``.
+
+    Returns ``None`` for a clean response set.  This is the wrapper-side
+    twin of the referee's checks in ``QueryLog.observe_completion``: the
+    same response set the referee would record as a malformed-response
+    failure is the one a wrapper should treat as a lost attempt.
+    """
+    if len(responses) != query.sample_count:
+        return (
+            f"expected {query.sample_count} responses, got {len(responses)}"
+        )
+    expected = {s.id for s in query.samples}
+    got = {r.sample_id for r in responses}
+    if got != expected:
+        return (
+            f"{len(got - expected)} responses name sample ids that are "
+            "not part of the query"
+        )
+    return None
+
+
+class Screened(NamedTuple):
+    """Outcome of screening one inner completion.
+
+    ``state`` is the object registered at admit time, or ``None`` when
+    the completion is stale (duplicate, straggler, or never admitted) and
+    must be swallowed.  ``flaw`` is set when the attempt resolved but its
+    payload cannot be used: a :class:`QueryFailure` from below, or a
+    malformed response set.
+    """
+
+    state: Optional[object]
+    flaw: Optional[str]
+
+    @property
+    def stale(self) -> bool:
+        return self.state is None
+
+    @property
+    def usable(self) -> bool:
+        return self.state is not None and self.flaw is None
+
+
+class CompletionFilter:
+    """In-flight registry + duplicate/straggler/malformed screening."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._inflight
+
+    def admit(self, query: Query, state: S) -> S:
+        """Register ``query`` as in flight, carrying ``state``."""
+        self._inflight[query.id] = state
+        return state
+
+    def get(self, query_id: int) -> Optional[object]:
+        """The admitted state, or ``None`` if not in flight."""
+        return self._inflight.get(query_id)
+
+    def resolve(self, query_id: int) -> Optional[object]:
+        """Remove and return the state; later completions for this query
+        will screen as stale."""
+        return self._inflight.pop(query_id, None)
+
+    def states(self) -> List[object]:
+        """Snapshot of every in-flight state (admission order)."""
+        return list(self._inflight.values())
+
+    def screen(self, query: Query, responses) -> Screened:
+        """Classify one completion arriving from the unreliable source.
+
+        Does *not* resolve the query - a flawed attempt stays in flight
+        so the caller can retry it; a clean one is resolved by the caller
+        once it has dealt with timers/stats.
+        """
+        state = self._inflight.get(query.id)
+        if state is None:
+            return Screened(state=None, flaw=None)
+        if isinstance(responses, QueryFailure):
+            return Screened(state=state, flaw=f"attempt failed: {responses.reason}")
+        return Screened(state=state, flaw=malformed_reason(query, responses))

@@ -15,12 +15,13 @@ deterministic and virtual-time-fast as everything else.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..core.events import EventHandle, EventLoop
-from ..core.query import Query, QueryFailure
+from ..core.query import Query
 from ..core.sut import Responder, SutBase, SystemUnderTest
+from .filtering import CompletionFilter
 
 
 @dataclass(frozen=True)
@@ -94,17 +95,16 @@ class ResilientSUT(SutBase):
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
         self.stats = ResilienceStats()
-        self._inflight: Dict[int, _Inflight] = {}
+        self._filter = CompletionFilter()
 
     def start_run(self, loop: EventLoop, responder: Responder) -> None:
         super().start_run(loop, responder)
         self.stats = ResilienceStats()
-        self._inflight = {}
+        self._filter = CompletionFilter()
         self.inner.start_run(loop, self._on_inner_completion)
 
     def issue_query(self, query: Query) -> None:
-        state = _Inflight(query=query)
-        self._inflight[query.id] = state
+        state = self._filter.admit(query, _Inflight(query=query))
         self._attempt(state)
 
     def flush(self) -> None:
@@ -120,13 +120,13 @@ class ResilientSUT(SutBase):
 
     def _attempt_lost(self, state: _Inflight) -> None:
         qid = state.query.id
-        if self._inflight.get(qid) is not state:
+        if self._filter.get(qid) is not state:
             return  # resolved in the meantime
         if state.timer is not None:
             state.timer.cancel()
             state.timer = None
         if state.attempt + 1 >= self.policy.max_attempts:
-            del self._inflight[qid]
+            self._filter.resolve(qid)
             self.stats.gave_up_queries += 1
             self.fail(
                 state.query,
@@ -139,24 +139,20 @@ class ResilientSUT(SutBase):
         self.loop.schedule_after(backoff, lambda: self._reissue(state))
 
     def _reissue(self, state: _Inflight) -> None:
-        if self._inflight.get(state.query.id) is state:
+        if self._filter.get(state.query.id) is state:
             self._attempt(state)
 
     # -- inner completions ------------------------------------------------------
 
-    def _is_malformed(self, query: Query, responses) -> bool:
-        if len(responses) != query.sample_count:
-            return True
-        return {r.sample_id for r in responses} != {s.id for s in query.samples}
-
     def _on_inner_completion(self, query: Query, responses) -> None:
-        state = self._inflight.get(query.id)
-        if state is None:
+        screened = self._filter.screen(query, responses)
+        if screened.stale:
             # Duplicate, unsolicited, or post-deadline straggler: the
             # resilience layer absorbs it so the referee never sees it.
             self.stats.filtered_completions += 1
             return
-        if isinstance(responses, QueryFailure) or self._is_malformed(query, responses):
+        state = screened.state
+        if screened.flaw is not None:
             # A bad attempt is a lost attempt; retry immediately rather
             # than waiting out the deadline.
             self.stats.malformed_attempts += 1
@@ -164,7 +160,7 @@ class ResilientSUT(SutBase):
             return
         if state.timer is not None:
             state.timer.cancel()
-        del self._inflight[query.id]
+        self._filter.resolve(query.id)
         if state.attempt > 0:
             self.stats.recovered_queries += 1
         self.complete(query, responses)

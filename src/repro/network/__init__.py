@@ -1,0 +1,40 @@
+"""LoadGen-over-network: the benchmark's Network division.
+
+The paper's SUT boundary (Fig. 3) is an in-process API; this package
+moves it onto a wire without touching the LoadGen.  Three layers:
+
+* :mod:`~repro.network.protocol` - the versioned, length-prefixed binary
+  wire contract (framing, payload codec, strict malformed-input
+  detection).
+* :mod:`~repro.network.server` - :class:`InferenceServer`, a TCP server
+  hosting any existing SUT behind a bounded admission queue, edge
+  batching, and a worker pool.
+* :mod:`~repro.network.client` - :class:`NetworkSUT`, the SUT adapter
+  the unmodified LoadGen drives, with deadlines, retries, and
+  reconnection.
+
+Plus :mod:`~repro.network.simulated` - a virtual-time stand-in channel
+(:class:`SimulatedChannelSUT`) for deterministic network-sensitivity
+experiments.
+"""
+
+from .client import NetworkStats, NetworkSUT, parse_address
+from .protocol import VERSION, FrameReader, FrameType, ProtocolError
+from .server import InferenceServer, ServerConfig, ServerStats
+from .simulated import ChannelModel, ChannelStats, SimulatedChannelSUT
+
+__all__ = [
+    "VERSION",
+    "ChannelModel",
+    "ChannelStats",
+    "FrameReader",
+    "FrameType",
+    "InferenceServer",
+    "NetworkStats",
+    "NetworkSUT",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerStats",
+    "SimulatedChannelSUT",
+    "parse_address",
+]

@@ -1,0 +1,395 @@
+"""The LoadGen-over-network wire protocol.
+
+A versioned, length-prefixed binary framing plus a small self-describing
+payload codec.  The real MLPerf Network division draws the SUT boundary
+at a wire: the LoadGen and the inference server sit on opposite ends of
+a connection, and everything the wire adds - serialization, kernel
+queues, propagation - counts against the QoS bound.  This module is that
+wire's contract.
+
+Framing::
+
+    +-------+---------+------+-----------------+----------------+
+    | magic | version | type | payload length  |    payload     |
+    |  2 B  |   1 B   | 1 B  |  4 B big-endian | length bytes   |
+    +-------+---------+------+-----------------+----------------+
+
+Seven frame types cover the conversation: ``HELLO`` (version/name
+exchange, first frame on every connection), ``LOAD`` (untimed sample
+preload, the Fig. 3 steps 1-4 analogue), ``ISSUE`` (one query),
+``COMPLETE`` (responses plus server-side timestamps), ``FAIL`` (a
+query-scoped recorded failure), ``DRAIN`` (graceful end-of-session),
+and ``STATS`` (server counters; also the reply to ``LOAD``/``DRAIN``).
+
+The payload codec is a tagged recursive encoding of the JSON scalar
+types plus ``bytes`` and C-contiguous numpy arrays (dtype + shape +
+raw data), so inference inputs and outputs cross the wire without a
+text round-trip.
+
+Every decode path raises :class:`ProtocolError` on malformed input -
+bad magic, unknown version or frame type, truncated or oversized
+frames, garbage payload bytes.  Peers treat a ``ProtocolError`` as a
+poisoned connection: there is no way to resynchronise a byte stream
+with a corrupt length prefix, so the connection is closed and the
+in-flight queries on it surface through the existing failed-query
+machinery (never as hangs).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.query import Query, QuerySample, QuerySampleResponse
+
+MAGIC = b"MI"
+VERSION = 1
+
+#: Upper bound on one frame's payload.  A length prefix beyond this is
+#: treated as stream corruption rather than an instruction to buffer
+#: gigabytes (an offline query of 24,576 float32 ImageNet-sized samples
+#: still fits comfortably).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">2sBBI")
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the wire contract."""
+
+
+class FrameType(enum.IntEnum):
+    """The seven conversation frame types."""
+
+    HELLO = 1
+    LOAD = 2
+    ISSUE = 3
+    COMPLETE = 4
+    FAIL = 5
+    DRAIN = 6
+    STATS = 7
+
+
+# -- payload codec -------------------------------------------------------------
+#
+# One-byte tag, then a fixed or length-prefixed body.  Containers nest.
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one payload value (raises ``TypeError`` on foreign types)."""
+    if value is None:
+        return b"Z"
+    if value is True:
+        return b"T"
+    if value is False:
+        return b"F"
+    if isinstance(value, (int, np.integer)):
+        return b"I" + _I64.pack(int(value))
+    if isinstance(value, (float, np.floating)):
+        return b"D" + _F64.pack(float(value))
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"S" + _U32.pack(len(raw)) + raw
+    if isinstance(value, (bytes, bytearray)):
+        return b"B" + _U32.pack(len(value)) + bytes(value)
+    if isinstance(value, np.ndarray):
+        if value.dtype.hasobject:
+            raise TypeError("object-dtype ndarrays are not wire-encodable")
+        # (ascontiguousarray would promote 0-d arrays to 1-d)
+        data = (value if value.flags["C_CONTIGUOUS"]
+                else np.ascontiguousarray(value))
+        dtype = data.dtype.str.encode("ascii")
+        out = [b"N", _U16.pack(len(dtype)), dtype, _U16.pack(data.ndim)]
+        for dim in data.shape:
+            out.append(_U32.pack(dim))
+        out.append(data.tobytes())
+        return b"".join(out)
+    if isinstance(value, (list, tuple)):
+        out = [b"L", _U32.pack(len(value))]
+        out.extend(encode_value(item) for item in value)
+        return b"".join(out)
+    if isinstance(value, dict):
+        out = [b"M", _U32.pack(len(value))]
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"payload dict keys must be str, got {key!r}")
+            out.append(encode_value(key))
+            out.append(encode_value(item))
+        return b"".join(out)
+    raise TypeError(f"value of type {type(value).__name__} is not wire-encodable")
+
+
+class _Cursor:
+    """Bounds-checked reader over one payload buffer."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if count < 0 or end > len(self.data):
+            raise ProtocolError(
+                f"payload truncated: wanted {count} bytes at offset "
+                f"{self.pos}, only {len(self.data) - self.pos} remain"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def _decode(cur: _Cursor) -> Any:
+    tag = cur.take(1)
+    if tag == b"Z":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"I":
+        return _I64.unpack(cur.take(8))[0]
+    if tag == b"D":
+        return _F64.unpack(cur.take(8))[0]
+    if tag == b"S":
+        (length,) = _U32.unpack(cur.take(4))
+        try:
+            return cur.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid utf-8 in string payload: {exc}") from exc
+    if tag == b"B":
+        (length,) = _U32.unpack(cur.take(4))
+        return cur.take(length)
+    if tag == b"N":
+        (dtype_len,) = _U16.unpack(cur.take(2))
+        try:
+            dtype = np.dtype(cur.take(dtype_len).decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"invalid ndarray dtype: {exc}") from exc
+        if dtype.hasobject:
+            raise ProtocolError("object-dtype ndarrays are not wire-decodable")
+        (ndim,) = _U16.unpack(cur.take(2))
+        shape = tuple(_U32.unpack(cur.take(4))[0] for _ in range(ndim))
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        raw = cur.take(count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    if tag == b"L":
+        (length,) = _U32.unpack(cur.take(4))
+        return [_decode(cur) for _ in range(length)]
+    if tag == b"M":
+        (length,) = _U32.unpack(cur.take(4))
+        out: Dict[str, Any] = {}
+        for _ in range(length):
+            key = _decode(cur)
+            if not isinstance(key, str):
+                raise ProtocolError(f"payload dict key is not a string: {key!r}")
+            out[key] = _decode(cur)
+        return out
+    raise ProtocolError(f"unknown payload tag {tag!r} at offset {cur.pos - 1}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one payload buffer, requiring every byte to be consumed."""
+    cur = _Cursor(data)
+    value = _decode(cur)
+    if not cur.exhausted:
+        raise ProtocolError(
+            f"payload has {len(data) - cur.pos} trailing bytes "
+            "(wrong payload size for its content)"
+        )
+    return value
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def encode_frame(ftype: FrameType, payload: Any) -> bytes:
+    """Serialize one frame (header + encoded payload)."""
+    body = encode_value(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return _HEADER.pack(MAGIC, VERSION, int(ftype), len(body)) + body
+
+
+class FrameReader:
+    """Incremental frame parser over an arbitrary byte-chunk stream.
+
+    Feed it whatever ``recv`` returns; it yields ``(FrameType, payload)``
+    pairs as frames complete and raises :class:`ProtocolError` the
+    moment the stream is provably corrupt.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[FrameType, Any]]:
+        """Absorb ``data``; return every frame it completed."""
+        self._buffer.extend(data)
+        frames: List[Tuple[FrameType, Any]] = []
+        while True:
+            frame = self._try_parse_one()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_parse_one(self) -> Optional[Tuple[FrameType, Any]]:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, version, type_byte, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+        if version != VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} (speaking {VERSION})"
+            )
+        try:
+            ftype = FrameType(type_byte)
+        except ValueError:
+            raise ProtocolError(f"unknown frame type {type_byte}") from None
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        end = _HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        payload = decode_value(bytes(self._buffer[_HEADER.size:end]))
+        del self._buffer[:end]
+        return ftype, payload
+
+
+# -- message helpers -----------------------------------------------------------
+#
+# Thin builders/parsers over dict payloads, so client and server agree on
+# field names in exactly one place.  Parsers validate shape and raise
+# ProtocolError - a well-framed message with the wrong fields is as
+# malformed as a truncated one.
+
+
+def _require(payload: Any, *fields: str) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"expected a mapping payload, got {type(payload).__name__}"
+        )
+    for name in fields:
+        if name not in payload:
+            raise ProtocolError(f"payload is missing required field {name!r}")
+    return payload
+
+
+def hello_frame(name: str, role: str) -> bytes:
+    return encode_frame(
+        FrameType.HELLO, {"name": name, "role": role, "version": VERSION}
+    )
+
+
+def parse_hello(payload: Any) -> Dict[str, Any]:
+    msg = _require(payload, "name", "role", "version")
+    if msg["version"] != VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {msg['version']}, not {VERSION}"
+        )
+    return msg
+
+
+def load_frame(indices) -> bytes:
+    return encode_frame(FrameType.LOAD, {"indices": [int(i) for i in indices]})
+
+
+def parse_load(payload: Any) -> List[int]:
+    msg = _require(payload, "indices")
+    if not isinstance(msg["indices"], list):
+        raise ProtocolError("LOAD indices must be a list")
+    return [int(i) for i in msg["indices"]]
+
+
+def issue_frame(query: Query) -> bytes:
+    return encode_frame(FrameType.ISSUE, {
+        "query_id": query.id,
+        "samples": [[s.id, s.index] for s in query.samples],
+    })
+
+
+def parse_issue(payload: Any) -> Tuple[int, List[QuerySample]]:
+    msg = _require(payload, "query_id", "samples")
+    raw = msg["samples"]
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("ISSUE must carry a non-empty sample list")
+    samples = []
+    for entry in raw:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise ProtocolError(f"malformed ISSUE sample entry {entry!r}")
+        samples.append(QuerySample(id=int(entry[0]), index=int(entry[1])))
+    return int(msg["query_id"]), samples
+
+
+def complete_frame(
+    query_id: int,
+    responses: List[QuerySampleResponse],
+    server_recv: float,
+    server_send: float,
+) -> bytes:
+    return encode_frame(FrameType.COMPLETE, {
+        "query_id": query_id,
+        "responses": [[r.sample_id, r.data] for r in responses],
+        "server_recv": server_recv,
+        "server_send": server_send,
+    })
+
+
+def parse_complete(payload: Any) -> Tuple[int, List[QuerySampleResponse], float, float]:
+    msg = _require(payload, "query_id", "responses", "server_recv", "server_send")
+    raw = msg["responses"]
+    if not isinstance(raw, list):
+        raise ProtocolError("COMPLETE responses must be a list")
+    responses = []
+    for entry in raw:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise ProtocolError(f"malformed COMPLETE response entry {entry!r}")
+        responses.append(QuerySampleResponse(int(entry[0]), entry[1]))
+    return (
+        int(msg["query_id"]),
+        responses,
+        float(msg["server_recv"]),
+        float(msg["server_send"]),
+    )
+
+
+def fail_frame(query_id: int, reason: str) -> bytes:
+    return encode_frame(
+        FrameType.FAIL, {"query_id": query_id, "reason": str(reason)}
+    )
+
+
+def parse_fail(payload: Any) -> Tuple[int, str]:
+    msg = _require(payload, "query_id", "reason")
+    return int(msg["query_id"]), str(msg["reason"])
+
+
+def drain_frame() -> bytes:
+    return encode_frame(FrameType.DRAIN, {})
+
+
+def stats_frame(stats: Dict[str, Any]) -> bytes:
+    return encode_frame(FrameType.STATS, stats)

@@ -1,0 +1,619 @@
+"""A TCP inference server hosting any SUT behind the wire protocol.
+
+:class:`InferenceServer` is the submitter side of the Network division:
+it owns the listening socket, a bounded admission queue, an edge
+batcher, and a worker pool that drives the hosted backend.  The request
+path is::
+
+    reader thread --> admission queue --> batcher --> worker pool
+    (per session)     (bounded; full =     (merges     (runs backend,
+                       immediate FAIL)      requests)    replies)
+
+Design points:
+
+* **Bounded admission.**  A server under overload must shed load, not
+  buffer without limit: an ISSUE that finds the queue full is answered
+  with an immediate FAIL frame, which the client surfaces through the
+  LoadGen's failed-query machinery.
+* **Dynamic batching at the edge.**  The batcher merges whole requests
+  (never splitting one) up to ``max_batch`` samples, waiting at most
+  ``batch_window`` seconds for stragglers - the same latency/throughput
+  trade the paper's server scenario exists to measure, now applied at
+  the serving boundary.
+* **Per-connection sessions.**  Each connection speaks HELLO first, can
+  preload samples (LOAD), issue queries, ask for STATS, and end with a
+  graceful DRAIN that flushes its in-flight queries before the final
+  STATS reply.
+* **Misbehavior containment.**  A protocol violation poisons only its
+  own connection: the session is closed, a counter is bumped, and every
+  other session keeps serving.  A backend that answers with the wrong
+  sample ids produces FAIL frames, not a crashed server.
+
+The hosted backend is any :class:`~repro.core.sut.SystemUnderTest`; a
+per-worker :class:`_BackendRunner` drives it to completion on a private
+realtime event loop, so backends written for the virtual-time LoadGen
+(completion scheduled ``service_time`` in the future) serve real traffic
+with that service time realised as wall-clock sleep.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+
+from ..core.events import EventLoop, WallClock
+from ..core.query import Query, QueryFailure, QuerySample, QuerySampleResponse
+from ..core.sut import QuerySampleLibrary, SystemUnderTest
+from . import protocol
+from .protocol import FrameReader, FrameType, ProtocolError
+
+_RECV_CHUNK = 64 * 1024
+_POLL = 0.2
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Deployment knobs for one :class:`InferenceServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 = let the OS pick (the bound address is ``server.address``).
+    port: int = 0
+    #: Worker threads driving the backend.  More than one requires a
+    #: backend *factory* (each worker gets its own instance); a single
+    #: shared instance is serialized behind one runner.
+    workers: int = 2
+    #: Admission-queue bound, in requests; beyond it ISSUEs are FAILed.
+    max_queue: int = 256
+    #: Edge-batching cap, in samples.
+    max_batch: int = 8
+    #: How long the batcher holds a non-full batch open, seconds.
+    batch_window: float = 0.0
+    name: str = "inference-server"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_window < 0:
+            raise ValueError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+
+
+@dataclass
+class ServerStats:
+    """Counters one server accumulates across its lifetime."""
+
+    connections: int = 0
+    queries_received: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: ISSUEs shed because the admission queue was full.
+    rejected: int = 0
+    protocol_errors: int = 0
+    batches: int = 0
+    batched_samples: int = 0
+    queue_high_water: int = 0
+    loads: int = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "connections": self.connections,
+            "queries_received": self.queries_received,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "protocol_errors": self.protocol_errors,
+            "batches": self.batches,
+            "batched_samples": self.batched_samples,
+            "queue_high_water": self.queue_high_water,
+            "loads": self.loads,
+        }
+
+
+class _BackendRunner:
+    """Drives one hosted SUT synchronously on a private realtime loop.
+
+    Backends complete by scheduling events ``service_time`` in the
+    future; running the private loop realises that as real elapsed time,
+    which is exactly what a network client should observe.
+    """
+
+    def __init__(self, sut: SystemUnderTest) -> None:
+        self.sut = sut
+        self.loop = EventLoop(WallClock())
+        self._result: Optional[Tuple[Query, object]] = None
+        self._lock = threading.Lock()
+        self.sut.start_run(self.loop, self._capture)
+
+    def _capture(self, query: Query, responses) -> None:
+        # Keep the first terminal answer; duplicates from a misbehaving
+        # backend are dropped here rather than forwarded over the wire.
+        if self._result is None:
+            self._result = (query, responses)
+
+    def run(self, query: Query):
+        """Execute ``query``; returns a response list or QueryFailure."""
+        with self._lock:
+            self._result = None
+            self.sut.issue_query(query)
+            self.sut.flush()
+            self.loop.run()
+            if self._result is None:
+                return QueryFailure("backend produced no completion")
+            answered, responses = self._result
+            if answered.id != query.id:
+                return QueryFailure(
+                    f"backend answered query {answered.id} "
+                    f"instead of {query.id}"
+                )
+            return responses
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted ISSUE, waiting for dispatch."""
+
+    session: "_Session"
+    query_id: int
+    samples: List[QuerySample]
+    recv_time: float
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+
+class _RequestQueue:
+    """Bounded FIFO with batch-assembling consumption."""
+
+    def __init__(self, max_queue: int) -> None:
+        self._items: Deque[_PendingRequest] = collections.deque()
+        self._max = max_queue
+        self._cond = threading.Condition()
+        self._closed = False
+        self.high_water = 0
+
+    def offer(self, request: _PendingRequest) -> bool:
+        """Admit ``request`` unless the queue is full or closed."""
+        with self._cond:
+            if self._closed or len(self._items) >= self._max:
+                return False
+            self._items.append(request)
+            self.high_water = max(self.high_water, len(self._items))
+            self._cond.notify()
+            return True
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def take_batch(
+        self, max_samples: int, window: float
+    ) -> Optional[List[_PendingRequest]]:
+        """Block for the next batch; ``None`` once closed and drained.
+
+        Requests are merged whole, FIFO, up to ``max_samples``; an
+        oversized request ships alone.  With a window, the batch is held
+        open up to ``window`` seconds hoping to fill.
+        """
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait(_POLL)
+            batch = [self._items.popleft()]
+            count = batch[0].sample_count
+            deadline = time.monotonic() + window
+            while count < max_samples:
+                if self._items:
+                    nxt = self._items[0]
+                    if count + nxt.sample_count > max_samples:
+                        break
+                    batch.append(self._items.popleft())
+                    count += nxt.sample_count
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+
+class _Session:
+    """Per-connection state: the socket, a send lock, drain tracking."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sock: socket.socket, addr) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.id = next(self._ids)
+        self.alive = True
+        self.draining = False
+        self.greeted = False
+        self.inflight = 0
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+
+    def send(self, frame: bytes) -> bool:
+        """Write one frame; returns False (and dies) on a broken pipe."""
+        with self._send_lock:
+            if not self.alive:
+                return False
+            try:
+                self.sock.sendall(frame)
+                return True
+            except OSError:
+                self.alive = False
+                return False
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class InferenceServer:
+    """Serve a hosted backend over TCP to remote LoadGens.
+
+    ``backend`` is either a ready :class:`SystemUnderTest` (served by a
+    single serialized runner) or a zero-argument factory producing one
+    instance per worker thread.  ``qsl`` (optional) answers LOAD frames;
+    backends normally hold their own sample source and fetch by index.
+    """
+
+    def __init__(
+        self,
+        backend: Union[SystemUnderTest, Callable[[], SystemUnderTest]],
+        config: Optional[ServerConfig] = None,
+        qsl: Optional[QuerySampleLibrary] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.qsl = qsl
+        self.stats = ServerStats()
+        self._stats_lock = threading.Lock()
+        # A class or other callable is a factory (note a SUT *class*
+        # itself passes the runtime Protocol isinstance check, so test
+        # for type-ness first); only a ready instance is shared.
+        if isinstance(backend, type) or not isinstance(backend, SystemUnderTest):
+            self._runners = [
+                _BackendRunner(backend()) for _ in range(self.config.workers)
+            ]
+        else:
+            # One shared instance: every worker funnels through the one
+            # runner (its lock serializes dispatches).
+            self._runners = [_BackendRunner(backend)] * self.config.workers
+        self._queue = _RequestQueue(self.config.max_queue)
+        self._dispatch: "collections.deque[Optional[List[_PendingRequest]]]" = (
+            collections.deque()
+        )
+        self._dispatch_cond = threading.Condition()
+        self._sample_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
+        self._sessions: List[_Session] = []
+        self._sessions_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+        self._running = False
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and spin up the serving threads."""
+        if self._running:
+            raise RuntimeError("server already running")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(32)
+        listener.settimeout(_POLL)
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._running = True
+        self._spawn(self._accept_loop, "accept")
+        self._spawn(self._batch_loop, "batcher")
+        for index in range(self.config.workers):
+            self._spawn(lambda i=index: self._worker_loop(i), f"worker-{index}")
+        return self.address
+
+    def __enter__(self) -> "InferenceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Shut down; with ``drain`` the admitted queue finishes first."""
+        if not self._running:
+            return
+        if drain:
+            deadline = time.monotonic() + timeout
+            while self._queue.depth > 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        self._running = False
+        self._queue.close()
+        with self._dispatch_cond:
+            for _ in range(self.config.workers):
+                self._dispatch.append(None)
+            self._dispatch_cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def _spawn(self, target: Callable[[], None], name: str) -> None:
+        thread = threading.Thread(
+            target=target, name=f"{self.config.name}-{name}", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+
+    # -- accept + per-session read ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(_POLL)
+            session = _Session(sock, addr)
+            with self._sessions_lock:
+                self._sessions.append(session)
+            with self._stats_lock:
+                self.stats.connections += 1
+            self._spawn(lambda s=session: self._session_loop(s),
+                        f"session-{session.id}")
+
+    def _session_loop(self, session: _Session) -> None:
+        reader = FrameReader()
+        try:
+            while self._running and session.alive:
+                try:
+                    data = session.sock.recv(_RECV_CHUNK)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break  # peer closed
+                for ftype, payload in reader.feed(data):
+                    self._handle_frame(session, ftype, payload)
+        except ProtocolError:
+            # Corrupt stream: count it and poison only this connection.
+            with self._stats_lock:
+                self.stats.protocol_errors += 1
+        finally:
+            session.close()
+            with self._sessions_lock:
+                if session in self._sessions:
+                    self._sessions.remove(session)
+
+    def _handle_frame(self, session: _Session, ftype: FrameType, payload) -> None:
+        if not session.greeted:
+            if ftype is not FrameType.HELLO:
+                raise ProtocolError(
+                    f"first frame must be HELLO, got {ftype.name}"
+                )
+            protocol.parse_hello(payload)
+            session.greeted = True
+            session.send(protocol.hello_frame(self.config.name, "server"))
+            return
+        if ftype is FrameType.ISSUE:
+            self._handle_issue(session, payload)
+        elif ftype is FrameType.LOAD:
+            indices = protocol.parse_load(payload)
+            if self.qsl is not None:
+                self.qsl.load_samples(indices)
+            with self._stats_lock:
+                self.stats.loads += 1
+            session.send(protocol.stats_frame({"loaded": len(indices)}))
+        elif ftype is FrameType.STATS:
+            session.send(protocol.stats_frame(self._stats_snapshot()))
+        elif ftype is FrameType.DRAIN:
+            session.draining = True
+            self._maybe_finish_drain(session)
+        elif ftype is FrameType.HELLO:
+            raise ProtocolError("duplicate HELLO")
+        else:
+            # COMPLETE/FAIL are server->client frames; receiving one is
+            # a role violation.
+            raise ProtocolError(
+                f"client may not send {ftype.name} frames"
+            )
+
+    def _handle_issue(self, session: _Session, payload) -> None:
+        query_id, samples = protocol.parse_issue(payload)
+        with self._stats_lock:
+            self.stats.queries_received += 1
+        if session.draining:
+            self._send_fail(session, query_id, "session is draining")
+            return
+        if not self._running:
+            self._send_fail(session, query_id, "server is shutting down")
+            return
+        request = _PendingRequest(
+            session=session,
+            query_id=query_id,
+            samples=samples,
+            recv_time=time.monotonic(),
+        )
+        with session._state_lock:
+            session.inflight += 1
+        if not self._queue.offer(request):
+            with session._state_lock:
+                session.inflight -= 1
+            with self._stats_lock:
+                self.stats.rejected += 1
+            self._send_fail(session, query_id, "server request queue is full")
+
+    # -- batching + dispatch ----------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            batch = self._queue.take_batch(
+                self.config.max_batch, self.config.batch_window
+            )
+            if batch is None:
+                return
+            with self._stats_lock:
+                self.stats.batches += 1
+                self.stats.batched_samples += sum(
+                    r.sample_count for r in batch
+                )
+                self.stats.queue_high_water = max(
+                    self.stats.queue_high_water, self._queue.high_water
+                )
+            with self._dispatch_cond:
+                self._dispatch.append(batch)
+                self._dispatch_cond.notify()
+
+    def _worker_loop(self, index: int) -> None:
+        runner = self._runners[index]
+        while True:
+            with self._dispatch_cond:
+                while not self._dispatch:
+                    self._dispatch_cond.wait(_POLL)
+                batch = self._dispatch.popleft()
+            if batch is None:
+                return
+            self._execute_batch(runner, batch)
+
+    def _execute_batch(
+        self, runner: _BackendRunner, batch: List[_PendingRequest]
+    ) -> None:
+        # Remap client sample ids (unique only per connection) onto a
+        # server-wide id space, remembering the way back.
+        remap: Dict[int, Tuple[_PendingRequest, int]] = {}
+        merged: List[QuerySample] = []
+        for request in batch:
+            for sample in request.samples:
+                internal = next(self._sample_ids)
+                remap[internal] = (request, sample.id)
+                merged.append(QuerySample(id=internal, index=sample.index))
+        query = Query(
+            id=next(self._batch_ids),
+            samples=tuple(merged),
+            issue_time=time.monotonic(),
+            contiguous=False,
+        )
+        try:
+            outcome = runner.run(query)
+        except Exception as exc:  # a crashing backend fails the batch
+            outcome = QueryFailure(f"backend raised {exc!r}")
+        if isinstance(outcome, QueryFailure):
+            for request in batch:
+                self._send_fail(request.session, request.query_id,
+                                outcome.reason)
+                self._request_done(request.session)
+            return
+        grouped: Dict[int, List[QuerySampleResponse]] = {
+            request.query_id: [] for request in batch
+        }
+        unknown = 0
+        for response in outcome:
+            mapped = remap.get(response.sample_id)
+            if mapped is None:
+                unknown += 1
+                continue
+            request, original_id = mapped
+            grouped[request.query_id].append(
+                QuerySampleResponse(original_id, response.data)
+            )
+        for request in batch:
+            responses = grouped[request.query_id]
+            if unknown or len(responses) != request.sample_count:
+                self._send_fail(
+                    request.session, request.query_id,
+                    "backend response set does not match the request "
+                    f"({len(responses)}/{request.sample_count} samples"
+                    f"{', stray ids' if unknown else ''})",
+                )
+                self._request_done(request.session)
+                continue
+            self._send_complete(request, responses)
+
+    # -- replies ----------------------------------------------------------------
+
+    def _send_complete(
+        self, request: _PendingRequest, responses: List[QuerySampleResponse]
+    ) -> None:
+        try:
+            frame = protocol.complete_frame(
+                request.query_id, responses,
+                server_recv=request.recv_time,
+                server_send=time.monotonic(),
+            )
+        except TypeError as exc:
+            # Non-encodable backend output is an honest failure, not a
+            # silently mangled payload.
+            self._send_fail(
+                request.session, request.query_id,
+                f"response payload is not wire-encodable: {exc}",
+            )
+            self._request_done(request.session)
+            return
+        request.session.send(frame)
+        with self._stats_lock:
+            self.stats.completed += 1
+        self._request_done(request.session)
+
+    def _send_fail(self, session: _Session, query_id: int, reason: str) -> None:
+        session.send(protocol.fail_frame(query_id, reason))
+        with self._stats_lock:
+            self.stats.failed += 1
+
+    def _request_done(self, session: _Session) -> None:
+        with session._state_lock:
+            session.inflight -= 1
+        self._maybe_finish_drain(session)
+
+    def _maybe_finish_drain(self, session: _Session) -> None:
+        if not session.draining:
+            return
+        with session._state_lock:
+            if session.inflight > 0:
+                return
+        payload = dict(self._stats_snapshot())
+        payload["drained"] = True
+        session.send(protocol.stats_frame(payload))
+
+    def _stats_snapshot(self) -> Dict[str, object]:
+        with self._stats_lock:
+            snapshot = self.stats.snapshot()
+        snapshot["queue_depth"] = self._queue.depth
+        return snapshot

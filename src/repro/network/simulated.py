@@ -1,0 +1,247 @@
+"""A virtual-time network channel for deterministic Network-division runs.
+
+Real sockets cannot be driven by a :class:`~repro.core.events.VirtualClock`,
+so experiments on network sensitivity (how does P99 latency degrade as
+the wire slows down?) would be stuck with slow, noisy wall-clock runs.
+:class:`SimulatedChannelSUT` closes that gap: it wraps any in-process
+SUT and imposes a parameterised channel - propagation latency, jitter,
+a bandwidth cap with queueing, loss, reordering - entirely in virtual
+time, seeded and reproducible.
+
+Fidelity points:
+
+* **Real frame sizes.**  Delays are computed from the byte length of the
+  *actual* wire encoding (:func:`repro.network.protocol.issue_frame` /
+  ``complete_frame``), not a guess, so bandwidth effects match what the
+  TCP path would serialize.
+* **Bandwidth as queueing.**  Each direction is a link that serializes
+  one frame at a time at ``bandwidth`` bytes/second; a burst of queries
+  queues behind itself exactly like a saturated NIC.
+* **Loss is silent.**  A dropped query or completion simply never
+  arrives - recovery is the job of whatever sits above (compose with
+  :class:`~repro.faults.resilient.ResilientSUT`, whose deadlines run on
+  the same virtual clock), mirroring how a real client recovers from a
+  lossy network.
+* **Composability.**  The channel is itself a SUT, so it stacks with the
+  PR-1 fault injectors: ``Resilient(Channel(Faulty(backend)))`` models a
+  flaky backend behind a bad network, all deterministic.
+
+Per-query :class:`~repro.core.trace.TransportTiming` records are kept in
+``transport_records`` with the same semantics as the real client's, so
+the trace exporter draws identical network spans for simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.events import EventLoop
+from ..core.query import Query, QueryFailure
+from ..core.sut import Responder, SutBase, SystemUnderTest
+from ..core.trace import TransportTiming
+from . import protocol
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Parameters of one simulated bidirectional channel."""
+
+    #: One-way propagation delay, seconds, each direction.
+    latency: float = 0.001
+    #: Mean of an exponential jitter term added per frame (0 = none).
+    jitter: float = 0.0
+    #: Link rate in bytes/second; ``None`` = infinite (no serialization
+    #: delay, no queueing).
+    bandwidth: Optional[float] = None
+    #: Probability a frame (either direction) silently vanishes.
+    drop_rate: float = 0.0
+    #: Probability a frame is held back an extra uniform(0, reorder_spread)
+    #: seconds, letting later frames overtake it.
+    reorder_rate: float = 0.0
+    reorder_spread: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(
+                f"bandwidth must be positive or None, got {self.bandwidth}"
+            )
+        for name in ("drop_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.reorder_spread < 0:
+            raise ValueError(
+                f"reorder_spread must be >= 0, got {self.reorder_spread}"
+            )
+
+
+@dataclass
+class ChannelStats:
+    """What the channel did to one run's traffic."""
+
+    queries_forwarded: int = 0
+    queries_dropped: int = 0
+    completions_forwarded: int = 0
+    completions_dropped: int = 0
+    reordered_frames: int = 0
+    bytes_forward: int = 0
+    bytes_reverse: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"fwd={self.queries_forwarded} (+{self.queries_dropped} dropped) "
+            f"rev={self.completions_forwarded} "
+            f"(+{self.completions_dropped} dropped) "
+            f"reordered={self.reordered_frames} "
+            f"bytes={self.bytes_forward}/{self.bytes_reverse}"
+        )
+
+
+class _Link:
+    """One direction of the channel: a serializing queue plus the wire."""
+
+    def __init__(self, model: ChannelModel) -> None:
+        self.model = model
+        self._free_at = 0.0
+
+    def transit_time(self, now: float, size: int, jitter_draw: float) -> float:
+        """When a ``size``-byte frame entering at ``now`` is delivered."""
+        start = max(now, self._free_at)
+        if self.model.bandwidth is not None:
+            start += size / self.model.bandwidth
+        self._free_at = start
+        return start + self.model.latency + jitter_draw
+
+    def reset(self) -> None:
+        self._free_at = 0.0
+
+
+class SimulatedChannelSUT(SutBase):
+    """Impose a :class:`ChannelModel` between the LoadGen and ``inner``.
+
+    Deterministic under a virtual clock: all randomness comes from one
+    seeded generator reset at :meth:`start_run`, and all delays are
+    event-loop schedules.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        model: Optional[ChannelModel] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"channel[{inner.name}]")
+        self.inner = inner
+        self.model = model if model is not None else ChannelModel()
+        self.stats = ChannelStats()
+        self.transport_records: Dict[int, TransportTiming] = {}
+        self._rng = np.random.default_rng(self.model.seed)
+        self._forward = _Link(self.model)
+        self._reverse = _Link(self.model)
+        self._inner_recv: Dict[int, float] = {}
+        self._send_times: Dict[int, float] = {}
+        self._last_delivery = 0.0
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.stats = ChannelStats()
+        self.transport_records = {}
+        self._rng = np.random.default_rng(self.model.seed)
+        self._forward.reset()
+        self._reverse.reset()
+        self._inner_recv = {}
+        self._send_times = {}
+        self._last_delivery = loop.now
+        self.inner.start_run(loop, self._on_inner_completion)
+
+    # -- forward direction ------------------------------------------------------
+
+    def issue_query(self, query: Query) -> None:
+        size = len(protocol.issue_frame(query))
+        self.stats.bytes_forward += size
+        if self._rng.random() < self.model.drop_rate:
+            self.stats.queries_dropped += 1
+            return  # vanishes; recovery is the layer above's job
+        deliver_at = self._transit(self._forward, size)
+        self.stats.queries_forwarded += 1
+        send_time = self.loop.now
+
+        def _deliver() -> None:
+            self._inner_recv[query.id] = self.loop.now
+            self.transport_records.pop(query.id, None)
+            self._send_times[query.id] = send_time
+            self.inner.issue_query(query)
+
+        self._schedule_delivery(deliver_at, _deliver)
+
+    def flush(self) -> None:
+        # The flush hint must not overtake queries still "on the wire":
+        # deliver it after everything already scheduled has landed.
+        deliver_at = max(
+            self.loop.now + self.model.latency, self._last_delivery
+        )
+        self.loop.schedule(deliver_at, self.inner.flush)
+
+    # -- reverse direction ------------------------------------------------------
+
+    def _on_inner_completion(self, query: Query, responses) -> None:
+        if isinstance(responses, QueryFailure):
+            size = len(protocol.fail_frame(query.id, responses.reason))
+        else:
+            try:
+                size = len(protocol.complete_frame(
+                    query.id, responses, server_recv=0.0, server_send=0.0
+                ))
+            except TypeError:
+                # Not wire-encodable; a real server would FAIL it.  Use
+                # the failure frame's size and forward the payload as-is
+                # so the referee still sees the backend's answer shape.
+                size = len(protocol.fail_frame(
+                    query.id, "response payload not wire-encodable"
+                ))
+        self.stats.bytes_reverse += size
+        if self._rng.random() < self.model.drop_rate:
+            self.stats.completions_dropped += 1
+            return
+        server_recv = self._inner_recv.pop(query.id, self.loop.now)
+        server_send = self.loop.now
+        deliver_at = self._transit(self._reverse, size)
+        self.stats.completions_forwarded += 1
+
+        def _deliver() -> None:
+            self.transport_records[query.id] = TransportTiming(
+                send_time=self._send_times.pop(query.id, server_recv),
+                recv_time=self.loop.now,
+                server_recv=server_recv,
+                server_send=server_send,
+            )
+            self._responder(query, responses)
+
+        self._schedule_delivery(deliver_at, _deliver)
+
+    # -- shared plumbing --------------------------------------------------------
+
+    def _transit(self, link: _Link, size: int) -> float:
+        jitter = 0.0
+        if self.model.jitter > 0:
+            jitter = float(self._rng.exponential(self.model.jitter))
+        deliver_at = link.transit_time(self.loop.now, size, jitter)
+        if (
+            self.model.reorder_rate > 0
+            and self._rng.random() < self.model.reorder_rate
+        ):
+            deliver_at += float(self._rng.uniform(0, self.model.reorder_spread))
+            self.stats.reordered_frames += 1
+        return deliver_at
+
+    def _schedule_delivery(self, deliver_at: float, callback) -> None:
+        self._last_delivery = max(self._last_delivery, deliver_at)
+        self.loop.schedule(deliver_at, callback)

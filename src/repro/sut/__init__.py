@@ -8,6 +8,7 @@ from .backend import (
 )
 from .calibration import FitResult, fit_device_model
 from .device import ComputeMotif, DeviceModel, ProcessorType
+from .echo import EchoSUT
 from .fleet import (
     FIGURE_5,
     TABLE_VI,
@@ -25,6 +26,7 @@ __all__ = [
     "ComputeMotif",
     "DetectorSUT",
     "DeviceModel",
+    "EchoSUT",
     "FitResult",
     "PreprocessingModel",
     "FIGURE_5",

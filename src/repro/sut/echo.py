@@ -1,0 +1,43 @@
+"""A trivial echo SUT: answers every sample with its own library index.
+
+The smallest possible well-behaved backend.  It exists for plumbing
+tests and examples - especially the network subsystem, where the point
+is to measure the *wire*, so the backend behind it should contribute a
+known, fixed service time and a payload whose correctness is checkable
+at the far end (the echoed index).
+
+Works under both clocks: with ``latency == 0`` completion is synchronous;
+otherwise it is scheduled on the run loop, which realises the delay in
+virtual or wall time as appropriate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.query import Query, QuerySampleResponse
+from ..core.sut import SutBase
+
+
+class EchoSUT(SutBase):
+    """Complete each query after ``latency`` seconds, echoing indices."""
+
+    def __init__(self, latency: float = 0.0, name: Optional[str] = None) -> None:
+        super().__init__(name or "echo")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
+        self.queries_served = 0
+
+    def issue_query(self, query: Query) -> None:
+        responses = [
+            QuerySampleResponse(sample.id, sample.index)
+            for sample in query.samples
+        ]
+        self.queries_served += 1
+        if self.latency == 0:
+            self.complete(query, responses)
+        else:
+            self.loop.schedule_after(
+                self.latency, lambda: self.complete(query, responses)
+            )

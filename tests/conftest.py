@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import signal
+import socket as _socket
+
 import pytest
 
 from repro.core import Scenario, TestMode, TestSettings
@@ -54,6 +57,55 @@ class FixedLatencySUT(SutBase):
         self.loop.schedule_after(
             self.latency, lambda: self.complete(query, responses)
         )
+
+
+_LOOPBACK_HOSTS = {"127.0.0.1", "localhost", "::1"}
+
+
+@pytest.fixture(autouse=True)
+def _socket_test_guard(request):
+    """Keep real-socket tests bounded: a hard per-test timeout (so a
+    wedged server/reader thread fails the test instead of hanging the
+    suite) and a localhost-only restriction on outbound connects.
+
+    Activated by ``@pytest.mark.socket`` (override the default 20 s via
+    ``@pytest.mark.socket(timeout=...)``).  The timeout uses SIGALRM, so
+    on platforms without it (Windows) only the localhost guard applies.
+    """
+    marker = request.node.get_closest_marker("socket")
+    if marker is None:
+        yield
+        return
+    timeout = float(marker.kwargs.get("timeout", 20.0))
+
+    real_connect = _socket.socket.connect
+
+    def _localhost_only(sock, address, *args, **kwargs):
+        host = address[0] if isinstance(address, tuple) else address
+        if host not in _LOOPBACK_HOSTS:
+            raise RuntimeError(
+                f"socket-marked tests must stay on localhost; "
+                f"attempted connect to {address!r}"
+            )
+        return real_connect(sock, address, *args, **kwargs)
+
+    _socket.socket.connect = _localhost_only
+    use_alarm = hasattr(signal, "SIGALRM")
+    if use_alarm:
+        def _fired(signum, frame):
+            raise TimeoutError(
+                f"socket test exceeded its {timeout}s timeout guard"
+            )
+
+        old_handler = signal.signal(signal.SIGALRM, _fired)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, old_handler)
+        _socket.socket.connect = real_connect
 
 
 @pytest.fixture

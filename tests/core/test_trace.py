@@ -83,3 +83,51 @@ def test_end_to_end_run_traces(echo_qsl):
     result = run_benchmark(FixedLatencySUT(0.002), echo_qsl, settings)
     events = events_of(to_chrome_trace(result.log))
     assert len(events) == result.metrics.query_count
+
+
+# -- network spans -------------------------------------------------------------
+
+
+def test_transport_timing_accounting():
+    from repro.core.trace import TransportTiming
+
+    timing = TransportTiming(
+        send_time=1.0, recv_time=1.010, server_recv=100.0, server_send=100.004)
+    assert timing.round_trip == pytest.approx(0.010)
+    assert timing.server_time == pytest.approx(0.004)
+    assert timing.network_time == pytest.approx(0.006)
+
+
+def test_network_time_never_negative_on_clock_skew():
+    from repro.core.trace import TransportTiming
+
+    timing = TransportTiming(
+        send_time=1.0, recv_time=1.001, server_recv=100.0, server_send=100.005)
+    assert timing.network_time == 0.0
+
+
+def test_transport_spans_emitted_on_network_process():
+    from repro.core.trace import TransportTiming
+
+    log = build_log([(0.0, 0.010), (0.020, 0.030)])
+    transport = {
+        1: TransportTiming(send_time=0.0, recv_time=0.009,
+                           server_recv=50.0, server_send=50.004),
+    }
+    trace = json.loads(to_chrome_trace(log, transport=transport))
+    events = trace["traceEvents"]
+    net = [e for e in events if e.get("pid") == 2]
+    names = {e["name"] for e in net}
+    assert "rpc query 1" in names
+    assert "send" in names and "receive" in names
+    rpc = next(e for e in net if e["name"] == "rpc query 1")
+    assert rpc["dur"] == pytest.approx(9_000.0)
+    assert rpc["args"]["server_time_ms"] == pytest.approx(4.0)
+    # Query 2 has no transport record: only query 1 gets network spans.
+    assert not any("query 2" in e["name"] for e in net)
+
+
+def test_no_network_process_without_transport():
+    log = build_log([(0.0, 0.010)])
+    trace = json.loads(to_chrome_trace(log))
+    assert not any(e.get("pid") == 2 for e in trace["traceEvents"])

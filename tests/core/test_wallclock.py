@@ -1,0 +1,193 @@
+"""WallClock and the measured-time (realtime) run path.
+
+The virtual-time loop is pinned down in ``test_events.py``; these tests
+cover what realtime mode adds: monotonic reads, interruptible sleeping,
+cross-thread ``post``, past-time clamping, and - most importantly - that
+a LoadGen run over a ``WallClock`` produces the *same* traffic and
+verdict as the identical run over a ``VirtualClock``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.events import EventLoop, VirtualClock, WallClock
+from repro.core.loadgen import run_benchmark
+
+
+class TestWallClock:
+    def test_monotonic_nondecreasing(self):
+        clock = WallClock()
+        readings = [clock.now() for _ in range(200)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+    def test_tracks_real_elapsed_time(self):
+        clock = WallClock()
+        start = clock.now()
+        time.sleep(0.02)
+        assert clock.now() - start >= 0.015
+
+    def test_loop_over_wall_clock_is_realtime(self):
+        assert EventLoop(WallClock()).realtime is True
+        assert EventLoop(VirtualClock()).realtime is False
+        assert EventLoop().realtime is False
+
+
+class TestRealtimeLoop:
+    def test_events_fire_in_order_at_real_times(self):
+        loop = EventLoop(WallClock())
+        fired = []
+        start = loop.now
+        loop.schedule_after(0.010, lambda: fired.append(("b", loop.now)))
+        loop.schedule_after(0.001, lambda: fired.append(("a", loop.now)))
+        loop.run()
+        assert [name for name, _ in fired] == ["a", "b"]
+        assert fired[1][1] - start >= 0.009
+
+    def test_past_schedule_is_clamped_not_an_error(self):
+        loop = EventLoop(WallClock())
+        fired = []
+        # A timestamp computed "before now" is routine under measured
+        # time; the virtual loop's ValueError would be wrong here.
+        loop.schedule(loop.now - 5.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert len(fired) == 1
+
+    def test_virtual_loop_still_rejects_past_times(self):
+        loop = EventLoop(VirtualClock(start=10.0))
+        with pytest.raises(ValueError):
+            loop.schedule(1.0, lambda: None)
+
+    def test_post_from_another_thread_wakes_the_sleep(self):
+        loop = EventLoop(WallClock())
+        fired = []
+        # Keep the loop asleep on a far-future event; the posted
+        # callback must interrupt that sleep, not wait it out.
+        guard = loop.schedule_after(30.0, lambda: fired.append("guard"))
+
+        def poster():
+            time.sleep(0.02)
+            loop.post(lambda: (fired.append("posted"), guard.cancel(),
+                               loop.stop()))
+
+        thread = threading.Thread(target=poster)
+        thread.start()
+        start = time.monotonic()
+        loop.run()
+        thread.join()
+        assert fired == ["posted"]
+        assert time.monotonic() - start < 5.0
+
+    def test_posted_callbacks_run_in_order_before_heap_events(self):
+        loop = EventLoop(VirtualClock())
+        order = []
+        loop.schedule(0.0, lambda: order.append("heap"))
+        loop.post(lambda: order.append("post-1"))
+        loop.post(lambda: order.append("post-2"))
+        loop.run()
+        assert order == ["post-1", "post-2", "heap"]
+
+
+class FixedLatencyWallSUT:
+    """Local copy of the conftest SUT: fine under either clock."""
+
+    def __init__(self, latency):
+        from repro.core.query import QuerySampleResponse
+
+        self.latency = latency
+        self.name = "fixed-wall"
+        self._make_response = QuerySampleResponse
+
+    def start_run(self, loop, responder):
+        self.loop = loop
+        self.responder = responder
+
+    def issue_query(self, query):
+        responses = [
+            self._make_response(s.id, s.index) for s in query.samples
+        ]
+        self.loop.schedule_after(
+            self.latency, lambda: self.responder(query, responses))
+
+    def flush(self):
+        pass
+
+
+def parity_settings():
+    return TestSettings(
+        scenario=Scenario.SERVER,
+        server_target_qps=200.0,
+        server_latency_bound=0.05,
+        min_query_count=20,
+        min_duration=0.0,
+        watchdog_timeout=20.0,
+    )
+
+
+class TestMeasuredRunPath:
+    def test_wall_clock_run_completes_valid(self, echo_qsl):
+        result = run_benchmark(
+            FixedLatencyWallSUT(0.002), echo_qsl, parity_settings(),
+            clock=WallClock())
+        assert result.valid, result.validity.reasons
+        assert result.metrics.query_count >= 20
+        # Latencies are measured, so they sit at-or-above the service
+        # time rather than exactly on it.
+        assert result.metrics.latency_mean >= 0.002
+
+    def test_wall_and_virtual_issue_identical_traffic(self, echo_qsl):
+        """Same seed, same scenario: the measured run must draw the same
+        queries in the same order as the deterministic one - the clock
+        changes *when*, never *what*."""
+        settings = parity_settings()
+        virtual = run_benchmark(
+            FixedLatencyWallSUT(0.002), echo_qsl, settings)
+        wall = run_benchmark(
+            FixedLatencyWallSUT(0.002), echo_qsl, settings,
+            clock=WallClock())
+        assert virtual.valid and wall.valid
+        v_seq = [r.query.sample_indices
+                 for r in virtual.log.completed_records()]
+        w_seq = [r.query.sample_indices
+                 for r in wall.log.completed_records()]
+        assert v_seq[:20] == w_seq[:20]
+        assert virtual.metrics.query_count == wall.metrics.query_count
+
+    def test_wall_run_timestamps_are_monotonic(self, echo_qsl):
+        result = run_benchmark(
+            FixedLatencyWallSUT(0.001), echo_qsl, parity_settings(),
+            clock=WallClock())
+        records = result.log.completed_records()
+        issues = [r.issue_time for r in records]
+        assert all(b >= a for a, b in zip(issues, issues[1:]))
+        assert all(r.completion_time >= r.issue_time for r in records)
+
+    def test_watchdog_still_ends_a_stuck_wall_run(self, echo_qsl):
+        class BlackHoleSUT:
+            name = "black-hole"
+
+            def start_run(self, loop, responder):
+                pass
+
+            def issue_query(self, query):
+                pass  # never completes
+
+            def flush(self):
+                pass
+
+        settings = TestSettings(
+            scenario=Scenario.SERVER,
+            server_target_qps=500.0,
+            min_query_count=5,
+            min_duration=0.0,
+            watchdog_timeout=0.5,
+        )
+        start = time.monotonic()
+        result = run_benchmark(BlackHoleSUT(), echo_qsl, settings,
+                               clock=WallClock())
+        elapsed = time.monotonic() - start
+        assert not result.valid
+        assert result.stats.watchdog_fired
+        assert 0.4 <= elapsed < 5.0

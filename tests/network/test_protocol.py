@@ -1,0 +1,193 @@
+"""Wire protocol: codec round trips, incremental framing, strictness."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query, QuerySample, QuerySampleResponse
+from repro.network import protocol
+from repro.network.protocol import (
+    MAGIC,
+    VERSION,
+    FrameReader,
+    FrameType,
+    ProtocolError,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -1, 2**40, 0.0, -2.5, "", "héllo",
+        b"", b"\x00\xff", [], [1, 2, 3], {}, {"a": 1, "b": [None, "x"]},
+        {"nested": {"deep": [{"k": b"v"}]}},
+    ])
+    def test_scalars_and_containers(self, value):
+        assert roundtrip(value) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert roundtrip((1, 2)) == [1, 2]
+
+    @pytest.mark.parametrize("dtype", ["<f4", "<f8", "<i4", "<u1", "<i8"])
+    def test_ndarray_dtypes(self, dtype):
+        array = np.arange(24, dtype=np.dtype(dtype)).reshape(2, 3, 4)
+        back = roundtrip(array)
+        assert back.dtype == array.dtype
+        assert back.shape == array.shape
+        assert np.array_equal(back, array)
+
+    def test_zero_dim_ndarray(self):
+        array = np.array(3.5, dtype=np.float32)
+        back = roundtrip(array)
+        assert back.shape == ()
+        assert back == pytest.approx(3.5)
+
+    def test_object_dtype_rejected_on_encode(self):
+        with pytest.raises(TypeError):
+            encode_value(np.array([object()]))
+
+    def test_foreign_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(set([1]))
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value({1: "x"})
+
+    def test_unknown_tag_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_value(b"Q")
+
+    def test_truncated_payload_is_protocol_error(self):
+        blob = encode_value("hello world")
+        with pytest.raises(ProtocolError):
+            decode_value(blob[:-3])
+
+    def test_trailing_bytes_are_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_value(encode_value(7) + b"\x00")
+
+    def test_invalid_utf8_is_protocol_error(self):
+        blob = b"S" + (4).to_bytes(4, "big") + b"\xff\xfe\xfd\xfc"
+        with pytest.raises(ProtocolError):
+            decode_value(blob)
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        frame = encode_frame(FrameType.STATS, {"completed": 12})
+        reader = FrameReader()
+        frames = reader.feed(frame)
+        assert frames == [(FrameType.STATS, {"completed": 12})]
+        assert reader.pending_bytes == 0
+
+    def test_byte_at_a_time_reassembly(self):
+        frame = encode_frame(FrameType.FAIL, {"query_id": 9, "reason": "x"})
+        reader = FrameReader()
+        collected = []
+        for i in range(len(frame)):
+            collected.extend(reader.feed(frame[i:i + 1]))
+        assert len(collected) == 1
+        assert collected[0][0] is FrameType.FAIL
+
+    def test_multiple_frames_in_one_chunk(self):
+        chunk = protocol.drain_frame() + protocol.stats_frame({"a": 1})
+        frames = FrameReader().feed(chunk)
+        assert [f[0] for f in frames] == [FrameType.DRAIN, FrameType.STATS]
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(FrameType.DRAIN, {}))
+        frame[0:2] = b"XX"
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameReader().feed(bytes(frame))
+
+    def test_wrong_version(self):
+        frame = bytearray(encode_frame(FrameType.DRAIN, {}))
+        frame[2] = VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            FrameReader().feed(bytes(frame))
+
+    def test_unknown_frame_type(self):
+        frame = bytearray(encode_frame(FrameType.DRAIN, {}))
+        frame[3] = 200
+        with pytest.raises(ProtocolError, match="frame type"):
+            FrameReader().feed(bytes(frame))
+
+    def test_oversized_length_prefix(self):
+        header = protocol._HEADER.pack(
+            MAGIC, VERSION, int(FrameType.DRAIN),
+            protocol.MAX_FRAME_BYTES + 1,
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            FrameReader().feed(header)
+
+    def test_wrong_payload_size_for_content(self):
+        # A frame whose declared length exceeds its content's need: the
+        # trailing bytes prove the payload size is wrong.
+        body = encode_value({"query_id": 1}) + b"\x00\x00"
+        frame = protocol._HEADER.pack(
+            MAGIC, VERSION, int(FrameType.DRAIN), len(body)
+        ) + body
+        with pytest.raises(ProtocolError, match="trailing"):
+            FrameReader().feed(frame)
+
+
+class TestMessages:
+    def test_hello_roundtrip(self):
+        (ftype, payload), = FrameReader().feed(
+            protocol.hello_frame("client-1", "loadgen"))
+        assert ftype is FrameType.HELLO
+        msg = protocol.parse_hello(payload)
+        assert msg["name"] == "client-1"
+        assert msg["role"] == "loadgen"
+
+    def test_hello_version_mismatch(self):
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.parse_hello({"name": "x", "role": "r", "version": 99})
+
+    def test_issue_roundtrip(self):
+        query = Query(id=7, samples=(
+            QuerySample(id=1, index=10), QuerySample(id=2, index=11)))
+        (_, payload), = FrameReader().feed(protocol.issue_frame(query))
+        query_id, samples = protocol.parse_issue(payload)
+        assert query_id == 7
+        assert samples == [QuerySample(1, 10), QuerySample(2, 11)]
+
+    def test_issue_empty_samples_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_issue({"query_id": 1, "samples": []})
+
+    def test_complete_roundtrip_with_ndarray_payload(self):
+        responses = [
+            QuerySampleResponse(1, np.ones((2, 2), dtype=np.float32)),
+            QuerySampleResponse(2, None),
+        ]
+        frame = protocol.complete_frame(
+            5, responses, server_recv=1.5, server_send=2.25)
+        (_, payload), = FrameReader().feed(frame)
+        qid, back, recv, send = protocol.parse_complete(payload)
+        assert (qid, recv, send) == (5, 1.5, 2.25)
+        assert back[0].sample_id == 1
+        assert np.array_equal(back[0].data, np.ones((2, 2), dtype=np.float32))
+        assert back[1].data is None
+
+    def test_fail_roundtrip(self):
+        (_, payload), = FrameReader().feed(protocol.fail_frame(3, "nope"))
+        assert protocol.parse_fail(payload) == (3, "nope")
+
+    def test_missing_field_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="missing"):
+            protocol.parse_fail({"query_id": 3})
+
+    def test_non_mapping_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="mapping"):
+            protocol.parse_issue([1, 2, 3])
+
+    def test_load_roundtrip(self):
+        (_, payload), = FrameReader().feed(protocol.load_frame([3, 1, 4]))
+        assert protocol.parse_load(payload) == [3, 1, 4]

@@ -1,0 +1,248 @@
+"""InferenceServer: sessions, admission, batching, misbehavior containment.
+
+These tests speak the wire protocol directly over raw localhost sockets,
+so server behavior is pinned independently of the client adapter.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.network import protocol
+from repro.network.protocol import FrameReader, FrameType
+from repro.network.server import InferenceServer, ServerConfig
+from repro.sut.echo import EchoSUT
+
+pytestmark = pytest.mark.socket
+
+
+class RawClient:
+    """A hand-rolled protocol speaker for poking the server directly."""
+
+    def __init__(self, address, hello=True):
+        self.sock = socket.create_connection(address, timeout=5.0)
+        self.reader = FrameReader()
+        self.frames = []
+        if hello:
+            self.send(protocol.hello_frame("raw-test", "loadgen"))
+            assert self.recv()[0] is FrameType.HELLO
+
+    def send(self, frame):
+        self.sock.sendall(frame)
+
+    def send_bytes(self, blob):
+        self.sock.sendall(blob)
+
+    def recv(self, timeout=5.0):
+        """Next frame, reading from the socket as needed."""
+        if self.frames:
+            return self.frames.pop(0)
+        self.sock.settimeout(timeout)
+        while not self.frames:
+            data = self.sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self.frames.extend(self.reader.feed(data))
+        return self.frames.pop(0)
+
+    def expect_closed(self, timeout=5.0):
+        self.sock.settimeout(timeout)
+        while True:
+            data = self.sock.recv(65536)
+            if not data:
+                return True
+            self.frames.extend(self.reader.feed(data))
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def issue(client, query_id, sample_ids):
+    client.send(protocol.encode_frame(FrameType.ISSUE, {
+        "query_id": query_id,
+        "samples": [[sid, sid + 100] for sid in sample_ids],
+    }))
+
+
+@pytest.fixture
+def server():
+    config = ServerConfig(port=0, workers=2, max_queue=32, max_batch=4)
+    with InferenceServer(lambda: EchoSUT(latency=0.001), config) as srv:
+        yield srv
+
+
+def test_hello_exchange_and_complete_roundtrip(server):
+    client = RawClient(server.address)
+    issue(client, query_id=5, sample_ids=[1, 2])
+    ftype, payload = client.recv()
+    assert ftype is FrameType.COMPLETE
+    qid, responses, s_recv, s_send = protocol.parse_complete(payload)
+    assert qid == 5
+    # The echo backend answers each sample with its library index.
+    assert {(r.sample_id, r.data) for r in responses} == {(1, 101), (2, 102)}
+    assert s_send >= s_recv
+    client.close()
+
+
+def test_first_frame_must_be_hello(server):
+    client = RawClient(server.address, hello=False)
+    issue(client, query_id=1, sample_ids=[1])
+    assert client.expect_closed()
+    client.close()
+    assert server.stats.protocol_errors >= 1
+
+
+def test_garbage_bytes_poison_only_that_connection(server):
+    bad = RawClient(server.address)
+    good = RawClient(server.address)
+    bad.send_bytes(b"\xde\xad\xbe\xef" * 4)
+    assert bad.expect_closed()
+    # The other session keeps serving.
+    issue(good, query_id=2, sample_ids=[7])
+    assert good.recv()[0] is FrameType.COMPLETE
+    assert server.stats.protocol_errors >= 1
+    bad.close()
+    good.close()
+
+
+def test_queue_full_is_immediate_fail_not_a_hang():
+    config = ServerConfig(port=0, workers=1, max_queue=1, max_batch=1)
+    slow = lambda: EchoSUT(latency=0.3)
+    with InferenceServer(slow, config) as server:
+        client = RawClient(server.address)
+        for qid in range(6):
+            issue(client, query_id=qid, sample_ids=[qid])
+        outcomes = {}
+        for _ in range(6):
+            ftype, payload = client.recv(timeout=10.0)
+            if ftype is FrameType.FAIL:
+                qid, reason = protocol.parse_fail(payload)
+                outcomes[qid] = reason
+            else:
+                qid, *_ = protocol.parse_complete(payload)
+                outcomes[qid] = "ok"
+        rejections = [r for r in outcomes.values() if "queue is full" in r]
+        assert rejections, f"expected queue-full FAILs, got {outcomes}"
+        assert server.stats.rejected == len(rejections)
+        client.close()
+
+
+def test_edge_batching_merges_requests():
+    config = ServerConfig(
+        port=0, workers=1, max_queue=64, max_batch=8, batch_window=0.05)
+    with InferenceServer(lambda: EchoSUT(latency=0.001), config) as server:
+        client = RawClient(server.address)
+        for qid in range(8):
+            issue(client, query_id=qid, sample_ids=[qid])
+        for _ in range(8):
+            assert client.recv()[0] is FrameType.COMPLETE
+        # The batch window must have merged several one-sample requests.
+        assert server.stats.batches < 8
+        assert server.stats.batched_samples == 8
+        client.close()
+
+
+def test_drain_replies_with_final_stats(server):
+    client = RawClient(server.address)
+    issue(client, query_id=1, sample_ids=[3])
+    assert client.recv()[0] is FrameType.COMPLETE
+    client.send(protocol.drain_frame())
+    ftype, payload = client.recv()
+    assert ftype is FrameType.STATS
+    assert payload.get("drained") is True
+    assert payload["completed"] >= 1
+    # Post-drain issues are refused, not served.
+    issue(client, query_id=2, sample_ids=[4])
+    ftype, payload = client.recv()
+    assert ftype is FrameType.FAIL
+    _, reason = protocol.parse_fail(payload)
+    assert "draining" in reason
+    client.close()
+
+
+def test_stats_frame_snapshot(server):
+    client = RawClient(server.address)
+    issue(client, query_id=1, sample_ids=[1])
+    assert client.recv()[0] is FrameType.COMPLETE
+    client.send(protocol.stats_frame({}))
+    ftype, payload = client.recv()
+    assert ftype is FrameType.STATS
+    assert payload["completed"] >= 1
+    assert payload["connections"] >= 1
+    client.close()
+
+
+def test_client_may_not_send_server_frames(server):
+    client = RawClient(server.address)
+    client.send(protocol.complete_frame(1, [], 0.0, 0.0))
+    assert client.expect_closed()
+    assert server.stats.protocol_errors >= 1
+    client.close()
+
+
+def test_misbehaving_backend_fails_queries_not_server():
+    from repro.core.sut import SutBase
+    from repro.core.query import QuerySampleResponse
+
+    class WrongIdsSUT(SutBase):
+        def __init__(self):
+            super().__init__("wrong-ids")
+
+        def issue_query(self, query):
+            self.complete(query, [
+                QuerySampleResponse(s.id + 9999, None) for s in query.samples
+            ])
+
+    config = ServerConfig(port=0, workers=1, max_batch=1)
+    with InferenceServer(WrongIdsSUT, config) as server:
+        client = RawClient(server.address)
+        issue(client, query_id=1, sample_ids=[1])
+        ftype, payload = client.recv()
+        assert ftype is FrameType.FAIL
+        _, reason = protocol.parse_fail(payload)
+        assert "does not match" in reason or "backend" in reason
+        # Server survives to serve a STATS request.
+        client.send(protocol.stats_frame({}))
+        assert client.recv()[0] is FrameType.STATS
+        client.close()
+
+
+def test_non_encodable_backend_payload_is_failed():
+    from repro.core.sut import SutBase
+    from repro.core.query import QuerySampleResponse
+
+    class WeirdPayloadSUT(SutBase):
+        def __init__(self):
+            super().__init__("weird")
+
+        def issue_query(self, query):
+            self.complete(query, [
+                QuerySampleResponse(s.id, object()) for s in query.samples
+            ])
+
+    config = ServerConfig(port=0, workers=1, max_batch=1)
+    with InferenceServer(WeirdPayloadSUT, config) as server:
+        client = RawClient(server.address)
+        issue(client, query_id=1, sample_ids=[1])
+        ftype, payload = client.recv()
+        assert ftype is FrameType.FAIL
+        _, reason = protocol.parse_fail(payload)
+        assert "wire-encodable" in reason
+        client.close()
+
+
+def test_shared_backend_instance_is_serialized():
+    backend = EchoSUT(latency=0.001)
+    config = ServerConfig(port=0, workers=3, max_batch=1)
+    with InferenceServer(backend, config) as server:
+        client = RawClient(server.address)
+        for qid in range(10):
+            issue(client, query_id=qid, sample_ids=[qid])
+        for _ in range(10):
+            assert client.recv()[0] is FrameType.COMPLETE
+        assert backend.queries_served == 10
+        client.close()
