@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Five commands cover the everyday workflows:
+Six commands cover the everyday workflows:
 
 * ``tables``  - print the paper's normative tables (I-V) from the code.
 * ``run``     - measure one (task, scenario) on a parameterized
@@ -14,6 +14,10 @@ Five commands cover the everyday workflows:
                 and print the coverage matrix and per-model counts.
 * ``check``   - run the submission checker over an on-disk submission
                 directory (see ``repro.submission.artifacts``).
+* ``metrics`` - run an instrumented network scenario on the virtual
+                clock and render its live telemetry (counters, gauges,
+                latency histograms with p50/p99) as a table, Prometheus
+                exposition text, or JSON; see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -100,6 +104,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="check a submission directory")
     check.add_argument("directory")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented scenario and show its telemetry")
+    metrics.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                         default="server")
+    metrics.add_argument("--queries", type=int, default=500,
+                         help="minimum query count for the run")
+    metrics.add_argument("--target-qps", type=float, default=400.0,
+                         help="server-scenario Poisson arrival rate")
+    metrics.add_argument("--latency-ms", type=float, default=1.0,
+                         help="echo backend per-query service time")
+    metrics.add_argument("--net-latency-ms", type=float, default=0.5,
+                         help="simulated one-way channel latency")
+    metrics.add_argument("--jitter-ms", type=float, default=0.1,
+                         help="mean exponential per-frame jitter")
+    metrics.add_argument("--drop", type=float, default=0.0,
+                         help="channel frame drop probability; > 0 adds "
+                              "a retry layer and its resilient_* series")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--snapshot-period-ms", type=float, default=100.0,
+                         help="telemetry sampling period, run time")
+    metrics.add_argument("--format", choices=["table", "prom", "json"],
+                         default="table")
+    metrics.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a Chrome trace with a metrics "
+                              "counter track here")
     return parser
 
 
@@ -306,6 +337,72 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from .core.config import TestSettings
+    from .core.trace import write_chrome_trace
+    from .faults.resilient import ResilientSUT, RetryPolicy
+    from .harness.netbench import SyntheticQSL
+    from .metrics import (
+        MetricsRegistry,
+        render_table,
+        to_json,
+        to_prometheus_text,
+    )
+    from .network.simulated import ChannelModel, SimulatedChannelSUT
+    from .sut.echo import EchoSUT
+
+    scenario = _SCENARIOS[args.scenario]
+    settings = TestSettings(
+        scenario=scenario,
+        server_target_qps=args.target_qps,
+        server_latency_bound=0.1,
+        min_query_count=args.queries,
+        min_duration=0.0,
+        watchdog_timeout=300.0,
+        seed=args.seed,
+    )
+    model = ChannelModel(
+        latency=args.net_latency_ms * 1e-3,
+        jitter=args.jitter_ms * 1e-3,
+        drop_rate=args.drop,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    backend = EchoSUT(latency=args.latency_ms * 1e-3)
+    channel = SimulatedChannelSUT(backend, model)
+    sut = channel
+    if args.drop > 0:
+        # A lossy channel needs the retry layer, which also lights up
+        # the resilient_* counters in the registry.
+        sut = ResilientSUT(sut, RetryPolicy(attempt_timeout=0.200),
+                           registry=registry)
+    from .core.loadgen import run_benchmark
+
+    result = run_benchmark(
+        sut, SyntheticQSL(), settings,
+        registry=registry,
+        snapshot_period=args.snapshot_period_ms * 1e-3,
+    )
+
+    if args.format == "prom":
+        print(to_prometheus_text(registry), end="")
+    elif args.format == "json":
+        print(to_json(registry))
+    else:
+        print(result.summary())
+        print()
+        print(render_table(registry))
+        count = len(result.snapshots or [])
+        print(f"\n{count} snapshots over {result.metrics.duration:.3f} s "
+              f"of virtual time")
+    if args.trace:
+        write_chrome_trace(result.log, args.trace,
+                           transport=channel.transport_records,
+                           snapshots=result.snapshots)
+        print(f"trace written to {args.trace}")
+    return 0 if result.valid else 1
+
+
 def _cmd_check(args) -> int:
     from .submission.artifacts import check_submission_dir
 
@@ -327,6 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "fleet": _cmd_fleet,
         "check": _cmd_check,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -27,6 +27,7 @@ from .config import Scenario, TestMode, TestSettings
 from .events import Clock, EventLoop, RunAbortedError, VirtualClock
 from .logging import QueryLog
 from .metrics import ScenarioMetrics, compute_metrics, empty_metrics
+from ..metrics import MetricsRegistry, Snapshot, SnapshotSampler
 from .sampler import SampleSelector, accuracy_mode_indices
 from .scenarios import (
     AccuracySource,
@@ -50,6 +51,9 @@ class LoadGenResult:
     loaded_indices: List[int]
     #: Driver-side run accounting (watchdog / abort state lives here).
     stats: Optional[DriverStats] = None
+    #: Periodic telemetry snapshots, when the run was handed a metrics
+    #: registry and a snapshot period (see ``docs/observability.md``).
+    snapshots: Optional[List[Snapshot]] = None
 
     @property
     def valid(self) -> bool:
@@ -139,6 +143,8 @@ class LoadGen:
         qsl: QuerySampleLibrary,
         log_sample_probability: float = 0.0,
         clock: Optional[Clock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        snapshot_period: Optional[float] = None,
     ) -> LoadGenResult:
         """Execute one full run and return its result.
 
@@ -152,6 +158,14 @@ class LoadGen:
         path used when the SUT sits on the far side of a network
         (``repro.network``), where wall-clock send/receive time is the
         quantity under test.
+
+        ``registry`` turns on live telemetry: the scenario driver emits
+        the ``loadgen_*`` metrics into it (``docs/observability.md``
+        lists them all).  With ``snapshot_period`` the registry is
+        additionally sampled every that many seconds of *run* time
+        (virtual or wall, matching ``clock``) and the series is returned
+        in :attr:`LoadGenResult.snapshots` - under the virtual clock the
+        snapshots are bit-for-bit reproducible across runs.
         """
         settings = self.settings
         if settings.mode is TestMode.ACCURACY:
@@ -167,7 +181,18 @@ class LoadGen:
                 seed=settings.seed ^ 0xA0D17,
             )
             source = self._make_source(loaded)
-            driver = make_driver(loop, settings, sut, source, log)
+            driver = make_driver(loop, settings, sut, source, log,
+                                 registry=registry)
+
+            sampler: Optional[SnapshotSampler] = None
+            if registry is not None and snapshot_period is not None:
+                sampler = SnapshotSampler(registry, loop, snapshot_period)
+                # The sampler's self-rescheduling tick would keep a
+                # virtual loop draining forever; it stops itself at the
+                # first tick after the run has drained.
+                sampler.start(keep_going=lambda: (
+                    driver.issue_phase_open or log.outstanding > 0
+                ))
 
             watchdog = settings.watchdog_timeout
             if watchdog is not None:
@@ -207,6 +232,12 @@ class LoadGen:
                 # context and judge whatever the log holds.
                 driver.stats.aborted = str(abort)
 
+            if sampler is not None:
+                sampler.stop()
+                # Close the series with the run's final state, stamped
+                # at the loop's terminal time.
+                sampler.sample_now()
+
             if log.completed_records():
                 metrics = compute_metrics(log, settings)
             else:
@@ -219,6 +250,7 @@ class LoadGen:
                 validity=validity,
                 loaded_indices=list(loaded),
                 stats=driver.stats,
+                snapshots=sampler.snapshots if sampler is not None else None,
             )
         finally:
             qsl.unload_samples(loaded)
@@ -230,6 +262,11 @@ def run_benchmark(
     settings: TestSettings,
     log_sample_probability: float = 0.0,
     clock: Optional[Clock] = None,
+    registry: Optional[MetricsRegistry] = None,
+    snapshot_period: Optional[float] = None,
 ) -> LoadGenResult:
     """Convenience wrapper: build a LoadGen and run once."""
-    return LoadGen(settings).run(sut, qsl, log_sample_probability, clock=clock)
+    return LoadGen(settings).run(
+        sut, qsl, log_sample_probability, clock=clock,
+        registry=registry, snapshot_period=snapshot_period,
+    )

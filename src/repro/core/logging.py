@@ -41,6 +41,11 @@ class QueryLog:
             )
         self._records: Dict[int, QueryRecord] = {}
         self._order: List[int] = []
+        #: Records that reached a terminal state (completed or failed),
+        #: kept incrementally so :attr:`outstanding` is O(1) - it is
+        #: polled per event by the janitor, the watchdog, the snapshot
+        #: sampler, and the ``loadgen_queries_outstanding`` gauge.
+        self._resolved_count = 0
         self.log_sample_probability = log_sample_probability
         self._rng = np.random.default_rng(seed)
         #: Count of issued samples (not queries) for throughput metrics.
@@ -83,6 +88,7 @@ class QueryLog:
                 f"got {len(responses)}"
             )
         record.completion_time = completion_time
+        self._resolved_count += 1
         if keep_responses or (
             self.log_sample_probability > 0.0
             and self._rng.random() < self.log_sample_probability
@@ -137,6 +143,7 @@ class QueryLog:
                 "that are not part of the query",
             )
         record.completion_time = completion_time
+        self._resolved_count += 1
         if keep_responses or (
             self.log_sample_probability > 0.0
             and self._rng.random() < self.log_sample_probability
@@ -159,6 +166,7 @@ class QueryLog:
             return "duplicate"
         record.failure_reason = reason
         record.failure_time = time
+        self._resolved_count += 1
         return "failed"
 
     # -- views ----------------------------------------------------------------
@@ -188,7 +196,7 @@ class QueryLog:
 
     @property
     def outstanding(self) -> int:
-        return sum(1 for r in self._records.values() if not r.resolved)
+        return len(self._records) - self._resolved_count
 
     @property
     def anomaly_count(self) -> int:

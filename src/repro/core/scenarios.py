@@ -32,6 +32,7 @@ from .logging import QueryLog
 from .query import Query, QueryFailure
 from .sampler import QueryFactory, SampleSelector
 from .sut import SystemUnderTest
+from ..metrics import MetricsRegistry
 
 
 class SampleSource:
@@ -105,6 +106,60 @@ class DriverStats:
     aborted: Optional[str] = None
 
 
+class _DriverInstruments:
+    """Pre-resolved metric children for the driver's hot path.
+
+    Children are bound once here so issuing a query costs two unlocked
+    counter adds and completing one costs a counter add plus a histogram
+    observe - no name lookups or label formatting per event.  The
+    outstanding-queries gauge is callback-backed (pulled from the log at
+    collection time), so the issue path does not pay for it at all.
+    """
+
+    __slots__ = ("issued", "samples", "completed", "failed", "latency",
+                 "anomalies", "scenario")
+
+    def __init__(self, registry: MetricsRegistry, scenario: Scenario,
+                 log: QueryLog) -> None:
+        self.scenario = scenario.value
+        label = {"scenario": self.scenario}
+        self.issued = registry.counter(
+            "loadgen_queries_issued_total",
+            "Queries the LoadGen has issued to the SUT",
+            labels=("scenario",),
+        ).labels(**label)
+        self.samples = registry.counter(
+            "loadgen_samples_issued_total",
+            "Samples carried by issued queries",
+            labels=("scenario",),
+        ).labels(**label)
+        self.completed = registry.counter(
+            "loadgen_queries_completed_total",
+            "Queries that completed cleanly",
+            labels=("scenario",),
+        ).labels(**label)
+        self.failed = registry.counter(
+            "loadgen_queries_failed_total",
+            "Queries that resolved as recorded failures",
+            labels=("scenario",),
+        ).labels(**label)
+        self.latency = registry.histogram(
+            "loadgen_query_latency_seconds",
+            "Issue-to-completion latency of clean queries",
+            labels=("scenario",),
+        ).labels(**label)
+        self.anomalies = registry.counter(
+            "loadgen_anomalies_total",
+            "Duplicate and unsolicited completions observed by the referee",
+            labels=("scenario", "kind"),
+        )
+        registry.gauge(
+            "loadgen_queries_outstanding",
+            "Issued queries that have not yet reached a terminal state",
+            fn=lambda: log.outstanding,
+        )
+
+
 class ScenarioDriver:
     """Common machinery for the four scenario drivers."""
 
@@ -117,6 +172,7 @@ class ScenarioDriver:
         sut: SystemUnderTest,
         source: SampleSource,
         log: QueryLog,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.loop = loop
         self.settings = settings
@@ -127,6 +183,10 @@ class ScenarioDriver:
         self.stats = DriverStats()
         self._outstanding = 0
         self._issue_phase_open = True
+        self._metrics = (
+            _DriverInstruments(registry, settings.scenario, log)
+            if registry is not None else None
+        )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -147,6 +207,10 @@ class ScenarioDriver:
         self.log.record_issue(query, now, scheduled_time=scheduled_time)
         self.stats.issued_queries += 1
         self._outstanding += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.issued.inc()
+            metrics.samples.inc(len(indices))
         self.sut.issue_query(query)
         return query
 
@@ -166,6 +230,17 @@ class ScenarioDriver:
             status = self.log.observe_completion(
                 query, now, responses, keep_responses=keep
             )
+        metrics = self._metrics
+        if metrics is not None:
+            if status == "completed":
+                metrics.completed.inc()
+                metrics.latency.observe(now - query.issue_time)
+            elif status == "failed":
+                metrics.failed.inc()
+            else:  # duplicate / unsolicited - cold path, resolve labels
+                metrics.anomalies.labels(
+                    scenario=metrics.scenario, kind=status
+                ).inc()
         if status in ("completed", "failed"):
             self._outstanding -= 1
             self.on_completion(query)
@@ -360,12 +435,18 @@ def make_driver(
     sut: SystemUnderTest,
     source: SampleSource,
     log: QueryLog,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ScenarioDriver:
-    """Instantiate the driver matching ``settings.scenario``."""
+    """Instantiate the driver matching ``settings.scenario``.
+
+    With a ``registry`` the driver emits live telemetry (see
+    ``docs/observability.md`` for the catalog); without one the hot
+    paths skip instrumentation entirely.
+    """
     driver_cls = {
         Scenario.SINGLE_STREAM: SingleStreamDriver,
         Scenario.MULTI_STREAM: MultiStreamDriver,
         Scenario.SERVER: ServerDriver,
         Scenario.OFFLINE: OfflineDriver,
     }[settings.scenario]
-    return driver_cls(loop, settings, sut, source, log)
+    return driver_cls(loop, settings, sut, source, log, registry=registry)

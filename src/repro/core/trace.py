@@ -12,15 +12,23 @@ For Network-division runs the exporter also accepts per-query
 ``SimulatedChannelSUT``): each query then gains a "network" process with
 its round-trip span plus send/receive instants, so the wire's share of a
 latency bound is visible next to the query's total.
+
+When the run also produced telemetry snapshots
+(:class:`repro.metrics.Snapshot`, see ``docs/observability.md``), they
+can be passed in as well: every snapshot series becomes a Chrome counter
+track ("C" events on a "metrics" process), so queue depth, outstanding
+queries, and latency percentiles plot as stacked area charts directly
+under the query timeline.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from .logging import QueryLog
+from ..metrics import Snapshot
 
 #: Trace timestamps are microseconds.
 _US = 1e6
@@ -91,6 +99,7 @@ def to_chrome_trace(
     log: QueryLog,
     process_name: str = "SUT",
     transport: Optional[Dict[int, TransportTiming]] = None,
+    snapshots: Optional[Sequence[Snapshot]] = None,
 ) -> str:
     """Serialize the log as a Chrome trace-event JSON string.
 
@@ -98,6 +107,10 @@ def to_chrome_trace(
     given, each covered query also gets a round-trip span plus send and
     receive instants on a separate "network" process, with the
     server/network duration split in the span's args.
+
+    ``snapshots`` (from :attr:`LoadGenResult.snapshots`) adds a
+    "metrics" process whose counter tracks replay every telemetry
+    series over the run - one "C" event per series per snapshot.
     """
     records = log.completed_records()
     tracks = _assign_tracks(records)
@@ -165,6 +178,23 @@ def to_chrome_trace(
                 "tid": track,
                 "ts": timing.recv_time * _US,
             })
+    if snapshots:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 3,
+            "args": {"name": "metrics"},
+        })
+        for snap in snapshots:
+            for series, value in snap.values.items():
+                events.append({
+                    "name": series,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "pid": 3,
+                    "ts": snap.time * _US,
+                    "args": {"value": value},
+                })
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
                       indent=1)
 
@@ -174,8 +204,11 @@ def write_chrome_trace(
     path,
     process_name: str = "SUT",
     transport: Optional[Dict[int, TransportTiming]] = None,
+    snapshots: Optional[Sequence[Snapshot]] = None,
 ) -> None:
     """Write the trace to ``path`` (the mlperf_trace.json equivalent)."""
     from pathlib import Path
 
-    Path(path).write_text(to_chrome_trace(log, process_name, transport))
+    Path(path).write_text(
+        to_chrome_trace(log, process_name, transport, snapshots=snapshots)
+    )

@@ -21,6 +21,7 @@ from typing import Optional
 from ..core.events import EventHandle, EventLoop
 from ..core.query import Query
 from ..core.sut import Responder, SutBase, SystemUnderTest
+from ..metrics import MetricsRegistry
 from .filtering import CompletionFilter
 
 
@@ -75,6 +76,30 @@ class ResilienceStats:
         )
 
 
+class _ResilienceInstruments:
+    """Live counters mirroring :class:`ResilienceStats` (same run loop,
+    single writer, so unlocked increments are safe)."""
+
+    __slots__ = ("retries", "recovered", "gave_up", "filtered", "malformed")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.retries = registry.counter(
+            "resilient_retries_total",
+            "Attempts re-issued after a lost or malformed attempt")
+        self.recovered = registry.counter(
+            "resilient_recovered_queries_total",
+            "Queries that succeeded only after at least one retry")
+        self.gave_up = registry.counter(
+            "resilient_gave_up_queries_total",
+            "Queries reported as failures after exhausting all attempts")
+        self.filtered = registry.counter(
+            "resilient_filtered_completions_total",
+            "Duplicate/straggler/unsolicited completions absorbed")
+        self.malformed = registry.counter(
+            "resilient_malformed_attempts_total",
+            "Attempts whose response set was unusable")
+
+
 @dataclass
 class _Inflight:
     query: Query
@@ -90,12 +115,17 @@ class ResilientSUT(SutBase):
         inner: SystemUnderTest,
         policy: Optional[RetryPolicy] = None,
         name: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(name or f"resilient[{inner.name}]")
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
         self.stats = ResilienceStats()
         self._filter = CompletionFilter()
+        self._m = (
+            _ResilienceInstruments(registry) if registry is not None
+            else None
+        )
 
     def start_run(self, loop: EventLoop, responder: Responder) -> None:
         super().start_run(loop, responder)
@@ -128,6 +158,8 @@ class ResilientSUT(SutBase):
         if state.attempt + 1 >= self.policy.max_attempts:
             self._filter.resolve(qid)
             self.stats.gave_up_queries += 1
+            if self._m:
+                self._m.gave_up.inc()
             self.fail(
                 state.query,
                 f"no valid response after {self.policy.max_attempts} attempts",
@@ -136,6 +168,8 @@ class ResilientSUT(SutBase):
         backoff = self.policy.backoff(state.attempt)
         state.attempt += 1
         self.stats.retries += 1
+        if self._m:
+            self._m.retries.inc()
         self.loop.schedule_after(backoff, lambda: self._reissue(state))
 
     def _reissue(self, state: _Inflight) -> None:
@@ -150,12 +184,16 @@ class ResilientSUT(SutBase):
             # Duplicate, unsolicited, or post-deadline straggler: the
             # resilience layer absorbs it so the referee never sees it.
             self.stats.filtered_completions += 1
+            if self._m:
+                self._m.filtered.inc()
             return
         state = screened.state
         if screened.flaw is not None:
             # A bad attempt is a lost attempt; retry immediately rather
             # than waiting out the deadline.
             self.stats.malformed_attempts += 1
+            if self._m:
+                self._m.malformed.inc()
             self._attempt_lost(state)
             return
         if state.timer is not None:
@@ -163,4 +201,6 @@ class ResilientSUT(SutBase):
         self._filter.resolve(query.id)
         if state.attempt > 0:
             self.stats.recovered_queries += 1
+            if self._m:
+                self._m.recovered.inc()
         self.complete(query, responses)

@@ -18,6 +18,7 @@ from typing import List, Optional, Union
 from ..core.query import Query, QueryFailure, QuerySample, QuerySampleResponse
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..core.events import EventLoop
+from ..metrics import MetricsRegistry
 from .plan import FaultDecision, FaultInjector, FaultPlan, FaultType
 
 #: Offset added to sample ids by the CORRUPT fault, large enough to
@@ -42,6 +43,7 @@ class FaultySUT(SutBase):
         inner: SystemUnderTest,
         plan_or_injector: Union[FaultPlan, FaultInjector],
         name: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(name or f"faulty[{inner.name}]")
         self.inner = inner
@@ -54,6 +56,19 @@ class FaultySUT(SutBase):
         self._attempts: dict = {}
         self._decisions: dict = {}
         self._phantom_ids = itertools.count(_PHANTOM_ID_BASE)
+        self._injected = (
+            registry.counter(
+                "faults_injected_total",
+                "Faults the injector applied to the completion stream",
+                labels=("fault",),
+            )
+            if registry is not None
+            else None
+        )
+
+    def _count_fault(self, fault: FaultType) -> None:
+        if self._injected is not None:
+            self._injected.labels(fault=fault.value).inc()
 
     def start_run(self, loop: EventLoop, responder: Responder) -> None:
         super().start_run(loop, responder)
@@ -71,6 +86,7 @@ class FaultySUT(SutBase):
         decision = self.injector.decide(query.id, attempt)
         if decision is not None and decision.fault is FaultType.STALL:
             self.crashed = True
+            self._count_fault(FaultType.STALL)
             return
         self._decisions[query.id] = decision
         self.inner.issue_query(query)
@@ -87,6 +103,7 @@ class FaultySUT(SutBase):
             self.complete(query, responses)
             return
         fault = decision.fault
+        self._count_fault(fault)
 
         if fault is FaultType.DROP:
             return  # the response vanishes

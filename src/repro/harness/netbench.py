@@ -26,6 +26,7 @@ from ..core.events import WallClock
 from ..core.loadgen import LoadGenResult, run_benchmark
 from ..core.sut import QuerySampleLibrary, SystemUnderTest
 from ..core.trace import TransportTiming
+from ..metrics import MetricsRegistry
 from ..network.client import NetworkStats, NetworkSUT
 from ..network.server import InferenceServer, ServerConfig
 from ..network.simulated import ChannelModel, ChannelStats, SimulatedChannelSUT
@@ -96,13 +97,21 @@ def run_over_localhost(
     connections: int = 1,
     query_timeout: float = 2.0,
     max_attempts: int = 2,
+    registry: Optional[MetricsRegistry] = None,
+    snapshot_period: Optional[float] = None,
 ) -> NetworkRunResult:
     """One measured run with a real TCP hop on loopback.
 
     The server is started for the duration of the run and torn down
     afterwards (drain first), whatever the verdict.
+
+    ``registry`` collects both sides' telemetry in one place: the
+    LoadGen's ``loadgen_*`` series and the server's ``server_*`` series
+    (queue depth, batch sizes, worker utilization); ``snapshot_period``
+    additionally samples it on the run's wall clock (see
+    ``docs/observability.md``).
     """
-    server = InferenceServer(backend, server_config)
+    server = InferenceServer(backend, server_config, registry=registry)
     host, port = server.start()
     sut = NetworkSUT(
         (host, port),
@@ -111,7 +120,9 @@ def run_over_localhost(
         max_attempts=max_attempts,
     )
     try:
-        result = run_benchmark(sut, qsl, settings, clock=WallClock())
+        result = run_benchmark(sut, qsl, settings, clock=WallClock(),
+                               registry=registry,
+                               snapshot_period=snapshot_period)
         sut.close()
         return NetworkRunResult(
             result=result,
@@ -129,10 +140,19 @@ def run_over_simulated_channel(
     qsl: QuerySampleLibrary,
     settings: TestSettings,
     model: Optional[ChannelModel] = None,
+    registry: Optional[MetricsRegistry] = None,
+    snapshot_period: Optional[float] = None,
 ) -> NetworkRunResult:
-    """The deterministic twin: same run shape, virtual-time channel."""
+    """The deterministic twin: same run shape, virtual-time channel.
+
+    With ``registry``/``snapshot_period`` the run emits live telemetry
+    exactly like :func:`run_over_localhost`, except on the virtual
+    clock - so the snapshot series is bit-for-bit reproducible.
+    """
     channel = SimulatedChannelSUT(backend, model)
-    result = run_benchmark(channel, qsl, settings)
+    result = run_benchmark(channel, qsl, settings,
+                           registry=registry,
+                           snapshot_period=snapshot_period)
     return NetworkRunResult(
         result=result,
         channel_stats=channel.stats,

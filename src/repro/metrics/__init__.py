@@ -1,0 +1,68 @@
+"""Live metrics & telemetry for the benchmark's moving parts.
+
+The paper defines MLPerf Inference by its statistical methodology -
+tail-latency percentiles, QPS, per-scenario metrics (Table V) - but a
+run you can only analyse *after* it finishes is not an observable
+system.  This package is the runtime half of that story: dependency-free
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` primitives, a
+:class:`MetricsRegistry` of labeled families, a periodic
+:class:`SnapshotSampler` driven by the run's own event loop (virtual or
+wall clock), and Prometheus-text / JSON / terminal exporters.
+
+Layering: ``repro.metrics`` imports nothing from the rest of the repo,
+so every layer - LoadGen drivers, the network server, the fault
+wrappers, the harness - can depend on it.  Instrumented code takes an
+*optional* registry; with ``registry=None`` the hot paths skip
+telemetry entirely, so an un-observed run pays one predicate test per
+query and nothing more.
+
+See ``docs/observability.md`` for the metric catalog (every name, type,
+label, and emitting code path) and worked examples.
+"""
+
+from .export import (
+    render_histogram,
+    render_table,
+    to_json,
+    to_prometheus_text,
+)
+from .primitives import (
+    DEFAULT_BASE,
+    DEFAULT_BUCKETS,
+    DEFAULT_GROWTH,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from .registry import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricFamily,
+    MetricsRegistry,
+    series_key,
+)
+from .snapshot import DEFAULT_QUANTILES, Snapshot, SnapshotSampler, capture
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "DEFAULT_BASE",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_GROWTH",
+    "DEFAULT_QUANTILES",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Snapshot",
+    "SnapshotSampler",
+    "capture",
+    "render_histogram",
+    "render_table",
+    "series_key",
+    "to_json",
+    "to_prometheus_text",
+]

@@ -1,0 +1,327 @@
+"""Low-overhead metric primitives: Counter, Gauge, Histogram.
+
+These are the leaves of the telemetry tree (`repro.metrics`).  Three
+design rules keep them cheap enough to sit on the LoadGen issue path:
+
+* **No locks on the write path.**  Every primitive is *single-writer*:
+  one thread (usually the run's event-loop thread) owns it and mutates
+  it with plain attribute arithmetic.  Concurrency is handled the way
+  the paper's LoadGen handles logging - per-thread instruments that are
+  :meth:`~Histogram.merge`-d at collection time - or by updating inside
+  a lock the caller already holds (the network server bumps its metrics
+  inside the same critical sections that guard ``ServerStats``).
+* **No time reads.**  A primitive never looks at a clock; observations
+  are pure values.  That is what keeps the virtual-time path bit-exact
+  reproducible: a metric can only reflect what the (deterministic) run
+  fed it.
+* **Fixed memory.**  A histogram is a fixed array of integer bucket
+  counts; nothing grows with the number of observations, so a
+  100-million-query run costs the same RAM as a 10-query one.
+
+The histogram is log-bucketed: bucket boundaries form a geometric
+series, so relative reconstruction error is bounded by the growth
+factor regardless of magnitude - the right trade for latencies that
+span microseconds to minutes.  Percentile *ranks* are exact (computed
+from exact integer counts); the returned *value* is interpolated inside
+one bucket, so it is within a factor of ``growth`` of the true order
+statistic (< 4.5% with the default ``growth = 2**(1/16)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "DEFAULT_BASE", "DEFAULT_GROWTH",
+           "DEFAULT_BUCKETS"]
+
+#: Upper bound of the first histogram bucket, seconds (1 microsecond).
+DEFAULT_BASE = 1e-6
+#: Geometric bucket growth factor: 16 buckets per octave (~4.4% wide).
+DEFAULT_GROWTH = 2.0 ** (1.0 / 16.0)
+#: Bucket count.  512 buckets at the default growth cover 1 us .. 2^32 us
+#: (~71 minutes) before the overflow bucket catches the rest.
+DEFAULT_BUCKETS = 512
+
+
+class Counter:
+    """A monotonically increasing count (queries issued, faults injected).
+
+    Single-writer by design (see the module docstring); cross-thread
+    aggregation goes through :meth:`merge` or per-thread label children.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's count into this one."""
+        self._value += other._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight queries).
+
+    A gauge may instead be backed by a zero-argument callable
+    (``Gauge(fn=...)``): reading :attr:`value` then *pulls* the number
+    from live state at collection time, which costs the hot path
+    nothing.  Callback gauges reject writes.
+    """
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError("cannot set a callback-backed gauge")
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._fn is not None:
+            raise ValueError("cannot inc a callback-backed gauge")
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-size log-bucketed distribution with exact-rank percentiles.
+
+    Bucket ``0`` holds every observation ``<= base``; bucket ``k`` holds
+    ``(base * growth**(k-1), base * growth**k]``; the final bucket also
+    absorbs overflow (its logical upper edge is +inf).  ``sum``, ``count``,
+    ``min`` and ``max`` are tracked exactly, so the mean and the extremes
+    carry no bucketing error; only interior percentiles are quantized,
+    with relative error bounded by ``growth - 1``.
+    """
+
+    __slots__ = ("base", "growth", "_counts", "_count", "_sum", "_min",
+                 "_max", "_log_base", "_inv_log_growth", "_uppers")
+
+    def __init__(
+        self,
+        base: float = DEFAULT_BASE,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        if base <= 0:
+            raise ValueError(f"base must be positive, got {base}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {buckets}")
+        self.base = base
+        self.growth = growth
+        self._counts: List[int] = [0] * buckets
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._log_base = math.log(base)
+        self._inv_log_growth = 1.0 / math.log(growth)
+        # Finite upper edges, precomputed: the hot path's boundary
+        # repair must not evaluate growth**k per observation.
+        self._uppers: List[float] = [
+            base * growth ** k for k in range(buckets - 1)
+        ]
+
+    # -- writing ---------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values clamp to bucket 0).
+
+        This is the hot path (one call per completed query); the index
+        computation is inlined rather than delegated to :meth:`_index`
+        to spare a Python call per observation.
+        """
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= self.base:
+            self._counts[0] += 1
+            return
+        counts = self._counts
+        k = math.ceil(
+            (math.log(value) - self._log_base) * self._inv_log_growth
+        )
+        last = len(counts) - 1
+        if k > last:
+            counts[last] += 1
+            return
+        uppers = self._uppers
+        while k > 0 and value <= uppers[k - 1]:
+            k -= 1
+        while k < last and value > uppers[k]:
+            k += 1
+        counts[k] += 1
+
+    def _index(self, value: float) -> int:
+        if value <= self.base:
+            return 0
+        k = int(math.ceil(
+            (math.log(value) - self._log_base) * self._inv_log_growth
+        ))
+        uppers = self._uppers
+        last = len(self._counts) - 1
+        if k > last:
+            return last
+        # Repair float wobble at boundaries: the bucket's edges are the
+        # authority, not the logarithm.
+        while k > 0 and value <= uppers[k - 1]:
+            k -= 1
+        while k < last and value > uppers[k]:
+            k += 1
+        return k
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (identical bucketing) into this one.
+
+        This is the cross-thread aggregation path: each worker observes
+        into a private histogram and the collector merges them.
+        """
+        if (other.base != self.base or other.growth != self.growth
+                or len(other._counts) != len(self._counts)):
+            raise ValueError(
+                "cannot merge histograms with different bucketing: "
+                f"({self.base}, {self.growth}, {len(self._counts)}) vs "
+                f"({other.base}, {other.growth}, {len(other._counts)})"
+            )
+        for i, c in enumerate(other._counts):
+            if c:
+                self._counts[i] += c
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def bucket_upper(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (+inf for the overflow bucket)."""
+        if index >= len(self._counts) - 1:
+            return math.inf
+        return self._uppers[index]
+
+    def bucket_lower(self, index: int) -> float:
+        """Lower edge of bucket ``index`` (0 for the first)."""
+        if index == 0:
+            return 0.0
+        return self._uppers[index - 1]
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """``(bucket index, count)`` for every non-empty bucket."""
+        return [(i, c) for i, c in enumerate(self._counts) if c]
+
+    def percentile(self, q: float) -> float:
+        """Reconstruct the ``q``-quantile (``q`` in [0, 1]).
+
+        The rank is exact: with ``n`` observations the target is order
+        statistic ``ceil(q * n)`` (1-based), matching
+        :func:`repro.core.stats.percentile`'s nearest-rank convention.
+        The value is linearly interpolated across the containing
+        bucket's width, clamped to the exact observed min/max so the
+        estimate never leaves the data's true range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        seen = 0
+        for i, c in enumerate(self._counts):
+            if not c:
+                continue
+            if seen + c >= rank:
+                lo = self.bucket_lower(i)
+                hi = self.bucket_upper(i)
+                if math.isinf(hi):
+                    hi = self._max
+                # Position of the target rank inside this bucket.
+                frac = (rank - seen) / c
+                estimate = lo + (hi - lo) * frac
+                return min(max(estimate, self._min), self._max)
+            seen += c
+        return self._max  # pragma: no cover - rank <= count always lands
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        """Batch :meth:`percentile` in a *single* bucket walk.
+
+        Snapshot capture reads several quantiles per histogram per tick;
+        resolving them all in one pass (ranks sorted, walk stops at the
+        highest) keeps the sampler's cost a small fraction of the run.
+        Results are identical to calling :meth:`percentile` per ``q``.
+        """
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+        results = [0.0] * len(qs)
+        if self._count == 0 or not qs:
+            return results
+        targets = sorted(
+            (max(1, math.ceil(q * self._count)), slot)
+            for slot, q in enumerate(qs)
+        )
+        pending = 0
+        seen = 0
+        for i, c in enumerate(self._counts):
+            if not c:
+                continue
+            while pending < len(targets) and targets[pending][0] <= seen + c:
+                rank, slot = targets[pending]
+                lo = self.bucket_lower(i)
+                hi = self.bucket_upper(i)
+                if math.isinf(hi):
+                    hi = self._max
+                frac = (rank - seen) / c
+                estimate = lo + (hi - lo) * frac
+                results[slot] = min(max(estimate, self._min), self._max)
+                pending += 1
+            if pending == len(targets):
+                break
+            seen += c
+        return results

@@ -49,6 +49,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 from ..core.events import EventLoop, WallClock
 from ..core.query import Query, QueryFailure, QuerySample, QuerySampleResponse
 from ..core.sut import QuerySampleLibrary, SystemUnderTest
+from ..metrics import MetricsRegistry
 from . import protocol
 from .protocol import FrameReader, FrameType, ProtocolError
 
@@ -117,6 +118,66 @@ class ServerStats:
             "queue_high_water": self.queue_high_water,
             "loads": self.loads,
         }
+
+
+class _ServerInstruments:
+    """The server's live telemetry (see ``docs/observability.md``).
+
+    Counters are bumped inside the same critical sections that already
+    guard :class:`ServerStats` (or from a single owning thread), so they
+    need no locking of their own.  Queue depth and active sessions are
+    callback gauges pulled from live state at collection time; worker
+    business is a per-slot flag array summed by a callback, so worker
+    threads never contend on a shared gauge.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 server: "InferenceServer") -> None:
+        self.connections = registry.counter(
+            "server_connections_total", "Connections accepted")
+        self.received = registry.counter(
+            "server_queries_received_total", "ISSUE frames received")
+        self.completed = registry.counter(
+            "server_queries_completed_total", "Queries answered COMPLETE")
+        self.failed = registry.counter(
+            "server_queries_failed_total", "Queries answered FAIL")
+        self.rejected = registry.counter(
+            "server_queries_rejected_total",
+            "ISSUEs shed because the admission queue was full")
+        self.protocol_errors = registry.counter(
+            "server_protocol_errors_total",
+            "Connections poisoned by a protocol violation")
+        self.batches = registry.counter(
+            "server_batches_total", "Batches dispatched to workers")
+        self.batch_size = registry.histogram(
+            "server_batch_size_samples",
+            "Samples merged into each dispatched batch",
+            base=1.0, growth=2.0 ** 0.25, buckets=72)
+        self.queue_wait = registry.histogram(
+            "server_queue_wait_seconds",
+            "Admission-to-dispatch wait of each batched request")
+        self.worker_busy = registry.counter(
+            "server_worker_busy_seconds_total",
+            "Wall seconds each worker spent executing batches",
+            labels=("worker",))
+        self._busy_flags = [False] * server.config.workers
+        registry.gauge(
+            "server_queue_depth",
+            "Requests waiting in the admission queue",
+            fn=lambda: server._queue.depth)
+        registry.gauge(
+            "server_sessions_active", "Currently connected sessions",
+            fn=lambda: len(server._sessions))
+        registry.gauge(
+            "server_workers_busy", "Workers currently executing a batch",
+            fn=lambda: sum(self._busy_flags))
+
+    def worker_busy_child(self, index: int):
+        """Pre-resolved busy-seconds counter for worker ``index``."""
+        return self.worker_busy.labels(worker=index)
+
+    def set_busy(self, index: int, busy: bool) -> None:
+        self._busy_flags[index] = busy
 
 
 class _BackendRunner:
@@ -288,6 +349,7 @@ class InferenceServer:
         backend: Union[SystemUnderTest, Callable[[], SystemUnderTest]],
         config: Optional[ServerConfig] = None,
         qsl: Optional[QuerySampleLibrary] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self.qsl = qsl
@@ -317,6 +379,12 @@ class InferenceServer:
         self._listener: Optional[socket.socket] = None
         self._running = False
         self.address: Optional[Tuple[str, int]] = None
+        #: Live telemetry, when a registry was provided (``repro serve``
+        #: and ``netbench.run_over_localhost`` wire one through).
+        self._m = (
+            _ServerInstruments(registry, self) if registry is not None
+            else None
+        )
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -396,6 +464,8 @@ class InferenceServer:
                 self._sessions.append(session)
             with self._stats_lock:
                 self.stats.connections += 1
+                if self._m:
+                    self._m.connections.inc()
             self._spawn(lambda s=session: self._session_loop(s),
                         f"session-{session.id}")
 
@@ -417,6 +487,8 @@ class InferenceServer:
             # Corrupt stream: count it and poison only this connection.
             with self._stats_lock:
                 self.stats.protocol_errors += 1
+                if self._m:
+                    self._m.protocol_errors.inc()
         finally:
             session.close()
             with self._sessions_lock:
@@ -460,6 +532,8 @@ class InferenceServer:
         query_id, samples = protocol.parse_issue(payload)
         with self._stats_lock:
             self.stats.queries_received += 1
+            if self._m:
+                self._m.received.inc()
         if session.draining:
             self._send_fail(session, query_id, "session is draining")
             return
@@ -479,6 +553,8 @@ class InferenceServer:
                 session.inflight -= 1
             with self._stats_lock:
                 self.stats.rejected += 1
+                if self._m:
+                    self._m.rejected.inc()
             self._send_fail(session, query_id, "server request queue is full")
 
     # -- batching + dispatch ----------------------------------------------------
@@ -498,12 +574,23 @@ class InferenceServer:
                 self.stats.queue_high_water = max(
                     self.stats.queue_high_water, self._queue.high_water
                 )
+                if self._m:
+                    self._m.batches.inc()
+                    self._m.batch_size.observe(
+                        sum(r.sample_count for r in batch))
+                    dispatch_time = time.monotonic()
+                    for request in batch:
+                        self._m.queue_wait.observe(
+                            dispatch_time - request.recv_time)
             with self._dispatch_cond:
                 self._dispatch.append(batch)
                 self._dispatch_cond.notify()
 
     def _worker_loop(self, index: int) -> None:
         runner = self._runners[index]
+        busy_seconds = (
+            self._m.worker_busy_child(index) if self._m else None
+        )
         while True:
             with self._dispatch_cond:
                 while not self._dispatch:
@@ -511,7 +598,16 @@ class InferenceServer:
                 batch = self._dispatch.popleft()
             if batch is None:
                 return
-            self._execute_batch(runner, batch)
+            if busy_seconds is None:
+                self._execute_batch(runner, batch)
+                continue
+            self._m.set_busy(index, True)
+            started = time.monotonic()
+            try:
+                self._execute_batch(runner, batch)
+            finally:
+                busy_seconds.inc(time.monotonic() - started)
+                self._m.set_busy(index, False)
 
     def _execute_batch(
         self, runner: _BackendRunner, batch: List[_PendingRequest]
@@ -590,12 +686,16 @@ class InferenceServer:
         request.session.send(frame)
         with self._stats_lock:
             self.stats.completed += 1
+            if self._m:
+                self._m.completed.inc()
         self._request_done(request.session)
 
     def _send_fail(self, session: _Session, query_id: int, reason: str) -> None:
         session.send(protocol.fail_frame(query_id, reason))
         with self._stats_lock:
             self.stats.failed += 1
+            if self._m:
+                self._m.failed.inc()
 
     def _request_done(self, session: _Session) -> None:
         with session._state_lock:
