@@ -7,9 +7,13 @@ Six commands cover the everyday workflows:
                 simulated device, printing the LoadGen summary; with
                 ``--sut network --addr HOST:PORT`` the same LoadGen
                 instead drives a remote ``repro serve`` instance over
-                TCP on the wall clock.
+                TCP on the wall clock; with ``--sut parallel
+                --workers N`` it runs the glyph classifier sharded
+                across N worker processes (``repro.parallel``).
 * ``serve``   - host a backend behind the network protocol so a
-                ``run --sut network`` (or any NetworkSUT) can drive it.
+                ``run --sut network`` (or any NetworkSUT) can drive it;
+                ``--backend parallel`` hosts the process-parallel pool
+                instead of the in-thread echo.
 * ``fleet``   - run the Section VI fleet survey (optionally a subset)
                 and print the coverage matrix and per-model counts.
 * ``check``   - run the submission checker over an on-disk submission
@@ -59,9 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="benchmark a simulated device")
     run.add_argument("--task", choices=sorted(_TASKS))
     run.add_argument("--scenario", choices=sorted(_SCENARIOS), required=True)
-    run.add_argument("--sut", choices=["device", "network"], default="device",
+    run.add_argument("--sut", choices=["device", "network", "parallel"],
+                     default="device",
                      help="device: in-process simulated device; "
-                          "network: drive a remote 'repro serve' over TCP")
+                          "network: drive a remote 'repro serve' over TCP; "
+                          "parallel: classifier on a worker-process pool")
     run.add_argument("--peak-gops", type=float, default=40_000.0)
     run.add_argument("--base-utilization", type=float, default=0.06)
     run.add_argument("--saturation-gops", type=float, default=150.0)
@@ -81,14 +87,27 @@ def _build_parser() -> argparse.ArgumentParser:
     net.add_argument("--query-timeout", type=float, default=2.0)
     net.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Chrome trace (with network spans) here")
+    par = run.add_argument_group("parallel SUT (--sut parallel)")
+    par.add_argument("--workers", type=int, default=2,
+                     help="worker processes in the pool")
+    par.add_argument("--parallel-batch", type=int, default=64,
+                     help="dynamic-batcher cap, in samples")
+    par.add_argument("--samples", type=int, default=256,
+                     help="synthetic dataset size (and offline batch)")
 
     serve = sub.add_parser(
         "serve", help="host a backend behind the network protocol")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=9090)
+    serve.add_argument("--backend", choices=["echo", "parallel"],
+                       default="echo",
+                       help="echo: per-worker-thread EchoSUT; parallel: "
+                            "one shared process-parallel pool")
     serve.add_argument("--latency-ms", type=float, default=1.0,
-                       help="echo backend per-query service time")
+                       help="backend per-query service time")
     serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--model-workers", type=int, default=2,
+                       help="process count for --backend parallel")
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--batch-window-ms", type=float, default=0.0)
     serve.add_argument("--queue", type=int, default=256,
@@ -213,9 +232,23 @@ def _cmd_serve(args) -> int:
         batch_window=args.batch_window_ms * 1e-3,
     )
     latency = args.latency_ms * 1e-3
-    server = InferenceServer(lambda: EchoSUT(latency=latency), config)
+    if args.backend == "parallel":
+        from .harness.netbench import parallel_echo_backend
+
+        # One shared pool instance: the server serializes dispatches
+        # through a single runner, the processes provide the
+        # parallelism, and server.stop() releases the pool.
+        backend = parallel_echo_backend(
+            workers=args.model_workers, compute_time=latency,
+            max_batch=args.max_batch)
+        description = (f"parallel echo backend ({args.model_workers} "
+                       f"procs, {args.latency_ms} ms)")
+    else:
+        backend = lambda: EchoSUT(latency=latency)  # noqa: E731
+        description = f"echo backend ({args.latency_ms} ms)"
+    server = InferenceServer(backend, config)
     host, port = server.start()
-    print(f"serving echo backend ({args.latency_ms} ms) on {host}:{port}")
+    print(f"serving {description} on {host}:{port}")
     try:
         if args.max_seconds is not None:
             _time.sleep(args.max_seconds)
@@ -230,9 +263,60 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_run_parallel(args) -> int:
+    import numpy as np
+
+    from .core.config import TestSettings
+    from .core.loadgen import run_benchmark
+    from .datasets import SyntheticImageNet
+    from .datasets.qsl import DatasetQSL
+    from .models.runtime import build_glyph_classifier
+    from .parallel import BatchingPolicy, ParallelSUT
+
+    scenario = _SCENARIOS[args.scenario]
+    if scenario not in (Scenario.OFFLINE, Scenario.SINGLE_STREAM):
+        print("--sut parallel supports offline and single-stream",
+              file=sys.stderr)
+        return 2
+    dataset = SyntheticImageNet(size=args.samples, num_classes=8, seed=29)
+    model = build_glyph_classifier(dataset, "light")
+
+    def classifier_factory():
+        def predict(samples):
+            return model.predict(np.stack(samples))
+        return predict
+
+    if scenario is Scenario.OFFLINE:
+        settings = TestSettings(
+            scenario=scenario, offline_sample_count=args.samples,
+            min_duration=0.0, min_query_count=1)
+    else:
+        settings = TestSettings(
+            scenario=scenario, min_duration=0.0,
+            min_query_count=args.queries)
+    qsl = DatasetQSL(dataset)
+    sut = ParallelSUT(
+        classifier_factory, qsl, workers=args.workers, seed=0,
+        policy=BatchingPolicy(max_batch_size=args.parallel_batch,
+                              max_wait=0.0))
+    try:
+        result = run_benchmark(sut, qsl, settings)
+    finally:
+        sut.close()
+    print(result.summary())
+    stats = sut.pool.stats
+    print(f"pool: {args.workers} workers, "
+          f"{stats.shm_dispatches} shm + {stats.pickle_dispatches} pickled "
+          f"dispatches, {stats.bytes_in / 1e6:.2f} MB in / "
+          f"{stats.bytes_out / 1e6:.2f} MB out, {stats.restarts} restarts")
+    return 0 if result.valid else 1
+
+
 def _cmd_run(args) -> int:
     if args.sut == "network":
         return _cmd_run_network(args)
+    if args.sut == "parallel":
+        return _cmd_run_parallel(args)
     if args.task is None:
         print("--sut device requires --task", file=sys.stderr)
         return 2

@@ -306,6 +306,13 @@ class ServerDriver(ScenarioDriver):
         super().__init__(*args, **kwargs)
         # Dedicated stream for arrival times so the traffic pattern is a
         # pure function of the seed (Section V-B alternate-seed test).
+        # The SeedSequence is constructed fresh per driver, so back-to-
+        # back runs in one process (retuning probes, the multitenant
+        # harness) replay identical arrivals instead of continuing a
+        # shared stream; the spawn child (key (0,)) is disjoint from
+        # both the loaded-set stream (child (1,) in LoadGen) and the
+        # sample-selection stream (root entropy in SampleSelector).
+        # tests/core/test_scenarios.py pins all three invariants.
         self._arrival_rng = np.random.default_rng(
             np.random.SeedSequence(self.settings.seed).spawn(1)[0]
         )

@@ -56,6 +56,45 @@ class SyntheticQSL:
         return index
 
 
+def parallel_echo_backend(
+    workers: int = 2,
+    seed: int = 0,
+    compute_time: float = 0.0,
+    max_batch: int = 8,
+    qsl: Optional[QuerySampleLibrary] = None,
+) -> SystemUnderTest:
+    """A process-parallel echo backend for network runs.
+
+    Wire-compatible with :class:`~repro.sut.echo.EchoSUT` (each sample
+    is answered with its own library index, via :class:`SyntheticQSL`),
+    but the answers are computed by a ``repro.parallel`` worker pool --
+    the configuration ``repro serve --backend parallel`` hosts.
+    ``compute_time`` is slept inside the worker per dispatched shard,
+    standing in for real model latency.
+
+    The returned SUT owns OS resources (processes, shared memory); pass
+    it to :class:`~repro.network.server.InferenceServer` as an instance
+    (one shared pool) and it is released by ``server.stop()``, or call
+    ``close()`` yourself after in-process use.
+    """
+    import time as _time
+
+    from ..parallel import BatchingPolicy, ParallelSUT
+
+    qsl = qsl if qsl is not None else SyntheticQSL()
+
+    def echo_factory():
+        def predict(samples):
+            if compute_time > 0.0:
+                _time.sleep(compute_time)
+            return list(samples)
+        return predict
+
+    return ParallelSUT(
+        echo_factory, qsl, workers=workers, seed=seed,
+        policy=BatchingPolicy(max_batch_size=max_batch, max_wait=0.0))
+
+
 @dataclass
 class NetworkRunResult:
     """A LoadGen verdict plus the wire's side of the story."""

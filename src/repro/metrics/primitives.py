@@ -263,15 +263,24 @@ class Histogram:
         The rank is exact: with ``n`` observations the target is order
         statistic ``ceil(q * n)`` (1-based), matching
         :func:`repro.core.stats.percentile`'s nearest-rank convention.
-        The value is linearly interpolated across the containing
-        bucket's width, clamped to the exact observed min/max so the
-        estimate never leaves the data's true range.
+        The extreme ranks are returned *exactly* -- rank 1 is the
+        tracked min (this is where ``q = 0.0`` lands) and rank ``n``
+        the tracked max -- because both order statistics are known
+        without bucketing error; a single-observation or single-bucket
+        histogram therefore reproduces the nearest-rank answer
+        verbatim.  Interior ranks are linearly interpolated across the
+        containing bucket's width, clamped to the exact observed
+        min/max so the estimate never leaves the data's true range.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self._count == 0:
             return 0.0
         rank = max(1, math.ceil(q * self._count))
+        if rank <= 1:
+            return self._min
+        if rank >= self._count:
+            return self._max
         seen = 0
         for i, c in enumerate(self._counts):
             if not c:
@@ -286,7 +295,10 @@ class Histogram:
                 estimate = lo + (hi - lo) * frac
                 return min(max(estimate, self._min), self._max)
             seen += c
-        return self._max  # pragma: no cover - rank <= count always lands
+        # 1 < rank < count and the buckets sum to count, so the walk
+        # above always lands; reaching here means the invariants broke.
+        raise RuntimeError(
+            f"bucket counts inconsistent with count={self._count}")
 
     def percentiles(self, qs: Sequence[float]) -> List[float]:
         """Batch :meth:`percentile` in a *single* bucket walk.
@@ -302,10 +314,16 @@ class Histogram:
         results = [0.0] * len(qs)
         if self._count == 0 or not qs:
             return results
-        targets = sorted(
-            (max(1, math.ceil(q * self._count)), slot)
-            for slot, q in enumerate(qs)
-        )
+        targets = []
+        for slot, q in enumerate(qs):
+            rank = max(1, math.ceil(q * self._count))
+            if rank <= 1:  # exact order statistics, no walk needed
+                results[slot] = self._min
+            elif rank >= self._count:
+                results[slot] = self._max
+            else:
+                targets.append((rank, slot))
+        targets.sort()
         pending = 0
         seen = 0
         for i, c in enumerate(self._counts):

@@ -82,7 +82,11 @@ def _quantize_affine(array: np.ndarray, fmt: NumericFormat,
     zero_point = np.round(qmin - low / scale)
     q = np.round(array / scale + zero_point)
     q = np.clip(q, qmin, qmax)
-    return ((q - zero_point) * scale).astype(np.float32)
+    # The span floor (and zero-point rounding) can place grid points
+    # outside [low, high]; the reconstruction must not exceed the clip
+    # range it was derived from.
+    recon = np.clip((q - zero_point) * scale, low, high)
+    return recon.astype(np.float32)
 
 
 def _quantize_float(array: np.ndarray, fmt: NumericFormat) -> np.ndarray:

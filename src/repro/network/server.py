@@ -376,6 +376,11 @@ class InferenceServer:
         self._sessions: List[_Session] = []
         self._sessions_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        # Guards _threads *and* the running flag transitions: the accept
+        # loop spawns session threads concurrently with stop() joining
+        # them, so membership changes and the stop decision must be
+        # atomic with respect to each other.
+        self._threads_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._running = False
         self.address: Optional[Tuple[str, int]] = None
@@ -414,16 +419,37 @@ class InferenceServer:
         self.stop()
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
-        """Shut down; with ``drain`` the admitted queue finishes first."""
+        """Shut down; with ``drain`` the admitted queue finishes first.
+
+        The teardown order makes outliving threads impossible rather
+        than merely unlikely: the running flag flips under the thread
+        lock (so no new thread starts after it), every session socket is
+        closed *before* any join (so no reader stays blocked in
+        ``recv``), and the join loop re-snapshots the thread list until
+        it is empty -- a session accepted in the race window is closed
+        by the accept loop itself (it re-checks the flag under the
+        sessions lock) and its thread, if it ever started, is in the
+        list the loop joins.
+        """
         if not self._running:
             return
         if drain:
             deadline = time.monotonic() + timeout
             while self._queue.depth > 0 and time.monotonic() < deadline:
                 time.sleep(0.005)
-        self._running = False
+        with self._threads_lock:
+            if not self._running:
+                return
+            self._running = False
         self._queue.close()
         with self._dispatch_cond:
+            if not drain:
+                # An abandoned run must not make workers chew through
+                # every queued batch (at full backend latency each)
+                # before they can see their stop sentinel: the sessions
+                # are about to be closed, so nobody could receive the
+                # answers anyway.
+                self._dispatch.clear()
             for _ in range(self.config.workers):
                 self._dispatch.append(None)
             self._dispatch_cond.notify_all()
@@ -432,20 +458,50 @@ class InferenceServer:
                 self._listener.close()
             except OSError:
                 pass
+        # Close every session before joining anything: a reader blocked
+        # in recv() wakes with an error immediately instead of at its
+        # poll timeout.  Late registrations are impossible -- the accept
+        # loop re-checks the running flag inside this same lock.
         with self._sessions_lock:
             sessions = list(self._sessions)
         for session in sessions:
             session.close()
-        for thread in self._threads:
-            thread.join(timeout=timeout)
-        self._threads = []
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._threads_lock:
+                pending = [
+                    t for t in self._threads
+                    if t.is_alive() and t is not threading.current_thread()
+                ]
+                if not pending:
+                    self._threads = []
+                    break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:  # pragma: no cover - stuck thread escape
+                break
+            for thread in pending:
+                thread.join(timeout=max(remaining / len(pending), 0.01))
+        # Backends owning external resources (e.g. the parallel worker
+        # pool) are released once nothing can dispatch to them anymore.
+        closed = set()
+        for runner in self._runners:
+            backend_close = getattr(runner.sut, "close", None)
+            if callable(backend_close) and id(runner.sut) not in closed:
+                closed.add(id(runner.sut))
+                backend_close()
 
-    def _spawn(self, target: Callable[[], None], name: str) -> None:
-        thread = threading.Thread(
-            target=target, name=f"{self.config.name}-{name}", daemon=True
-        )
-        thread.start()
-        self._threads.append(thread)
+    def _spawn(self, target: Callable[[], None], name: str) -> bool:
+        """Start a serving thread; refused once stop() has begun."""
+        with self._threads_lock:
+            if not self._running:
+                return False
+            thread = threading.Thread(
+                target=target, name=f"{self.config.name}-{name}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+            return True
 
     # -- accept + per-session read ----------------------------------------------
 
@@ -460,14 +516,25 @@ class InferenceServer:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(_POLL)
             session = _Session(sock, addr)
+            # Register under the sessions lock with a running re-check:
+            # stop() closes the session list under this same lock after
+            # flipping the flag, so a session either makes the list (and
+            # is closed by stop) or is refused and closed right here.
             with self._sessions_lock:
+                if not self._running:
+                    session.close()
+                    continue
                 self._sessions.append(session)
             with self._stats_lock:
                 self.stats.connections += 1
                 if self._m:
                     self._m.connections.inc()
-            self._spawn(lambda s=session: self._session_loop(s),
-                        f"session-{session.id}")
+            if not self._spawn(lambda s=session: self._session_loop(s),
+                               f"session-{session.id}"):
+                session.close()
+                with self._sessions_lock:
+                    if session in self._sessions:
+                        self._sessions.remove(session)
 
     def _session_loop(self, session: _Session) -> None:
         reader = FrameReader()
@@ -683,19 +750,22 @@ class InferenceServer:
             )
             self._request_done(request.session)
             return
-        request.session.send(frame)
+        # Count before sending: a client that reads the COMPLETE frame
+        # and immediately asks for STATS must see its query counted.
         with self._stats_lock:
             self.stats.completed += 1
             if self._m:
                 self._m.completed.inc()
+        request.session.send(frame)
         self._request_done(request.session)
 
     def _send_fail(self, session: _Session, query_id: int, reason: str) -> None:
-        session.send(protocol.fail_frame(query_id, reason))
+        # Same ordering as _send_complete: counted, then visible.
         with self._stats_lock:
             self.stats.failed += 1
             if self._m:
                 self._m.failed.inc()
+        session.send(protocol.fail_frame(query_id, reason))
 
     def _request_done(self, session: _Session) -> None:
         with session._state_lock:

@@ -1,0 +1,33 @@
+"""Process-parallel execution backend (ROADMAP: sharding/batching).
+
+The LoadGen never learns how many processes did the arithmetic: this
+package implements the submitter side of the paper's Fig. 3 boundary
+as a pool of worker processes fed through shared memory, behind the
+same ``SystemUnderTest`` protocol every other backend speaks.
+
+* :mod:`repro.parallel.shm` -- growable shared-memory arenas; tensors
+  move as ``(offset, dtype, shape)`` descriptors, never pickles.
+* :mod:`repro.parallel.pool` -- the worker processes: deterministic
+  seeding, crash detection, respawn, transfer accounting.
+* :mod:`repro.parallel.batching` -- the dynamic batcher (max batch
+  size + max wait), event-loop driven so virtual-clock runs are exact.
+* :mod:`repro.parallel.sut` -- :class:`ParallelSUT`, tying the above
+  behind ``issue_query``/``flush`` with ``parallel_*`` telemetry.
+"""
+
+from .batching import BatchingPolicy, DynamicBatcher
+from .pool import PoolStats, ShardOutcome, WorkerCrashed, WorkerPool, shard_evenly
+from .shm import ShmArena
+from .sut import ParallelSUT
+
+__all__ = [
+    "BatchingPolicy",
+    "DynamicBatcher",
+    "ParallelSUT",
+    "PoolStats",
+    "ShardOutcome",
+    "ShmArena",
+    "WorkerCrashed",
+    "WorkerPool",
+    "shard_evenly",
+]

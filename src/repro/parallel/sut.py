@@ -1,0 +1,267 @@
+"""Process-parallel SUT: shard batches across worker processes.
+
+``ParallelSUT`` is the execution backend the ROADMAP's
+"sharding/batching/multi-backend" item calls for: the LoadGen side of
+the Fig. 3 boundary is untouched, while the SUT side fans each dynamic
+batch out over N worker processes (``repro.parallel.pool``) with
+tensors travelling through shared memory (``repro.parallel.shm``).
+
+Timing policy follows ``repro.sut.backend``: the wall-clock cost of a
+dispatch is measured and replayed as virtual service time, or modelled
+by a ``service_time_fn`` for deterministic studies.  For the parallel
+case the model is applied *per shard* and the batch completes at the
+max over shards -- the straggler defines the batch latency, which is
+exactly the scaling curve the Offline benchmark measures.
+
+Determinism: the dynamic batcher groups queries identically at any
+worker count (it depends only on arrival order and the loop clock),
+shards split the sample list contiguously, and outputs are recombined
+in issue order -- so accuracy-mode results are reproducible bit-for-bit
+whether one worker or eight did the arithmetic.
+
+Crash handling: a worker killed mid-batch surfaces as ``QueryFailure``
+for every query in the batch (never a hang), the dead worker is
+respawned before the next dispatch, and ``ResilientSUT`` layered on top
+turns those failures into retries -- the composition the fault-model
+section of ``docs/architecture.md`` promises.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.query import Query, QuerySampleResponse
+from ..core.sut import QuerySampleLibrary, Responder, SutBase
+from ..core.events import EventLoop
+from ..faults.plan import FaultInjector, FaultPlan, FaultType
+from ..metrics import MetricsRegistry
+from .batching import BatchingPolicy, DynamicBatcher
+from .pool import WorkerCrashed, WorkerPool, shard_evenly
+
+
+class _ParallelInstruments:
+    """``parallel_*`` metric families (see ``docs/observability.md``).
+
+    All counters are bumped from the loop thread that runs dispatches,
+    satisfying the registry's single-writer contract.
+    """
+
+    def __init__(self, registry: MetricsRegistry, workers: int) -> None:
+        self.dispatches = registry.counter(
+            "parallel_dispatches_total",
+            "Batches fanned out across the worker pool")
+        self.batch_size = registry.histogram(
+            "parallel_batch_size_samples",
+            "Samples in each dispatched batch",
+            base=1.0, growth=2.0 ** 0.25, buckets=72)
+        self.batch_wait = registry.histogram(
+            "parallel_batch_wait_seconds",
+            "Loop-clock time each query sat in the dynamic batcher")
+        self.dispatch_seconds = registry.histogram(
+            "parallel_dispatch_seconds",
+            "Wall seconds per dispatch (ship + compute + collect)")
+        self.transfer_bytes = registry.counter(
+            "parallel_transfer_bytes_total",
+            "Bytes moved between the SUT and its workers",
+            labels=("direction",))
+        self.worker_samples = registry.counter(
+            "parallel_worker_samples_total",
+            "Samples each worker computed", labels=("worker",))
+        self.worker_busy = registry.counter(
+            "parallel_worker_busy_seconds_total",
+            "Self-reported compute seconds per worker",
+            labels=("worker",))
+        self.crashes = registry.counter(
+            "parallel_worker_crashes_total",
+            "Worker deaths observed mid-batch")
+        self.restarts = registry.counter(
+            "parallel_worker_restarts_total",
+            "Dead workers respawned before a dispatch")
+        # Pre-resolve per-worker children: dispatch is the hot path.
+        self._in = self.transfer_bytes.labels(direction="in")
+        self._out = self.transfer_bytes.labels(direction="out")
+        self._samples = [
+            self.worker_samples.labels(worker=str(i)) for i in range(workers)]
+        self._busy = [
+            self.worker_busy.labels(worker=str(i)) for i in range(workers)]
+
+
+class ParallelSUT(SutBase):
+    """Shard query batches across a pool of worker processes.
+
+    Parameters mirror the numpy backends in ``repro.sut.backend`` plus
+    the pool knobs:
+
+    ``worker_factory``
+        Called once inside each worker process; returns
+        ``predict(samples) -> outputs`` (a list of per-sample outputs,
+        or one stacked ``ndarray``).  May accept one positional
+        argument to receive the worker's deterministically seeded
+        ``numpy`` Generator.
+    ``service_time_fn``
+        Optional ``f(shard_sample_count) -> seconds`` model applied per
+        shard; the batch completes at ``max`` over its non-empty
+        shards.  Omitted, the measured wall time of the dispatch is
+        replayed (virtual clock) or already elapsed (wall clock).
+    ``crash_plan``
+        A ``FaultPlan`` or ``FaultInjector`` whose ``STALL`` decisions
+        are interpreted as "kill one worker before this query's batch
+        dispatches" -- decisions stay pure in (seed, query id, attempt),
+        so crash schedules are reproducible and retry attempts draw
+        fresh decisions.
+    """
+
+    def __init__(self, worker_factory: Callable, qsl: QuerySampleLibrary,
+                 *, workers: int = 2,
+                 policy: Optional[BatchingPolicy] = None,
+                 seed: int = 0,
+                 transport: str = "shm",
+                 service_time_fn: Optional[Callable[[int], float]] = None,
+                 crash_plan=None,
+                 job_timeout: Optional[float] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name or f"parallel[{workers}]")
+        self._qsl = qsl
+        self.policy = policy or BatchingPolicy()
+        self.pool = WorkerPool(
+            worker_factory, workers, seed=seed, transport=transport,
+            job_timeout=job_timeout)
+        self._service_time_fn = service_time_fn
+        self._batcher: Optional[DynamicBatcher] = None
+        self._m = (_ParallelInstruments(registry, workers)
+                   if registry is not None else None)
+        if isinstance(crash_plan, FaultPlan):
+            crash_plan = FaultInjector(crash_plan)
+        self._crash_injector: Optional[FaultInjector] = crash_plan
+        self._attempts: Dict[int, int] = {}
+        self._victims = itertools.cycle(range(workers))
+
+    @property
+    def workers(self) -> int:
+        return self.pool.workers
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.pool.start()
+        self._batcher = DynamicBatcher(loop, self.policy, self._dispatch)
+        self._attempts.clear()
+
+    def issue_query(self, query: Query) -> None:
+        self._batcher.add(query)
+
+    def flush(self) -> None:
+        if self._batcher is not None:
+            self._batcher.flush()
+
+    def close(self) -> None:
+        """Shut the worker pool down and release the arenas."""
+        self.pool.close()
+
+    def __enter__(self) -> "ParallelSUT":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch machinery -------------------------------------------
+
+    def _inject_crashes(self, queries: Sequence[Query]) -> None:
+        if self._crash_injector is None:
+            return
+        for query in queries:
+            attempt = self._attempts.get(query.id, 0)
+            self._attempts[query.id] = attempt + 1
+            decision = self._crash_injector.decide(query.id, attempt)
+            if decision is not None and decision.fault is FaultType.STALL:
+                self.pool.kill_worker(next(self._victims))
+
+    def _dispatch(self, batch: Sequence[Tuple[Query, float]]) -> None:
+        queries = [query for query, _wait in batch]
+        samples = [
+            self._qsl.get_sample(sample.index)
+            for query in queries for sample in query.samples
+        ]
+        restarted = self.pool.ensure_alive()
+        self._inject_crashes(queries)
+        shards = shard_evenly(samples, self.pool.workers)
+        started = time.perf_counter()
+        try:
+            outcomes = self.pool.run_shards(shards)
+        except WorkerCrashed as crash:
+            self._complete_batch(
+                batch, outputs=None, shards=shards,
+                elapsed=time.perf_counter() - started,
+                failure=str(crash), restarted=restarted)
+            return
+        outputs: List[object] = []
+        for outcome in outcomes:
+            outputs.extend(outcome.outputs)
+        self._complete_batch(
+            batch, outputs=outputs, shards=shards,
+            elapsed=time.perf_counter() - started,
+            failure=None, restarted=restarted, outcomes=outcomes)
+
+    def _duration(self, shards: Sequence[Sequence[object]],
+                  elapsed: float) -> float:
+        if self._service_time_fn is not None:
+            return max(
+                (self._service_time_fn(len(shard))
+                 for shard in shards if shard), default=0.0)
+        # Wall-clock loops already spent the time inside this dispatch;
+        # virtual loops replay the measurement as service time.
+        return 0.0 if self.loop.realtime else elapsed
+
+    def _complete_batch(self, batch, *, outputs, shards, elapsed,
+                        failure, restarted, outcomes=()) -> None:
+        duration = self._duration(shards, elapsed)
+        position = 0
+        # Completions are scheduled query by query in issue order at one
+        # instant; the loop's FIFO-per-instant ordering keeps the
+        # QueryLog sequence identical at any worker count.
+        for query, _wait in batch:
+            if failure is not None:
+                self.loop.schedule_after(
+                    duration,
+                    lambda q=query: self.fail(q, failure))
+                continue
+            outs = outputs[position:position + query.sample_count]
+            position += query.sample_count
+            if len(outs) != query.sample_count:
+                self.loop.schedule_after(
+                    duration,
+                    lambda q=query: self.fail(
+                        q, "worker pool returned a short batch"))
+                continue
+            responses = [
+                QuerySampleResponse(sample.id, out)
+                for sample, out in zip(query.samples, outs)
+            ]
+            self.loop.schedule_after(
+                duration,
+                lambda q=query, r=responses: self.complete(q, r))
+        self._record(batch, shards, elapsed, failure, restarted, outcomes)
+
+    def _record(self, batch, shards, elapsed, failure, restarted,
+                outcomes) -> None:
+        m = self._m
+        if m is None:
+            return
+        m.dispatches.inc()
+        m.batch_size.observe(sum(q.sample_count for q, _ in batch))
+        for _query, wait in batch:
+            m.batch_wait.observe(wait)
+        m.dispatch_seconds.observe(elapsed)
+        if restarted:
+            m.restarts.inc(restarted)
+        if failure is not None:
+            m.crashes.inc()
+            return
+        for index, outcome in enumerate(outcomes):
+            if outcome.outputs:
+                m._samples[index].inc(len(outcome.outputs))
+                m._busy[index].inc(outcome.compute_seconds)
+            m._in.inc(outcome.bytes_in)
+            m._out.inc(outcome.bytes_out)

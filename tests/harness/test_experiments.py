@@ -38,6 +38,7 @@ class TestRunSubmission:
                                 Scenario.SINGLE_STREAM, FLEET_SCALE)
         assert record.performance == pytest.approx(1.0 / record.metric)
 
+    @pytest.mark.slow
     def test_server_record(self, one_system):
         record = run_submission(one_system, Task.IMAGE_CLASSIFICATION_HEAVY,
                                 Scenario.SERVER, FLEET_SCALE)

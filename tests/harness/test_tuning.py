@@ -97,6 +97,7 @@ class TestServerSearch:
             Task.IMAGE_CLASSIFICATION_HEAVY, QUICK_SCALE)
         assert tuned is None
 
+    @pytest.mark.slow
     def test_search_is_reproducible(self):
         device = make_device()
         a = find_max_server_qps(sut_factory(device), EchoQSL(),
@@ -107,6 +108,7 @@ class TestServerSearch:
 
 
 class TestMultiStreamSearch:
+    @pytest.mark.slow
     def test_found_n_matches_interval_capacity(self):
         device = make_device()
         tuned = find_max_multistream_n(

@@ -56,6 +56,43 @@ class TestRun:
             main(["run", "--task", "bert", "--scenario", "offline"])
 
 
+class TestRunParallel:
+    def test_offline_on_the_worker_pool(self, capsys):
+        assert main([
+            "run", "--sut", "parallel", "--scenario", "offline",
+            "--workers", "2", "--samples", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out
+        assert "samples/s" in out
+        assert "pool: 2 workers" in out
+
+    def test_single_stream_on_the_worker_pool(self, capsys):
+        assert main([
+            "run", "--sut", "parallel", "--scenario", "single-stream",
+            "--workers", "2", "--samples", "64", "--queries", "20",
+        ]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_unsupported_scenario_rejected(self, capsys):
+        assert main([
+            "run", "--sut", "parallel", "--scenario", "server",
+        ]) == 2
+        assert "parallel" in capsys.readouterr().err
+
+
+@pytest.mark.socket
+class TestServeParallel:
+    def test_serve_hosts_and_releases_the_pool(self, capsys):
+        assert main([
+            "serve", "--backend", "parallel", "--port", "0",
+            "--model-workers", "2", "--max-seconds", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parallel echo backend (2 procs" in out
+        assert "server stats" in out
+
+
 class TestFleet:
     def test_subset_survey(self, capsys):
         code = main(["fleet", "--systems", "mobile-dsp-a", "laptop-cpu"])

@@ -72,6 +72,7 @@ workload_strategy = st.builds(
 
 
 class TestEndToEndInvariants:
+    @pytest.mark.slow
     @given(device=device_strategy(), run_settings=settings_strategy(),
            workload=workload_strategy)
     @settings(max_examples=30, deadline=None)

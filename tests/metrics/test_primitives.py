@@ -5,6 +5,10 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import percentile as stats_percentile
 
 from repro.metrics import Counter, Gauge, Histogram
 from repro.metrics.primitives import DEFAULT_GROWTH
@@ -240,3 +244,103 @@ class TestMerge:
         assert total.count == len(all_values)
         assert total.sum == pytest.approx(float(all_values.sum()))
         assert total.max == float(all_values.max())
+
+
+class TestPercentileNearestRank:
+    """The live histogram must track the exact nearest-rank convention
+    of ``repro.core.stats.percentile`` (ISSUE 4 satellite)."""
+
+    GROWTH = 2.0 ** 0.25
+
+    def _hist(self, values):
+        h = Histogram(base=0.001, growth=self.GROWTH, buckets=96)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_q_zero_is_exact_min(self):
+        h = self._hist([3.7, 0.2, 9.9])
+        assert h.percentile(0.0) == 0.2
+
+    def test_q_one_is_exact_max(self):
+        h = self._hist([3.7, 0.2, 9.9])
+        assert h.percentile(1.0) == 9.9
+
+    def test_empty_returns_zero(self):
+        h = Histogram()
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 0.0
+
+    def test_single_observation_every_q(self):
+        h = self._hist([4.2])
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 4.2
+
+    def test_single_bucket_interior_rank_is_exact(self):
+        """All mass in one bucket: the clamp to tracked min/max makes
+        even interior ranks exact when the bucket holds one value."""
+        h = self._hist([5.0, 5.0, 5.0])
+        assert h.percentile(0.5) == 5.0
+
+    def test_exact_at_bucket_boundaries(self):
+        """Observations sitting exactly on bucket upper edges reproduce
+        the nearest-rank answer with zero interpolation error."""
+        h = Histogram(base=1.0, growth=2.0, buckets=16)
+        edges = [1.0, 2.0, 4.0, 8.0, 16.0]
+        for v in edges:
+            h.observe(v)
+        for rank, expected in enumerate(edges, start=1):
+            q = rank / len(edges)
+            assert h.percentile(q) == expected
+            assert expected == stats_percentile(edges, q)
+
+    def test_corrupt_counts_raise_instead_of_silent_max(self):
+        """The old fall-through silently answered ``max``; inconsistent
+        bucket state must now fail loudly."""
+        h = self._hist([1.0, 2.0, 3.0, 4.0])
+        h._counts = [0] * len(h._counts)  # corrupt: count says 4
+        with pytest.raises(RuntimeError):
+            h.percentile(0.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200),
+        q=st.floats(min_value=0.0, max_value=1.0,
+                    allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tracks_exact_implementation_on_random_data(self, values, q):
+        h = self._hist(values)
+        estimate = h.percentile(q)
+        rank = max(1, math.ceil(q * len(values)))
+        exact = sorted(values)[rank - 1]
+        if q > 0.0:
+            assert exact == stats_percentile(values, q)
+        if rank <= 1:
+            assert estimate == min(values)
+        elif rank >= len(values):
+            assert estimate == max(values)
+        else:
+            assert min(values) <= estimate <= max(values)
+            # Estimate and exact value share a bucket, so the error is
+            # bounded by that bucket's width: relative (growth - 1)
+            # above ``base``, absolute ``base`` below it.
+            bound = max(0.001, exact * (self.GROWTH - 1.0)) + 1e-9
+            assert abs(estimate - exact) <= bound
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=80),
+        qs=st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+                    min_size=1, max_size=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batch_percentiles_identical_to_scalar(self, values, qs):
+        h = self._hist(values)
+        assert h.percentiles(qs) == [h.percentile(q) for q in qs]

@@ -18,6 +18,7 @@ from repro.core.loadgen import run_benchmark
 from repro.harness.netbench import (
     SyntheticQSL,
     latency_overhead,
+    parallel_echo_backend,
     run_over_localhost,
 )
 from repro.network.client import NetworkSUT, parse_address
@@ -58,6 +59,23 @@ def test_server_scenario_run_is_valid_over_localhost():
     # Wire timings were captured for every completed query.
     assert len(bundle.transport) == bundle.result.metrics.query_count
     assert all(t.round_trip > 0 for t in bundle.transport.values())
+
+
+def test_parallel_backend_serves_over_localhost():
+    """The ``repro serve --backend parallel`` configuration end to end:
+    LoadGen -> TCP -> InferenceServer -> shared process pool.  The wire
+    contract is EchoSUT's, so validity proves payload correctness; the
+    server's stop() must also release the pool (checked via its stats
+    after the run)."""
+    qsl = SyntheticQSL(total=256, performance=64)
+    backend = parallel_echo_backend(workers=2, compute_time=0.001)
+    bundle = run_over_localhost(backend, qsl, quick_settings())
+    assert bundle.valid, bundle.result.validity.reasons
+    assert bundle.server_stats["completed"] >= 40
+    assert bundle.client_stats.gave_up_queries == 0
+    # run_over_localhost stopped the server, which closed the pool.
+    assert backend.pool.stats.per_worker_jobs
+    assert not backend.pool.alive_workers
 
 
 def test_response_payloads_cross_the_wire_intact():

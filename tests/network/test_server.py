@@ -5,6 +5,7 @@ so server behavior is pinned independently of the client adapter.
 """
 
 import socket
+import threading
 import time
 
 import pytest
@@ -246,3 +247,104 @@ def test_shared_backend_instance_is_serialized():
             assert client.recv()[0] is FrameType.COMPLETE
         assert backend.queries_served == 10
         client.close()
+
+
+# -- stop() teardown regressions (ISSUE 4 satellite) -------------------
+
+
+def test_stop_joins_every_thread_including_blocked_readers():
+    """A session blocked in recv() must not outlive stop(): sessions
+    are closed before any join, so the reader wakes immediately and the
+    re-snapshotting join loop leaves no server thread alive."""
+    # A unique name keeps the thread-liveness check blind to stragglers
+    # from other tests' (default-named) servers.
+    config = ServerConfig(port=0, workers=2, max_queue=8, max_batch=4,
+                          name="stop-join-probe")
+    srv = InferenceServer(lambda: EchoSUT(latency=0.001), config)
+    srv.start()
+    name_prefix = f"{srv.config.name}-"
+    clients = [RawClient(srv.address) for _ in range(3)]
+    # Give the accept loop time to register and spawn every session.
+    deadline = time.monotonic() + 5.0
+    while len(srv._sessions) < 3 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert len(srv._sessions) == 3
+    srv.stop()
+    leftovers = [
+        t for t in threading.enumerate()
+        if t.name.startswith(name_prefix) and t.is_alive()
+    ]
+    assert leftovers == []
+    assert srv._threads == []
+    for client in clients:
+        client.close()
+
+
+def test_stop_refuses_new_session_threads():
+    """_spawn after stop() must not start a thread (the window where a
+    freshly accepted connection races the teardown)."""
+    config = ServerConfig(port=0, workers=1, max_queue=8, max_batch=4)
+    srv = InferenceServer(lambda: EchoSUT(latency=0.001), config)
+    srv.start()
+    srv.stop()
+    assert srv._spawn(lambda: None, "too-late") is False
+    assert srv._threads == []
+
+
+def test_stop_twice_is_idempotent():
+    config = ServerConfig(port=0, workers=1, max_queue=8, max_batch=4)
+    srv = InferenceServer(lambda: EchoSUT(latency=0.001), config)
+    srv.start()
+    srv.stop()
+    srv.stop()  # second call must be a no-op, not an error
+
+
+def test_queue_offer_after_close_never_enqueues():
+    """put-vs-close: once closed, offer() must refuse and leave the
+    queue untouched no matter how the calls interleave."""
+    from repro.network.server import _PendingRequest, _RequestQueue
+
+    def request(qid):
+        return _PendingRequest(
+            session=None, query_id=qid, samples=[], recv_time=0.0)
+
+    q = _RequestQueue(max_queue=64)
+    assert q.offer(request(1)) is True
+    q.close()
+    assert q.offer(request(2)) is False
+    assert q.depth == 1  # only the pre-close item remains
+
+    # Racing writers against close: whatever lands after close must be
+    # refused, so drained items never include a post-close query id.
+    q = _RequestQueue(max_queue=10_000)
+    stop_flag = threading.Event()
+    accepted = []
+
+    def writer(base):
+        i = 0
+        while not stop_flag.is_set():
+            if q.offer(request(base + i)):
+                accepted.append(base + i)
+            i += 1
+
+    threads = [
+        threading.Thread(target=writer, args=(base,))
+        for base in (0, 1_000_000, 2_000_000)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(0.05)
+    q.close()
+    post_close_probe = q.offer(request(9_999_999))
+    stop_flag.set()
+    for t in threads:
+        t.join(timeout=5.0)
+    assert post_close_probe is False
+    drained = []
+    while True:
+        batch = q.take_batch(max_samples=1_000_000, window=0.0)
+        if batch is None:
+            break
+        drained.extend(r.query_id for r in batch)
+    # Everything accepted was drained, and nothing else snuck in.
+    assert sorted(drained) == sorted(accepted)

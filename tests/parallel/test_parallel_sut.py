@@ -1,0 +1,190 @@
+"""ParallelSUT end to end: determinism at any worker count, modelled
+scaling, crash-to-QueryFailure, and composition with ResilientSUT."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import WallClock
+from repro.core.config import Scenario, TestMode, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.faults import FaultPlan, FaultType, ResilientSUT, RetryPolicy
+from repro.metrics import MetricsRegistry
+from repro.parallel import BatchingPolicy, ParallelSUT
+
+
+class ArrayQSL:
+    """Samples are small arrays whose contents encode their index."""
+
+    name = "arrays"
+
+    def __init__(self, size=64):
+        self._size = size
+
+    @property
+    def total_sample_count(self):
+        return self._size
+
+    @property
+    def performance_sample_count(self):
+        return self._size
+
+    def load_samples(self, indices):
+        pass
+
+    def unload_samples(self, indices):
+        pass
+
+    def get_sample(self, index):
+        return np.full((4,), float(index), dtype=np.float32)
+
+
+def affine_factory():
+    def predict(samples):
+        return np.stack([3.0 * s[0] + 1.0 for s in samples])
+    return predict
+
+
+def accuracy_settings(samples=48):
+    return TestSettings(
+        scenario=Scenario.OFFLINE, mode=TestMode.ACCURACY,
+        offline_sample_count=samples, min_duration=0.0, min_query_count=1)
+
+
+def run_accuracy(workers, *, qsl=None, samples=48, **sut_kwargs):
+    qsl = qsl or ArrayQSL(samples)
+    sut = ParallelSUT(
+        affine_factory, qsl, workers=workers, seed=9,
+        policy=BatchingPolicy(max_batch_size=16, max_wait=0.001),
+        **sut_kwargs)
+    try:
+        result = run_benchmark(sut, qsl, accuracy_settings(samples))
+    finally:
+        sut.close()
+    return result
+
+
+def outputs_of(result):
+    return [
+        (resp.sample_id, float(resp.data))
+        for record in result.log.completed_records()
+        for resp in record.responses
+    ]
+
+
+class TestDeterminism:
+    def test_identical_accuracy_outputs_for_1_2_4_workers(self):
+        """The ISSUE 4 acceptance bar: same seed, same outputs, no
+        matter how many processes did the arithmetic."""
+        baseline = outputs_of(run_accuracy(workers=1))
+        assert len(baseline) == 48
+        assert baseline == outputs_of(run_accuracy(workers=2))
+        assert baseline == outputs_of(run_accuracy(workers=4))
+        # And the arithmetic is right, not merely consistent.
+        assert baseline[0][1] == 1.0  # 3 * 0 + 1
+        assert baseline[-1][1] == 3.0 * 47 + 1.0
+
+    def test_repeat_runs_are_bit_identical(self):
+        assert outputs_of(run_accuracy(2)) == outputs_of(run_accuracy(2))
+
+
+class TestModelledScaling:
+    def test_service_time_model_scales_with_workers(self):
+        """Per-shard service model: the batch finishes at the slowest
+        shard, so N workers cut the virtual duration ~N-fold."""
+        durations = {}
+        for workers in (1, 2, 4):
+            result = run_accuracy(
+                workers, service_time_fn=lambda n: 1e-4 * n)
+            durations[workers] = result.metrics.duration
+        assert durations[1] == pytest.approx(2 * durations[2], rel=0.2)
+        assert durations[1] == pytest.approx(4 * durations[4], rel=0.3)
+
+
+class TestRealtimeLoop:
+    def test_serves_under_wall_clock(self):
+        """The realtime path (CLI serve / netbench backends) completes
+        at zero extra delay: the wall time already elapsed in-dispatch."""
+        qsl = ArrayQSL(8)
+        sut = ParallelSUT(
+            affine_factory, qsl, workers=2, seed=9,
+            policy=BatchingPolicy(max_batch_size=8, max_wait=0.0))
+        try:
+            result = run_benchmark(
+                sut, qsl, accuracy_settings(8), clock=WallClock())
+        finally:
+            sut.close()
+        assert len(outputs_of(result)) == 8
+
+
+class TestCrashHandling:
+    def test_certain_crash_fails_queries_not_harness(self):
+        """Every attempt crashes a worker: the run ends INVALID with
+        QueryFailures recorded, and the harness survives."""
+        plan = FaultPlan.single(FaultType.STALL, rate=1.0, seed=13)
+        result = run_accuracy(workers=2, samples=16, crash_plan=plan)
+        assert not result.valid
+        assert result.log.completed_records() == []
+
+    def test_resilient_sut_retries_crashed_batches_to_success(self):
+        """The composition the fault layer promises: crash ->
+        QueryFailure -> ResilientSUT retry -> fresh decision -> done.
+        Single-stream accuracy walks 32 queries, 13 of which draw a
+        worker-kill on their first attempt with this plan seed."""
+        qsl = ArrayQSL(32)
+        plan = FaultPlan.single(FaultType.STALL, rate=0.5, seed=21)
+        inner = ParallelSUT(
+            affine_factory, qsl, workers=2, seed=9,
+            policy=BatchingPolicy(max_batch_size=8, max_wait=0.001),
+            crash_plan=plan)
+        sut = ResilientSUT(
+            inner, RetryPolicy(max_attempts=8, backoff_base=0.001))
+        settings = TestSettings(
+            scenario=Scenario.SINGLE_STREAM, mode=TestMode.ACCURACY,
+            min_duration=0.0, min_query_count=1)
+        try:
+            result = run_benchmark(sut, qsl, settings)
+        finally:
+            inner.close()
+        assert result.valid, result.validity
+        assert len(outputs_of(result)) == 32
+        # Crashes really happened; the retries papered over them.
+        assert inner.pool.stats.restarts > 0
+
+    def test_crashed_pool_recovers_for_the_next_run(self):
+        qsl = ArrayQSL(8)
+        sut = ParallelSUT(
+            affine_factory, qsl, workers=2, seed=9,
+            policy=BatchingPolicy(max_batch_size=8, max_wait=0.0))
+        try:
+            sut.pool.start()
+            sut.pool.kill_worker(0)
+            result = run_benchmark(sut, qsl, accuracy_settings(8))
+        finally:
+            sut.close()
+        assert len(outputs_of(result)) == 8
+        assert sut.pool.stats.restarts == 1
+
+
+class TestInstruments:
+    def test_parallel_metric_families_are_populated(self):
+        registry = MetricsRegistry()
+        run_accuracy(workers=2, registry=registry)
+        # Offline accuracy mode issues one query carrying all samples,
+        # so exactly one batch is dispatched.
+        assert registry.get("parallel_dispatches_total").value == 1
+        assert registry.get("parallel_batch_size_samples").count == 1
+        assert registry.get(
+            "parallel_batch_size_samples").percentile(0.5) == 48
+        transfer = dict()
+        for labels, child in registry.get(
+                "parallel_transfer_bytes_total").series():
+            transfer[labels["direction"]] = child.value
+        assert transfer["in"] > 0
+        assert transfer["out"] > 0
+        per_worker = {
+            labels["worker"]: child.value
+            for labels, child in registry.get(
+                "parallel_worker_samples_total").series()
+        }
+        assert sum(per_worker.values()) == 48
+        assert set(per_worker) == {"0", "1"}

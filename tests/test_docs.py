@@ -73,6 +73,33 @@ def test_public_modules_have_docstrings(module):
     )
 
 
+#: Backtick-quoted ``docs/...`` path mentions (prose references that the
+#: markdown-link lint above cannot see, e.g. "see `docs/observability.md`").
+_DOC_PATH_RE = re.compile(r"`(docs/[A-Za-z0-9_./-]+\.md)`")
+
+
+def doc_path_mentions(path):
+    return _DOC_PATH_RE.findall(path.read_text())
+
+
+@pytest.mark.parametrize(
+    "source",
+    [d for d in DOC_FILES if d.exists()] + sorted(SRC.rglob("*.py")),
+    ids=lambda p: str(p.relative_to(REPO)),
+)
+def test_docs_path_mentions_resolve(source):
+    """Prose and docstrings that name a ``docs/`` page must name one
+    that exists — a rename otherwise leaves dangling pointers that no
+    link checker catches."""
+    dangling = [
+        ref for ref in doc_path_mentions(source)
+        if not (REPO / ref).is_file()
+    ]
+    assert not dangling, (
+        f"{source.relative_to(REPO)}: dangling docs references {dangling}"
+    )
+
+
 def test_readme_test_count_is_not_stale():
     """The README's advertised test count must not exceed reality by
     omission: it claims "N+"; the suite only ever grows, so the claim
