@@ -114,6 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="admission-queue bound, in requests")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop after this long (default: until Ctrl-C)")
+    serve.add_argument("--drain-seconds", type=float, default=5.0,
+                       help="graceful-drain budget on SIGTERM/Ctrl-C: new "
+                            "queries are refused while in-flight ones get "
+                            "this long to finish")
+    serve.add_argument("--state-journal", metavar="PATH", default=None,
+                       help="journal the final server state (stats, drain "
+                            "outcome) to PATH on shutdown")
 
     fleet = sub.add_parser("fleet", help="run the Section VI fleet survey")
     fleet.add_argument("--systems", nargs="*", default=None,
@@ -150,6 +157,28 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--trace", metavar="PATH", default=None,
                          help="write a Chrome trace with a metrics "
                               "counter track here")
+    metrics.add_argument("--journal", metavar="PATH", default=None,
+                         help="write-ahead run journal: the run becomes "
+                              "resumable and the durability_* series "
+                              "light up (docs/durability.md)")
+    metrics.add_argument("--resume", action="store_true",
+                         help="resume the interrupted run recorded in "
+                              "--journal instead of starting fresh")
+    metrics.add_argument("--fsync", choices=["always", "interval", "never"],
+                         default="never",
+                         help="journal fsync policy (--journal)")
+    metrics.add_argument("--breaker", action="store_true",
+                         help="route the backend through the self-healing "
+                              "path (circuit breaker, standby, hedged "
+                              "retries); breaker_* series light up")
+    metrics.add_argument("--outage", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="with --breaker: black out the primary "
+                              "backend for this long so the breaker "
+                              "demonstrably sheds load")
+    metrics.add_argument("--outage-start", type=float, default=0.25,
+                         metavar="SECONDS",
+                         help="run time at which the --outage window opens")
     return parser
 
 
@@ -218,6 +247,7 @@ def _cmd_run_network(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal as _signal
     import time as _time
 
     from .network.server import InferenceServer, ServerConfig
@@ -232,34 +262,74 @@ def _cmd_serve(args) -> int:
         batch_window=args.batch_window_ms * 1e-3,
     )
     latency = args.latency_ms * 1e-3
-    if args.backend == "parallel":
-        from .harness.netbench import parallel_echo_backend
 
-        # One shared pool instance: the server serializes dispatches
-        # through a single runner, the processes provide the
-        # parallelism, and server.stop() releases the pool.
-        backend = parallel_echo_backend(
-            workers=args.model_workers, compute_time=latency,
-            max_batch=args.max_batch)
-        description = (f"parallel echo backend ({args.model_workers} "
-                       f"procs, {args.latency_ms} ms)")
-    else:
-        backend = lambda: EchoSUT(latency=latency)  # noqa: E731
-        description = f"echo backend ({args.latency_ms} ms)"
-    server = InferenceServer(backend, config)
-    host, port = server.start()
-    print(f"serving {description} on {host}:{port}")
+    # Every exit - normal --max-seconds expiry, Ctrl-C, SIGTERM, or an
+    # exception while starting up - funnels through this one drain path,
+    # so a backend constructed before the server came up can never leak
+    # its worker pool (see docs/durability.md, "Graceful drain").
+    server = None
+    backend = None
+    done = []
+
+    def _shutdown() -> None:
+        if done:
+            return
+        done.append(True)
+        if server is not None:
+            drained = server.drain(timeout=args.drain_seconds)
+            server.stop(drain=False)
+            if not drained:
+                print("drain deadline expired; in-flight queries dropped")
+            if args.state_journal:
+                from .durability.journal import JournalWriter
+
+                with JournalWriter(args.state_journal) as writer:
+                    writer.append("server-state", {
+                        "drained": drained,
+                        "stats": dict(server.stats.snapshot()),
+                    })
+                print(f"final state journaled to {args.state_journal}")
+            print(f"server stats: {server.stats.snapshot()}")
+        elif backend is not None:
+            close = getattr(backend, "close", None)
+            if callable(close):
+                close()
+
+    def _on_sigterm(signum, frame):
+        # Funnel SIGTERM into the KeyboardInterrupt path so both signals
+        # share the graceful drain; a second signal (handler restored in
+        # the finally) force-kills as usual.
+        raise KeyboardInterrupt
+
+    previous = _signal.signal(_signal.SIGTERM, _on_sigterm)
     try:
+        if args.backend == "parallel":
+            from .harness.netbench import parallel_echo_backend
+
+            # One shared pool instance: the server serializes dispatches
+            # through a single runner, the processes provide the
+            # parallelism, and the drain path releases the pool.
+            backend = parallel_echo_backend(
+                workers=args.model_workers, compute_time=latency,
+                max_batch=args.max_batch)
+            description = (f"parallel echo backend ({args.model_workers} "
+                           f"procs, {args.latency_ms} ms)")
+        else:
+            backend = lambda: EchoSUT(latency=latency)  # noqa: E731
+            description = f"echo backend ({args.latency_ms} ms)"
+        server = InferenceServer(backend, config)
+        host, port = server.start()
+        print(f"serving {description} on {host}:{port}")
         if args.max_seconds is not None:
             _time.sleep(args.max_seconds)
         else:
             while True:
                 _time.sleep(1.0)
     except KeyboardInterrupt:
-        pass
+        print("shutting down: draining in-flight queries")
     finally:
-        server.stop()
-        print(f"server stats: {server.stats.snapshot()}")
+        _signal.signal(_signal.SIGTERM, previous)
+        _shutdown()
     return 0
 
 
@@ -455,18 +525,52 @@ def _cmd_metrics(args) -> int:
     backend = EchoSUT(latency=args.latency_ms * 1e-3)
     channel = SimulatedChannelSUT(backend, model)
     sut = channel
+    if args.outage > 0:
+        from .faults import OutageSUT
+
+        sut = OutageSUT(sut, args.outage_start, args.outage)
     if args.drop > 0:
         # A lossy channel needs the retry layer, which also lights up
         # the resilient_* counters in the registry.
         sut = ResilientSUT(sut, RetryPolicy(attempt_timeout=0.200),
-                           registry=registry)
+                           registry=registry, seed=args.seed)
+    if args.breaker:
+        from .durability import SelfHealingSUT
+
+        # The standby is a plain local echo: during a primary outage
+        # the breaker trips, queries reroute, and the run survives.
+        standby = EchoSUT(latency=args.latency_ms * 1e-3, name="standby")
+        sut = SelfHealingSUT(sut, standby, registry=registry)
+    elif args.outage > 0:
+        print("note: --outage without --breaker leaves nothing to shed "
+              "the load; expect recorded failures", file=sys.stderr)
     from .core.loadgen import run_benchmark
 
-    result = run_benchmark(
-        sut, SyntheticQSL(), settings,
-        registry=registry,
-        snapshot_period=args.snapshot_period_ms * 1e-3,
-    )
+    if args.resume:
+        if not args.journal:
+            print("--resume requires --journal PATH", file=sys.stderr)
+            return 2
+        from .durability import resume_run
+
+        result = resume_run(
+            args.journal, sut, SyntheticQSL(),
+            registry=registry,
+            snapshot_period=args.snapshot_period_ms * 1e-3,
+            fsync=args.fsync,
+        )
+    else:
+        journal = None
+        if args.journal:
+            from .durability import RunJournal
+
+            journal = RunJournal(args.journal, fsync=args.fsync,
+                                 registry=registry)
+        result = run_benchmark(
+            sut, SyntheticQSL(), settings,
+            registry=registry,
+            snapshot_period=args.snapshot_period_ms * 1e-3,
+            journal=journal,
+        )
 
     if args.format == "prom":
         print(to_prometheus_text(registry), end="")

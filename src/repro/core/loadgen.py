@@ -19,7 +19,7 @@ real backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from .scenarios import (
 )
 from .sut import QuerySampleLibrary, SystemUnderTest
 from .validation import ValidityReport, validate_run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- durability)
+    from ..durability.journal import RunJournal
 
 
 @dataclass
@@ -145,6 +148,7 @@ class LoadGen:
         clock: Optional[Clock] = None,
         registry: Optional[MetricsRegistry] = None,
         snapshot_period: Optional[float] = None,
+        journal: Optional["RunJournal"] = None,
     ) -> LoadGenResult:
         """Execute one full run and return its result.
 
@@ -166,6 +170,12 @@ class LoadGen:
         (virtual or wall, matching ``clock``) and the series is returned
         in :attr:`LoadGenResult.snapshots` - under the virtual clock the
         snapshots are bit-for-bit reproducible across runs.
+
+        ``journal`` makes the run durable: a
+        ``repro.durability.RunJournal`` write-ahead logs every issued/
+        completed/failed query plus periodic checkpoints, so a run
+        killed mid-flight can be continued with
+        ``repro.durability.resume_run`` (see ``docs/durability.md``).
         """
         settings = self.settings
         if settings.mode is TestMode.ACCURACY:
@@ -183,6 +193,35 @@ class LoadGen:
             source = self._make_source(loaded)
             driver = make_driver(loop, settings, sut, source, log,
                                  registry=registry)
+
+            if journal is not None:
+                # Write-ahead: the header precedes the first query, and
+                # the QueryLog's observer appends each lifecycle event
+                # before the run proceeds past it.
+                journal.begin(
+                    settings,
+                    keep_payloads=(
+                        settings.mode is TestMode.ACCURACY
+                        or log_sample_probability > 0.0),
+                    log_sample_probability=log_sample_probability,
+                )
+                log.observer = journal.on_log_event
+                period = journal.checkpoint_period
+                if period is not None:
+                    def _checkpoint_tick() -> None:
+                        journal.checkpoint(
+                            loop.now,
+                            issued=log.query_count,
+                            outstanding=log.outstanding,
+                            issued_samples=log.issued_samples,
+                        )
+                        # Like the snapshot sampler, the tick must stop
+                        # rescheduling once the run has drained or a
+                        # virtual loop would never finish.
+                        if driver.issue_phase_open or log.outstanding > 0:
+                            loop.schedule_after(period, _checkpoint_tick)
+
+                    loop.schedule_after(period, _checkpoint_tick)
 
             sampler: Optional[SnapshotSampler] = None
             if registry is not None and snapshot_period is not None:
@@ -243,7 +282,7 @@ class LoadGen:
             else:
                 metrics = empty_metrics(log, settings)
             validity = validate_run(log, settings, driver.stats)
-            return LoadGenResult(
+            result = LoadGenResult(
                 settings=settings,
                 log=log,
                 metrics=metrics,
@@ -252,7 +291,12 @@ class LoadGen:
                 stats=driver.stats,
                 snapshots=sampler.snapshots if sampler is not None else None,
             )
+            if journal is not None:
+                journal.finish(result)
+            return result
         finally:
+            if journal is not None:
+                journal.close()
             qsl.unload_samples(loaded)
 
 
@@ -264,9 +308,11 @@ def run_benchmark(
     clock: Optional[Clock] = None,
     registry: Optional[MetricsRegistry] = None,
     snapshot_period: Optional[float] = None,
+    journal: Optional["RunJournal"] = None,
 ) -> LoadGenResult:
     """Convenience wrapper: build a LoadGen and run once."""
     return LoadGen(settings).run(
         sut, qsl, log_sample_probability, clock=clock,
         registry=registry, snapshot_period=snapshot_period,
+        journal=journal,
     )

@@ -48,6 +48,13 @@ class QueryLog:
         self._resolved_count = 0
         self.log_sample_probability = log_sample_probability
         self._rng = np.random.default_rng(seed)
+        #: Optional lifecycle tap, called as ``observer(event, query,
+        #: time, payload)`` with event ``"issued"`` (payload None),
+        #: ``"completed"`` (payload: response list) or ``"failed"``
+        #: (payload: reason) *after* the log recorded the event.  The
+        #: write-ahead run journal (``repro.durability``) attaches here;
+        #: the hook costs one None-check per event when unused.
+        self.observer = None
         #: Count of issued samples (not queries) for throughput metrics.
         self.issued_samples = 0
         #: (query_id, time) of completions that arrived more than once.
@@ -64,6 +71,8 @@ class QueryLog:
         )
         self._order.append(query.id)
         self.issued_samples += query.sample_count
+        if self.observer is not None:
+            self.observer("issued", query, issue_time, None)
 
     def record_completion(
         self,
@@ -94,6 +103,8 @@ class QueryLog:
             and self._rng.random() < self.log_sample_probability
         ):
             record.responses = list(responses)
+        if self.observer is not None:
+            self.observer("completed", query, completion_time, responses)
 
     # -- tolerant referee path -------------------------------------------------
 
@@ -149,6 +160,8 @@ class QueryLog:
             and self._rng.random() < self.log_sample_probability
         ):
             record.responses = list(responses)
+        if self.observer is not None:
+            self.observer("completed", query, completion_time, responses)
         return "completed"
 
     def record_failure(self, query: Query, time: float, reason: str) -> str:
@@ -167,6 +180,8 @@ class QueryLog:
         record.failure_reason = reason
         record.failure_time = time
         self._resolved_count += 1
+        if self.observer is not None:
+            self.observer("failed", query, time, reason)
         return "failed"
 
     # -- views ----------------------------------------------------------------

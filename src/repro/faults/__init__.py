@@ -16,7 +16,7 @@ from .plan import (
     FaultType,
 )
 from .resilient import ResilienceStats, ResilientSUT, RetryPolicy
-from .sut import FaultySUT
+from .sut import FaultySUT, OutageSUT
 
 __all__ = [
     "TRANSIENT_FAULTS",
@@ -26,6 +26,7 @@ __all__ = [
     "FaultPlan",
     "FaultType",
     "FaultySUT",
+    "OutageSUT",
     "ResilienceStats",
     "ResilientSUT",
     "RetryPolicy",

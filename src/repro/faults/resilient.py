@@ -2,7 +2,9 @@
 
 ``ResilientSUT`` is the submitter-side mirror of the referee hardening:
 it wraps an unreliable backend and enforces a per-attempt deadline,
-bounded retries with exponential backoff, and response hygiene
+bounded retries with seeded full-jitter exponential backoff (so a fleet
+of retriers recovering together cannot stampede the backend in
+lockstep), and response hygiene
 (duplicate and unsolicited completions are filtered, malformed response
 sets are retried).  Transient faults - drops, latency spikes - are
 recovered at the cost of the retry latency; permanent ones are reported
@@ -18,11 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..core.events import EventHandle, EventLoop
 from ..core.query import Query
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..metrics import MetricsRegistry
 from .filtering import CompletionFilter
+
+#: Domain-separation tag mixed into the backoff-jitter seed stream so it
+#: can never collide with the fault injector's (seed, query, attempt)
+#: streams.
+_JITTER_TAG = 0xBAC0FF
 
 
 @dataclass(frozen=True)
@@ -37,6 +46,11 @@ class RetryPolicy:
     #: Backoff before attempt ``n`` retries: ``base * factor**(n-1)``.
     backoff_base: float = 0.002
     backoff_factor: float = 2.0
+    #: ``"full"`` draws the actual delay uniformly from ``[0, backoff)``
+    #: per (seed, query, attempt) - concurrent retriers decorrelate
+    #: instead of stampeding a recovering backend in lockstep.
+    #: ``"none"`` keeps the deterministic ceiling itself.
+    jitter: str = "full"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -51,10 +65,33 @@ class RetryPolicy:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.jitter not in ("full", "none"):
+            raise ValueError(
+                f"jitter must be 'full' or 'none', got {self.jitter!r}"
+            )
 
     def backoff(self, attempt: int) -> float:
-        """Delay before re-issuing after losing ``attempt`` (0-based)."""
+        """Backoff ceiling before re-issuing after losing ``attempt``
+        (0-based).  With full jitter the actual delay is drawn uniformly
+        below this ceiling (:meth:`jittered_backoff`)."""
         return self.backoff_base * (self.backoff_factor ** attempt)
+
+    def jittered_backoff(self, attempt: int, seed: int, query_id: int) -> float:
+        """The delay actually slept: full jitter over :meth:`backoff`.
+
+        The draw is a pure function of ``(seed, query_id, attempt)`` -
+        deterministic and replayable like everything else in the run,
+        yet decorrelated across queries and across retriers with
+        different seeds, so synchronized retries cannot stampede a
+        recovering backend.
+        """
+        ceiling = self.backoff(attempt)
+        if self.jitter == "none" or ceiling <= 0.0:
+            return ceiling
+        rng = np.random.default_rng(
+            np.random.SeedSequence((seed, query_id, attempt, _JITTER_TAG))
+        )
+        return float(rng.uniform(0.0, ceiling))
 
 
 @dataclass
@@ -116,10 +153,12 @@ class ResilientSUT(SutBase):
         policy: Optional[RetryPolicy] = None,
         name: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        seed: int = 0,
     ) -> None:
         super().__init__(name or f"resilient[{inner.name}]")
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
+        self.seed = seed
         self.stats = ResilienceStats()
         self._filter = CompletionFilter()
         self._m = (
@@ -165,7 +204,8 @@ class ResilientSUT(SutBase):
                 f"no valid response after {self.policy.max_attempts} attempts",
             )
             return
-        backoff = self.policy.backoff(state.attempt)
+        backoff = self.policy.jittered_backoff(
+            state.attempt, self.seed, state.query.id)
         state.attempt += 1
         self.stats.retries += 1
         if self._m:

@@ -162,3 +162,60 @@ class FaultySUT(SutBase):
         # non-empty in an interesting way; grow it instead.
         extra_id = (responses[0].sample_id if responses else 0) + _CORRUPT_ID_OFFSET
         return list(responses) + [QuerySampleResponse(extra_id, None)]
+
+
+class OutageSUT(SutBase):
+    """Total backend outage for a scheduled time window.
+
+    Unlike :class:`FaultySUT`'s probabilistic per-query faults, this
+    wrapper models the failure the circuit breaker exists for: the
+    backend is perfectly healthy, then answers *nothing* for
+    ``[outage_start, outage_start + outage_duration)`` on the run clock,
+    then is healthy again.  Queries issued during the window are
+    swallowed (their completions never happen), so only a deadline or
+    breaker above can save the run.  Used by the self-healing tests and
+    the ``benchmarks/test_ext_durability.py`` outage study.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        outage_start: float,
+        outage_duration: float,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"outage[{inner.name}]")
+        if outage_duration < 0:
+            raise ValueError(
+                f"outage_duration must be >= 0, got {outage_duration}")
+        self.inner = inner
+        self.outage_start = outage_start
+        self.outage_duration = outage_duration
+        #: Queries swallowed by the outage window.
+        self.blackholed = 0
+
+    def in_outage(self, time: float) -> bool:
+        return (self.outage_start <= time
+                < self.outage_start + self.outage_duration)
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.blackholed = 0
+        self.inner.start_run(loop, self._gate)
+
+    def issue_query(self, query: Query) -> None:
+        if self.in_outage(self.loop.now):
+            self.blackholed += 1
+            return
+        self.inner.issue_query(query)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def _gate(self, query: Query, responses) -> None:
+        # Completions are dropped during the window too: a down backend
+        # does not deliver answers for work it accepted just before.
+        if self.in_outage(self.loop.now):
+            self.blackholed += 1
+            return
+        self.complete(query, responses)

@@ -383,6 +383,9 @@ class InferenceServer:
         self._threads_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._running = False
+        #: Graceful-drain mode: new ISSUE frames are refused with a
+        #: classified reason while in-flight work keeps flowing.
+        self._draining = False
         self.address: Optional[Tuple[str, int]] = None
         #: Live telemetry, when a registry was provided (``repro serve``
         #: and ``netbench.run_over_localhost`` wire one through).
@@ -405,6 +408,7 @@ class InferenceServer:
         self._listener = listener
         self.address = listener.getsockname()
         self._running = True
+        self._draining = False
         self._spawn(self._accept_loop, "accept")
         self._spawn(self._batch_loop, "batcher")
         for index in range(self.config.workers):
@@ -417,6 +421,39 @@ class InferenceServer:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    def begin_drain(self) -> None:
+        """Enter graceful drain: stop accepting work, keep completing.
+
+        New ISSUE frames are refused with ``"server is draining"``;
+        everything already admitted flows through the batcher and the
+        workers as usual.  Call :meth:`drain` to also wait for the
+        in-flight work, then :meth:`stop` to tear down.
+        """
+        self._draining = True
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Gracefully drain: refuse new queries, flush in-flight ones.
+
+        Returns ``True`` when the admission queue, the dispatch queue,
+        and every session's in-flight count reached zero within
+        ``timeout`` seconds; ``False`` if the deadline expired first.
+        The server keeps serving STATS/DRAIN frames either way — follow
+        with :meth:`stop` to tear down.  This is the SIGTERM path of
+        ``repro serve`` (see ``docs/durability.md``).
+        """
+        self.begin_drain()
+        if not self._running:
+            return True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._sessions_lock:
+                inflight = sum(s.inflight for s in self._sessions)
+            if (self._queue.depth == 0 and not self._dispatch
+                    and inflight == 0):
+                return True
+            time.sleep(0.005)
+        return False
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Shut down; with ``drain`` the admitted queue finishes first.
@@ -603,6 +640,9 @@ class InferenceServer:
                 self._m.received.inc()
         if session.draining:
             self._send_fail(session, query_id, "session is draining")
+            return
+        if self._draining:
+            self._send_fail(session, query_id, "server is draining")
             return
         if not self._running:
             self._send_fail(session, query_id, "server is shutting down")

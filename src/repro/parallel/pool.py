@@ -8,7 +8,10 @@ constraints, in order:
 * **Determinism** -- worker ``index`` and the pool ``seed`` fully
   determine each worker's RNG (``SeedSequence((seed, index))``), so an
   accuracy run is bit-for-bit reproducible at any worker count: the
-  shard -> worker mapping is a pure function of the sample order.
+  shard -> worker mapping is a pure function of the sample order.  A
+  crash *replacement* worker derives from
+  ``SeedSequence((seed, index, restart_count))`` instead -- still fully
+  deterministic, but never a replay of the dead worker's stream.
 * **Crash visibility** -- a worker dying mid-batch must surface as a
   :class:`WorkerCrashed` within one poll interval, never as a hang.
   The SUT layer turns that into ``QueryFailure`` so ``ResilientSUT``
@@ -127,9 +130,19 @@ def _pack_outputs(outputs, result_seg) -> Optional[tuple]:
     return ("pickle", pickle.dumps(list(outputs), protocol=5), 0)
 
 
-def _worker_main(index: int, seed: int, conn, factory: Callable) -> None:
-    """Worker process entry point: seed, build the model, serve jobs."""
-    sequence = np.random.SeedSequence((seed, index))
+def _worker_main(index: int, seed: int, restart: int, conn,
+                 factory: Callable) -> None:
+    """Worker process entry point: seed, build the model, serve jobs.
+
+    ``restart`` is how many times this slot has been respawned.  The
+    original worker (restart 0) seeds from ``(seed, index)`` - the
+    documented purity contract - while a replacement derives a *fresh*
+    stream from ``(seed, index, restart)``: a restarted worker must not
+    replay the dead worker's draws, or retried work would silently see
+    the same "random" behavior that was in flight when it crashed.
+    """
+    key = (seed, index) if restart == 0 else (seed, index, restart)
+    sequence = np.random.SeedSequence(key)
     np.random.seed(int(sequence.generate_state(1)[0]))
     predict = _predictor(factory, np.random.default_rng(sequence))
     arenas = ArenaCache()
@@ -208,6 +221,9 @@ class WorkerPool:
         except ValueError:  # pragma: no cover - e.g. no fork on platform
             self._ctx = multiprocessing.get_context()
         self._members: List[Optional[_Worker]] = [None] * workers
+        #: Per-slot respawn count; feeds the replacement worker's
+        #: ``SeedSequence((seed, index, restart_count))`` derivation.
+        self._restarts: List[int] = [0] * workers
         self._job_ids = iter(range(1, 1 << 62))
         self.stats = PoolStats()
         self._started = False
@@ -234,7 +250,8 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(index, self.seed, child_conn, self._factory),
+            args=(index, self.seed, self._restarts[index], child_conn,
+                  self._factory),
             name=f"repro-parallel-{index}",
             daemon=True,
         )
@@ -259,6 +276,7 @@ class WorkerPool:
                 if member is not None:
                     member.conn.close()
                     member.process.join(timeout=1.0)
+                self._restarts[index] += 1
                 self._spawn(index)
                 restarted += 1
         self.stats.restarts += restarted
@@ -297,6 +315,9 @@ class WorkerPool:
             member.input_arena.close()
             member.result_arena.close()
         self._members = [None] * self.workers
+        # A deliberately closed-and-reopened pool is a fresh run, not a
+        # crash recovery: the (seed, index) purity contract applies again.
+        self._restarts = [0] * self.workers
         self._started = False
 
     def __enter__(self) -> "WorkerPool":

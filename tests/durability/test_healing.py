@@ -1,0 +1,170 @@
+"""SelfHealingSUT: shedding, standby reroute, hedging, failover."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.core.query import QuerySampleResponse
+from repro.core.sut import SutBase
+from repro.durability import BreakerPolicy, BreakerState, SelfHealingSUT
+from repro.faults import OutageSUT
+from repro.metrics import MetricsRegistry
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+POLICY = BreakerPolicy(window=10, failure_threshold=0.5, min_samples=4,
+                       open_duration=0.2, half_open_probes=2)
+
+
+def server_settings(queries=120, qps=200.0):
+    return TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=qps,
+        server_latency_bound=0.05, min_query_count=queries,
+        min_duration=0.0, watchdog_timeout=30.0)
+
+
+class MalformedSUT(SutBase):
+    """Answers instantly but with wrong sample ids: a flawed primary."""
+
+    def __init__(self):
+        super().__init__("malformed")
+
+    def issue_query(self, query):
+        self.complete(query, [
+            QuerySampleResponse(s.id + 5555, None) for s in query.samples
+        ])
+
+
+class TestOutageNoStandby:
+    def test_breaker_sheds_load_instead_of_burning_deadlines(self):
+        primary = OutageSUT(FixedLatencySUT(0.002), outage_start=0.1,
+                            outage_duration=0.3)
+        sut = SelfHealingSUT(primary, policy=POLICY, attempt_timeout=0.02)
+        result = run_benchmark(sut, EchoQSL(), server_settings())
+        # The run terminates (no hang), the breaker tripped, and the
+        # open state rejected queries in O(1) with a classified reason.
+        assert not result.valid
+        assert sut.stats.shed_queries > 0
+        assert sut.breaker.stats.opens >= 1
+        assert any("circuit breaker open" in r.failure_reason
+                   for r in result.log.records() if r.failure_reason)
+
+    def test_breaker_recovers_after_the_outage(self):
+        primary = OutageSUT(FixedLatencySUT(0.002), outage_start=0.05,
+                            outage_duration=0.2)
+        sut = SelfHealingSUT(primary, policy=POLICY, attempt_timeout=0.02)
+        run_benchmark(sut, EchoQSL(), server_settings(queries=300))
+        # closed -> open at trip, then probes eventually close it again.
+        pairs = [(s.value, d.value) for _, s, d in sut.breaker.transitions]
+        assert ("closed", "open") in pairs
+        assert ("half_open", "closed") in pairs
+        assert sut.breaker.state is BreakerState.CLOSED
+
+
+class TestStandby:
+    def test_standby_carries_the_load_through_the_outage(self):
+        primary = OutageSUT(FixedLatencySUT(0.002), outage_start=0.1,
+                            outage_duration=0.3)
+        standby = FixedLatencySUT(0.004, name="standby")
+        sut = SelfHealingSUT(primary, standby, policy=POLICY,
+                             attempt_timeout=0.02)
+        result = run_benchmark(sut, EchoQSL(), server_settings())
+        # Some queries die in the trip window, but everything shed while
+        # open is answered by the standby instead of failing.
+        assert sut.stats.standby_queries > 0
+        assert sut.stats.standby_completions >= sut.stats.standby_queries
+        assert sut.stats.shed_queries == 0
+        completed = sum(1 for r in result.log.records()
+                        if r.completion_time is not None)
+        assert completed > sut.breaker.stats.rejected
+
+    def test_healthy_primary_never_touches_the_standby(self):
+        standby = FixedLatencySUT(0.004, name="standby")
+        sut = SelfHealingSUT(FixedLatencySUT(0.002), standby, policy=POLICY,
+                             attempt_timeout=0.02)
+        result = run_benchmark(sut, EchoQSL(), server_settings())
+        assert result.valid
+        assert standby.issued == 0
+        assert sut.stats.standby_completions == 0
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged_and_the_standby_wins(self):
+        # Primary at 15 ms vs a 5 ms hedge fires the standby (2 ms),
+        # which always answers first; the filter absorbs the loser.
+        primary = FixedLatencySUT(0.015)
+        standby = FixedLatencySUT(0.002, name="standby")
+        sut = SelfHealingSUT(primary, standby, policy=POLICY,
+                             attempt_timeout=0.05, hedge_delay=0.005)
+        result = run_benchmark(sut, EchoQSL(), server_settings())
+        assert result.valid
+        assert sut.stats.hedged_queries > 0
+        assert sut.stats.hedge_wins > 0
+        assert sut.stats.filtered_completions > 0  # primary stragglers
+
+    def test_fast_primary_wins_and_hedges_stay_idle(self):
+        primary = FixedLatencySUT(0.001)
+        standby = FixedLatencySUT(0.002, name="standby")
+        sut = SelfHealingSUT(primary, standby, policy=POLICY,
+                             attempt_timeout=0.05, hedge_delay=0.01)
+        result = run_benchmark(sut, EchoQSL(), server_settings())
+        assert result.valid
+        assert sut.stats.hedged_queries == 0
+
+
+class TestFailover:
+    def test_flawed_primary_fails_over_to_the_standby(self):
+        standby = FixedLatencySUT(0.002, name="standby")
+        sut = SelfHealingSUT(MalformedSUT(), standby, policy=POLICY,
+                             attempt_timeout=0.05)
+        result = run_benchmark(sut, EchoQSL(), server_settings(queries=40))
+        # Every query is answered badly by the primary, fails over, and
+        # completes cleanly on the standby.
+        assert result.valid
+        assert sut.stats.failovers > 0
+        assert sut.stats.standby_completions > 0
+        assert sut.stats.primary_failures > 0
+
+    def test_flawed_primary_without_standby_fails_the_query(self):
+        sut = SelfHealingSUT(MalformedSUT(), policy=POLICY,
+                             attempt_timeout=0.05)
+        result = run_benchmark(sut, EchoQSL(), server_settings(queries=40))
+        assert not result.valid
+        assert any(r.failure_reason for r in result.log.records())
+
+
+class TestMetricsAndValidation:
+    def test_breaker_families_are_registered_and_move(self):
+        registry = MetricsRegistry()
+        primary = OutageSUT(FixedLatencySUT(0.002), outage_start=0.1,
+                            outage_duration=0.3)
+        standby = FixedLatencySUT(0.004, name="standby")
+        sut = SelfHealingSUT(primary, standby, policy=POLICY,
+                             attempt_timeout=0.02, registry=registry)
+        run_benchmark(sut, EchoQSL(), server_settings())
+        assert registry.get("breaker_rejected_queries_total").value > 0
+        assert registry.get("breaker_standby_completions_total").value > 0
+        assert registry.get("breaker_recorded_failures_total").value > 0
+        transitions = registry.get("breaker_transitions_total")
+        seen = {(labels["source"], labels["target"]): child.value
+                for labels, child in transitions.series()}
+        assert seen[("closed", "open")] >= 1
+        # The state gauge is callback-backed off the live breaker.
+        assert registry.get("breaker_state").value in (0.0, 1.0, 2.0)
+
+    def test_hedge_delay_requires_a_standby(self):
+        with pytest.raises(ValueError):
+            SelfHealingSUT(FixedLatencySUT(), hedge_delay=0.01)
+
+    def test_hedge_delay_must_undercut_the_deadline(self):
+        with pytest.raises(ValueError):
+            SelfHealingSUT(FixedLatencySUT(), FixedLatencySUT(name="s"),
+                           attempt_timeout=0.05, hedge_delay=0.05)
+
+    def test_attempt_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SelfHealingSUT(FixedLatencySUT(), attempt_timeout=0.0)
+
+    def test_breaker_property_requires_a_run(self):
+        sut = SelfHealingSUT(FixedLatencySUT())
+        with pytest.raises(RuntimeError):
+            sut.breaker

@@ -1,0 +1,184 @@
+"""Resume-by-replay: byte-identical continuation of interrupted runs."""
+
+import os
+
+import pytest
+
+from repro.core import Scenario, TestMode, TestSettings, run_benchmark
+from repro.durability import (
+    JournalWriter,
+    ResumeError,
+    RunJournal,
+    read_frames,
+    read_run_journal,
+    resume_run,
+    run_fingerprint,
+)
+from repro.metrics import MetricsRegistry
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+
+def settings(**overrides):
+    base = dict(scenario=Scenario.SERVER, server_target_qps=300.0,
+                server_latency_bound=0.05, min_query_count=80,
+                min_duration=0.0, watchdog_timeout=30.0, seed=7)
+    base.update(overrides)
+    return TestSettings(**base)
+
+
+def golden(s=None):
+    return run_benchmark(FixedLatencySUT(0.003), EchoQSL(), s or settings())
+
+
+def journaled(path, s=None, **journal_kwargs):
+    journal = RunJournal(path, **journal_kwargs)
+    return run_benchmark(FixedLatencySUT(0.003), EchoQSL(), s or settings(),
+                         journal=journal)
+
+
+class TestJournaledRuns:
+    def test_journaling_does_not_perturb_the_run(self, tmp_path):
+        plain = golden()
+        logged = journaled(tmp_path / "run.rjnl")
+        assert run_fingerprint(logged) == run_fingerprint(plain)
+
+    def test_completed_journal_is_sealed_and_replayable(self, tmp_path):
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        state = read_run_journal(path)
+        assert state.ended and not state.truncated
+        assert len(state.issued) == 80
+        assert state.resolved_ids == set(state.issued)
+
+    def test_checkpoints_record_monotonic_progress(self, tmp_path):
+        path = tmp_path / "run.rjnl"
+        journaled(path, settings(min_query_count=400),
+                  checkpoint_period=0.05)
+        state = read_run_journal(path)
+        assert len(state.checkpoints) >= 2
+        issued = [c["issued"] for c in state.checkpoints]
+        assert issued == sorted(issued)
+        assert all(c["outstanding"] >= 0 for c in state.checkpoints)
+
+
+def truncate_fraction(path, fraction, stray=0):
+    """Chop the journal to simulate a crash partway through the run."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(int(size * fraction) + stray)
+
+
+class TestResume:
+    @pytest.mark.parametrize("fraction,stray", [
+        (0.2, 0),   # early crash, clean frame boundary unlikely anyway
+        (0.5, 3),   # mid-run crash with a torn tail frame
+        (0.8, 0),   # late crash
+    ])
+    def test_resume_is_byte_identical_to_the_golden_run(
+            self, tmp_path, fraction, stray):
+        reference = run_fingerprint(golden())
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        truncate_fraction(path, fraction, stray)
+
+        resumed = resume_run(str(path), FixedLatencySUT(0.003), EchoQSL())
+        assert run_fingerprint(resumed) == reference
+        # The journal is re-sealed: a second read shows one complete run.
+        state = read_run_journal(path)
+        assert state.ended and not state.truncated
+        assert len(state.issued) == 80
+
+    def test_resume_replays_without_touching_the_sut(self, tmp_path):
+        # Crash after the run actually finished (tail end cut past the
+        # last terminal record is impossible; cut only the end record).
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        records, _, _ = read_frames(path)
+        assert records[-1][0] == "end"
+        # Rewrite the journal without the end record: the "crash during
+        # sealing" case - every query already has a terminal record.
+        with JournalWriter(tmp_path / "cut.rjnl") as w:
+            for kind, fields in records[:-1]:
+                w.append(kind, fields)
+        sut = FixedLatencySUT(0.003)
+        resumed = resume_run(str(tmp_path / "cut.rjnl"), sut, EchoQSL())
+        assert run_fingerprint(resumed) == run_fingerprint(golden())
+        assert sut.issued == 0  # everything came from the journal
+
+    def test_accuracy_mode_resume_preserves_payloads(self, tmp_path):
+        s = settings(mode=TestMode.ACCURACY, min_query_count=40)
+        reference = run_fingerprint(
+            run_benchmark(FixedLatencySUT(0.003), EchoQSL(), s))
+        path = tmp_path / "acc.rjnl"
+        journaled(path, s)
+        assert read_run_journal(path).keep_payloads
+        truncate_fraction(path, 0.5)
+        resumed = resume_run(str(path), FixedLatencySUT(0.003), EchoQSL())
+        assert run_fingerprint(resumed) == reference
+        # Payload check is part of the fingerprint, but be explicit:
+        assert any(r.responses and r.responses[0].data is not None
+                   for r in resumed.log.records())
+
+    def test_double_interruption_still_converges(self, tmp_path):
+        reference = run_fingerprint(golden())
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        truncate_fraction(path, 0.3)
+        resume_run(str(path), FixedLatencySUT(0.003), EchoQSL())
+        truncate_fraction(path, 0.7, stray=2)
+        resumed = resume_run(str(path), FixedLatencySUT(0.003), EchoQSL())
+        assert run_fingerprint(resumed) == reference
+
+    def test_resume_metrics_account_replay_vs_recompute(self, tmp_path):
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        truncate_fraction(path, 0.5)
+        registry = MetricsRegistry()
+        resume_run(str(path), FixedLatencySUT(0.003), EchoQSL(),
+                   registry=registry)
+        replayed = registry.get(
+            "durability_replayed_completions_total").value
+        recomputed = registry.get(
+            "durability_recomputed_queries_total").value
+        assert replayed > 0 and recomputed > 0
+        assert replayed + recomputed == 80
+        assert registry.get("durability_resumes_total").value == 1
+
+
+class TestDivergence:
+    def test_tampered_sample_ids_are_caught(self, tmp_path):
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        records, _, _ = read_frames(path)
+        # Corrupt one issued record's sample-id CRC: the journal now
+        # claims a different query was sent under that id.
+        tampered = tmp_path / "tampered.rjnl"
+        with JournalWriter(tampered) as w:
+            flipped = False
+            for kind, fields in records[:-1]:
+                if kind == "issued" and not flipped:
+                    fields = dict(fields, crc=fields["crc"] ^ 0xFFFF)
+                    flipped = True
+                w.append(kind, fields)
+        with pytest.raises(ResumeError) as info:
+            resume_run(str(tampered), FixedLatencySUT(0.003), EchoQSL())
+        assert info.value.reason == "replay-divergence"
+
+    def test_foreign_terminal_records_are_caught(self, tmp_path):
+        path = tmp_path / "run.rjnl"
+        journaled(path)
+        truncate_fraction(path, 0.6)
+        # A completion for a query this run will never issue.
+        _, _, intact = read_frames(path)
+        with JournalWriter(path, append=True, truncate_to=intact) as w:
+            w.append("completed", {"q": 987_654_321, "t": 0.01, "r": None})
+        with pytest.raises(ResumeError) as info:
+            resume_run(str(path), FixedLatencySUT(0.003), EchoQSL())
+        assert info.value.reason == "replay-divergence"
+
+    def test_missing_journal_is_classified(self, tmp_path):
+        with pytest.raises(Exception) as info:
+            resume_run(str(tmp_path / "ghost.rjnl"),
+                       FixedLatencySUT(0.003), EchoQSL())
+        assert getattr(info.value, "reason", None) == "no-journal"

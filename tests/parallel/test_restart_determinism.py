@@ -1,0 +1,81 @@
+"""Respawned workers get a fresh, deterministic RNG stream.
+
+A worker respawned after a crash must not replay its predecessor's
+random choices (the crash may have been caused by them), but the
+replacement stream must still be a pure function of
+``(seed, index, restart_count)`` so crashy runs stay reproducible.
+"""
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool
+
+
+def seeded_factory(rng):
+    token = float(rng.random())  # fixed per worker process at build time
+
+    def predict(samples):
+        return [np.asarray(s) * 0 + token for s in samples]
+    return predict
+
+
+def token(pool, worker):
+    shards = [[] for _ in range(pool.workers)]
+    shards[worker] = [np.zeros(1)]
+    outcomes = pool.run_shards(shards)
+    return float(outcomes[worker].outputs[0][0])
+
+
+def test_respawn_rotates_the_stream_deterministically():
+    def crash_sequence():
+        with WorkerPool(seeded_factory, workers=2, seed=42) as pool:
+            before = token(pool, 0)
+            pool.kill_worker(0)
+            pool.ensure_alive()
+            first_respawn = token(pool, 0)
+            pool.kill_worker(0)
+            pool.ensure_alive()
+            second_respawn = token(pool, 0)
+            bystander = token(pool, 1)
+        return before, first_respawn, second_respawn, bystander
+
+    a = crash_sequence()
+    b = crash_sequence()
+    # Reproducible: the same kill/restart history yields the same draws.
+    assert a == b
+    before, first, second, bystander = a
+    # Fresh stream per incarnation: no replayed randomness...
+    assert len({before, first, second}) == 3
+    # ...and no bleed into the worker that never crashed.
+    assert bystander not in {before, first, second}
+
+
+def test_restart_zero_stream_is_unchanged_by_the_restart_feature():
+    # The original (seed, index) derivation is pinned: a pool that never
+    # crashes must draw exactly what it always drew.
+    expected = float(
+        np.random.default_rng(np.random.SeedSequence((42, 0))).random())
+    with WorkerPool(seeded_factory, workers=1, seed=42) as pool:
+        assert token(pool, 0) == expected
+
+
+def test_respawn_stream_matches_the_documented_derivation():
+    expected = float(np.random.default_rng(
+        np.random.SeedSequence((42, 0, 1))).random())
+    with WorkerPool(seeded_factory, workers=1, seed=42) as pool:
+        token(pool, 0)  # warm
+        pool.kill_worker(0)
+        pool.ensure_alive()
+        assert token(pool, 0) == expected
+
+
+def test_closing_resets_restart_history():
+    # close() ends the run; a pool reopened from scratch is a fresh run
+    # whose workers are back on their restart-0 streams.
+    with WorkerPool(seeded_factory, workers=1, seed=7) as pool:
+        fresh = token(pool, 0)
+        pool.kill_worker(0)
+        pool.ensure_alive()
+        assert token(pool, 0) != fresh
+    with WorkerPool(seeded_factory, workers=1, seed=7) as pool:
+        assert token(pool, 0) == fresh

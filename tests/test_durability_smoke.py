@@ -1,0 +1,92 @@
+"""Chaos smoke: SIGKILL a journaled run mid-flight, resume it exactly.
+
+The tier-1 face of ``benchmarks/test_ext_durability.py``: a child
+process runs a journaled benchmark and kills itself — ``SIGKILL``, no
+cleanup, no atexit — after a fixed number of journal appends (the
+``on_append`` hook is the deterministic kill switch).  The parent
+asserts the child actually died by signal, then resumes from whatever
+the journal holds and requires the result to be fingerprint-identical
+to an uninterrupted golden run.  Kept seeded and small so the whole
+matrix stays inside the tier-1 wall-clock budget (< 5 s).
+
+Select or deselect these with the ``chaos`` marker (see CONTRIBUTING).
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.durability import (
+    RunJournal,
+    read_run_journal,
+    resume_run,
+    run_fingerprint,
+)
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+pytestmark = pytest.mark.chaos
+
+SETTINGS = TestSettings(
+    scenario=Scenario.SERVER, server_target_qps=400.0,
+    server_latency_bound=0.05, min_query_count=60, min_duration=0.0,
+    watchdog_timeout=30.0, seed=13)
+
+
+def _golden():
+    return run_benchmark(FixedLatencySUT(0.002), EchoQSL(), SETTINGS)
+
+
+def _run_until_killed(path, kill_after):
+    """Child body: journal a run, SIGKILL ourselves mid-flight."""
+
+    def kill_switch(record_count):
+        if record_count >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    journal = RunJournal(path, on_append=kill_switch)
+    run_benchmark(FixedLatencySUT(0.002), EchoQSL(), SETTINGS,
+                  journal=journal)
+    os._exit(42)  # unreachable when the kill switch fires
+
+
+@pytest.mark.parametrize("kill_after", [10, 45, 100],
+                         ids=["early", "mid", "late"])
+def test_sigkilled_run_resumes_to_the_golden_result(tmp_path, kill_after):
+    started = time.monotonic()
+    reference = run_fingerprint(_golden())
+
+    path = str(tmp_path / f"kill{kill_after}.rjnl")
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_run_until_killed, args=(path, kill_after))
+    child.start()
+    child.join(timeout=30.0)
+    assert child.exitcode == -signal.SIGKILL  # died by signal, not exit
+
+    state = read_run_journal(path)
+    assert not state.ended  # the interruption is visible on disk
+    assert len(state.issued) >= 1
+
+    resumed = resume_run(path, FixedLatencySUT(0.002), EchoQSL())
+    assert run_fingerprint(resumed) == reference
+
+    sealed = read_run_journal(path)
+    assert sealed.ended and not sealed.truncated
+    assert len(sealed.issued) == 60
+    assert time.monotonic() - started < 5.0
+
+
+def test_unkilled_child_exits_normally(tmp_path):
+    """The kill switch, not the harness, terminates the child — with the
+    switch beyond the journal's record count the run completes."""
+    path = str(tmp_path / "survivor.rjnl")
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_run_until_killed, args=(path, 10_000))
+    child.start()
+    child.join(timeout=30.0)
+    assert child.exitcode == 42
+    assert read_run_journal(path).ended
