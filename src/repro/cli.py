@@ -22,6 +22,11 @@ Six commands cover the everyday workflows:
                 clock and render its live telemetry (counters, gauges,
                 latency histograms with p50/p99) as a table, Prometheus
                 exposition text, or JSON; see ``docs/observability.md``.
+* ``sweep``   - search the Server arrival rate for the highest QPS that
+                still meets the latency SLO, against a modeled SUT or a
+                replicated fleet (optionally autoscaled), writing a
+                ``BENCH_fleet.json``-style capacity report with
+                ``--report``; see ``docs/fleet.md``.
 """
 
 from __future__ import annotations
@@ -179,6 +184,39 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--outage-start", type=float, default=0.25,
                          metavar="SECONDS",
                          help="run time at which the --outage window opens")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="find the max SLO-compliant Server arrival rate")
+    sweep.add_argument("--qps-low", type=float, default=10.0,
+                       help="lower edge of the searched rate bracket")
+    sweep.add_argument("--qps-high", type=float, default=2000.0,
+                       help="upper edge of the searched rate bracket")
+    sweep.add_argument("--resolution", type=float, default=10.0,
+                       help="terminal bracket width (binary) or step size")
+    sweep.add_argument("--mode", choices=["binary", "step"],
+                       default="binary")
+    sweep.add_argument("--max-probes", type=int, default=32)
+    sweep.add_argument("--latency-bound-ms", type=float, default=50.0,
+                       help="the SLO each probe run is judged against")
+    sweep.add_argument("--queries", type=int, default=400,
+                       help="minimum query count per probe run")
+    sweep.add_argument("--latency-ms", type=float, default=2.0,
+                       help="echo backend per-query service time")
+    sweep.add_argument("--replicas", type=int, default=0,
+                       help="> 0: probe a ReplicaSet of this many echo "
+                            "replicas instead of a single backend")
+    sweep.add_argument("--balancer", choices=["round-robin",
+                                              "least-outstanding",
+                                              "weighted-p99"],
+                       default="least-outstanding",
+                       help="fleet balancing policy (--replicas)")
+    sweep.add_argument("--autoscale", action="store_true",
+                       help="attach the deterministic autoscaler to each "
+                            "probe's fleet (--replicas)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--report", metavar="PATH", default=None,
+                       help="write the JSON capacity report here")
     return parser
 
 
@@ -591,6 +629,74 @@ def _cmd_metrics(args) -> int:
     return 0 if result.valid else 1
 
 
+def _cmd_sweep(args) -> int:
+    from .core.config import TestSettings
+    from .fleet import (
+        Autoscaler,
+        ReplicaSet,
+        SweepConfig,
+        SweepHarness,
+    )
+    from .harness.netbench import SyntheticQSL
+    from .sut.echo import EchoSUT
+
+    settings = TestSettings(
+        scenario=Scenario.SERVER,
+        server_target_qps=args.qps_low,  # overridden per probe
+        server_latency_bound=args.latency_bound_ms * 1e-3,
+        min_query_count=args.queries,
+        min_duration=0.0,
+        watchdog_timeout=300.0,
+        seed=args.seed,
+    )
+    latency = args.latency_ms * 1e-3
+
+    if args.replicas > 0:
+        def make_sut():
+            return ReplicaSet(
+                lambda i: EchoSUT(latency=latency, name=f"replica-{i}"),
+                initial_replicas=args.replicas,
+                max_replicas=max(args.replicas, 2 * args.replicas),
+                policy=args.balancer,
+                attempt_timeout=4.0 * args.latency_bound_ms * 1e-3,
+                seed=args.seed,
+            )
+        services_factory = (
+            (lambda sut: [Autoscaler(sut)]) if args.autoscale else None)
+        probed = (f"{args.replicas}-replica echo fleet "
+                  f"({args.balancer}"
+                  f"{', autoscaled' if args.autoscale else ''})")
+    else:
+        if args.autoscale:
+            print("--autoscale requires --replicas N", file=sys.stderr)
+            return 2
+
+        def make_sut():
+            return EchoSUT(latency=latency)
+        services_factory = None
+        probed = "single echo backend"
+
+    harness = SweepHarness(
+        make_sut, SyntheticQSL(), settings,
+        SweepConfig(qps_low=args.qps_low, qps_high=args.qps_high,
+                    resolution=args.resolution, mode=args.mode,
+                    max_probes=args.max_probes),
+        services_factory=services_factory,
+    )
+    result = harness.run()
+    print(f"probed: {probed} ({args.latency_ms} ms service time)")
+    for probe in result.probes:
+        verdict = "VALID" if probe.valid else "INVALID"
+        print(f"  {probe.qps:10.3f} qps  {verdict:7s} "
+              f"p99={probe.latency_p99 * 1e3:8.3f} ms  "
+              f"completed={probe.completed}")
+    print(result.summary())
+    if args.report:
+        path = result.write(args.report)
+        print(f"capacity report written to {path}")
+    return 0 if result.max_qps is not None else 1
+
+
 def _cmd_check(args) -> int:
     from .submission.artifacts import check_submission_dir
 
@@ -613,6 +719,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fleet": _cmd_fleet,
         "check": _cmd_check,
         "metrics": _cmd_metrics,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -211,6 +211,16 @@ class TestSettings:
     #: response.  ``None`` disables the watchdog (trusted SUTs only).
     watchdog_timeout: Optional[float] = None
 
+    #: Server scenario: scheduled arrival-rate bursts, as a tuple of
+    #: ``(start, duration, multiplier)`` windows on the run clock.
+    #: While a window is active, the Poisson arrival rate becomes
+    #: ``server_target_qps * multiplier`` - the flash-crowd / lull
+    #: traffic the replicated serving tier (``repro.fleet``) is
+    #: exercised under.  Plain data (not callables), so journaled runs
+    #: replay their bursts; build windows ergonomically with
+    #: ``repro.faults.BurstPlan``.  ``None`` keeps the constant rate.
+    server_rate_bursts: Optional[tuple] = None
+
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -268,6 +278,31 @@ class TestSettings:
             raise ValueError(
                 f"watchdog_timeout must be positive, got {self.watchdog_timeout}"
             )
+        if self.server_rate_bursts is not None:
+            windows = tuple(tuple(w) for w in self.server_rate_bursts)
+            for window in windows:
+                if len(window) != 3:
+                    raise ValueError(
+                        "each rate burst must be (start, duration, "
+                        f"multiplier), got {window!r}"
+                    )
+                start, duration, multiplier = window
+                if start < 0:
+                    raise ValueError(
+                        f"burst start must be >= 0, got {start}")
+                if duration <= 0:
+                    raise ValueError(
+                        f"burst duration must be positive, got {duration}")
+                if multiplier <= 0:
+                    raise ValueError(
+                        f"burst multiplier must be positive, got {multiplier}")
+            for earlier, later in zip(windows, windows[1:]):
+                if earlier[0] + earlier[1] > later[0]:
+                    raise ValueError(
+                        "rate bursts must be sorted and non-overlapping: "
+                        f"{earlier!r} overlaps {later!r}"
+                    )
+            self.server_rate_bursts = windows
 
     # -- resolved rule values -------------------------------------------------
 

@@ -19,7 +19,15 @@ real backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -94,6 +102,28 @@ class LoadGenResult:
 _JANITOR_PERIOD = 0.010
 
 
+@runtime_checkable
+class RunService(Protocol):
+    """A periodic participant clocked by the run's event loop.
+
+    The LoadGen already runs two built-in tickers - the snapshot sampler
+    and the journal checkpointer - that must stop rescheduling once the
+    run drains or a virtual loop would never finish.  ``RunService``
+    generalizes that contract so external machinery (the
+    ``repro.fleet`` autoscaler, custom controllers) can ride the same
+    clock: :meth:`start` receives the loop plus a ``keep_going``
+    predicate that turns false once the run has drained, and
+    :meth:`stop` is called after the loop exits (cancel pending ticks
+    here).  Services run on the loop thread, so they need no locking and
+    are deterministic under the virtual clock.
+    """
+
+    def start(self, loop: EventLoop,
+              keep_going: Callable[[], bool]) -> None: ...
+
+    def stop(self) -> None: ...
+
+
 class LoadGen:
     """Drives one SUT through one scenario run."""
 
@@ -149,6 +179,7 @@ class LoadGen:
         registry: Optional[MetricsRegistry] = None,
         snapshot_period: Optional[float] = None,
         journal: Optional["RunJournal"] = None,
+        services: Optional[Sequence[RunService]] = None,
     ) -> LoadGenResult:
         """Execute one full run and return its result.
 
@@ -176,6 +207,10 @@ class LoadGen:
         completed/failed query plus periodic checkpoints, so a run
         killed mid-flight can be continued with
         ``repro.durability.resume_run`` (see ``docs/durability.md``).
+
+        ``services`` attaches :class:`RunService` tickers - e.g. the
+        ``repro.fleet`` autoscaler - started after the SUT is bound to
+        the loop and stopped once the run has drained.
         """
         settings = self.settings
         if settings.mode is TestMode.ACCURACY:
@@ -262,6 +297,16 @@ class LoadGen:
                 loop.schedule_after(_JANITOR_PERIOD, _janitor)
 
             sut.start_run(loop, driver.handle_completion)
+            started_services: List[RunService] = []
+            if services:
+                # After the SUT is bound (a fleet service may need to
+                # scale the SUT it controls), before the first query.
+                keep_going = (
+                    lambda: driver.issue_phase_open or log.outstanding > 0
+                )
+                for service in services:
+                    service.start(loop, keep_going)
+                    started_services.append(service)
             driver.start()
             try:
                 loop.run()
@@ -270,6 +315,9 @@ class LoadGen:
                 # return a verdict, not a traceback: record the abort
                 # context and judge whatever the log holds.
                 driver.stats.aborted = str(abort)
+            finally:
+                for service in started_services:
+                    service.stop()
 
             if sampler is not None:
                 sampler.stop()
@@ -309,10 +357,11 @@ def run_benchmark(
     registry: Optional[MetricsRegistry] = None,
     snapshot_period: Optional[float] = None,
     journal: Optional["RunJournal"] = None,
+    services: Optional[Sequence[RunService]] = None,
 ) -> LoadGenResult:
     """Convenience wrapper: build a LoadGen and run once."""
     return LoadGen(settings).run(
         sut, qsl, log_sample_probability, clock=clock,
         registry=registry, snapshot_period=snapshot_period,
-        journal=journal,
+        journal=journal, services=services,
     )

@@ -316,13 +316,29 @@ class ServerDriver(ScenarioDriver):
         self._arrival_rng = np.random.default_rng(
             np.random.SeedSequence(self.settings.seed).spawn(1)[0]
         )
+        self._bursts = self.settings.server_rate_bursts or ()
 
     def start(self) -> None:
         self.stats.start_time = self.loop.now
         self._schedule_next_arrival()
 
+    def _rate_multiplier(self, now: float) -> float:
+        """Scheduled burst/lull factor at ``now`` (flash-crowd traffic).
+
+        Piecewise-constant over the ``server_rate_bursts`` windows; the
+        rate is evaluated when each gap is drawn, so a window boosts
+        every arrival scheduled while it is active.
+        """
+        for start, duration, multiplier in self._bursts:
+            if start <= now < start + duration:
+                return multiplier
+        return 1.0
+
     def _schedule_next_arrival(self) -> None:
-        gap = self._arrival_rng.exponential(1.0 / self.settings.server_target_qps)
+        rate = self.settings.server_target_qps
+        if self._bursts:
+            rate *= self._rate_multiplier(self.loop.now)
+        gap = self._arrival_rng.exponential(1.0 / rate)
         scheduled = self.loop.now + gap
         self.loop.schedule(scheduled, lambda: self._arrive(scheduled))
 

@@ -126,6 +126,7 @@ class SelfHealingSUT(SutBase):
         *,
         policy: Optional[BreakerPolicy] = None,
         attempt_timeout: float = 0.100,
+        total_timeout: Optional[float] = None,
         hedge_delay: Optional[float] = None,
         name: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
@@ -134,6 +135,10 @@ class SelfHealingSUT(SutBase):
         if attempt_timeout <= 0:
             raise ValueError(
                 f"attempt_timeout must be positive, got {attempt_timeout}")
+        if total_timeout is not None and total_timeout < attempt_timeout:
+            raise ValueError(
+                "total_timeout must be >= attempt_timeout, got "
+                f"{total_timeout} < {attempt_timeout}")
         if hedge_delay is not None:
             if standby is None:
                 raise ValueError("hedge_delay requires a standby backend")
@@ -145,6 +150,14 @@ class SelfHealingSUT(SutBase):
         self.standby = standby
         self.policy = policy if policy is not None else BreakerPolicy()
         self.attempt_timeout = attempt_timeout
+        #: Hard per-query wall across failovers and hedges.  The healing
+        #: layer arms exactly one deadline per query (failover never
+        #: rearms it), so the per-query bound is
+        #: ``min(attempt_timeout, total_timeout)`` by construction -
+        #: pass the run's ``watchdog_timeout`` (minus headroom) to make
+        #: the layer deadline-safe regardless of how the two knobs are
+        #: tuned relative to each other.
+        self.total_timeout = total_timeout
         self.hedge_delay = hedge_delay
         self.stats = HealingStats()
         self._filter = CompletionFilter()
@@ -226,8 +239,11 @@ class SelfHealingSUT(SutBase):
     # -- timers -----------------------------------------------------------------
 
     def _arm_deadline(self, state: _Guarded) -> None:
+        deadline = self.attempt_timeout
+        if self.total_timeout is not None:
+            deadline = min(deadline, self.total_timeout)
         state.deadline_timer = self.loop.schedule_after(
-            self.attempt_timeout, lambda: self._deadline(state))
+            deadline, lambda: self._deadline(state))
 
     def _deadline(self, state: _Guarded) -> None:
         if self._filter.get(state.query.id) is not state:

@@ -7,6 +7,7 @@ terminates with the right verdict, and a submitter-side retry wrapper
 (``ResilientSUT``) that turns transient faults back into VALID runs.
 """
 
+from .burst import BurstPlan, BurstWindow
 from .filtering import CompletionFilter, Screened, malformed_reason
 from .plan import (
     TRANSIENT_FAULTS,
@@ -16,10 +17,13 @@ from .plan import (
     FaultType,
 )
 from .resilient import ResilienceStats, ResilientSUT, RetryPolicy
-from .sut import FaultySUT, OutageSUT
+from .sut import BrownoutSUT, FaultySUT, OutageSUT
 
 __all__ = [
     "TRANSIENT_FAULTS",
+    "BrownoutSUT",
+    "BurstPlan",
+    "BurstWindow",
     "CompletionFilter",
     "FaultDecision",
     "FaultInjector",

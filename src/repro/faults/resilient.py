@@ -6,7 +6,10 @@ bounded retries with seeded full-jitter exponential backoff (so a fleet
 of retriers recovering together cannot stampede the backend in
 lockstep), and response hygiene
 (duplicate and unsolicited completions are filtered, malformed response
-sets are retried).  Transient faults - drops, latency spikes - are
+sets are retried).  With :attr:`RetryPolicy.total_timeout` set, retries
+plus backoff are additionally capped by a per-query wall-clock budget -
+:meth:`RetryPolicy.for_deadline` builds a policy that provably resolves
+every query inside a run's ``watchdog_timeout``.  Transient faults - drops, latency spikes - are
 recovered at the cost of the retry latency; permanent ones are reported
 to the LoadGen as recorded failures (:meth:`SutBase.fail`) so the run
 terminates with a clean INVALID verdict instead of hanging.
@@ -18,6 +21,7 @@ deterministic and virtual-time-fast as everything else.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import replace as dataclasses_replace
 from typing import Optional
 
 import numpy as np
@@ -51,6 +55,13 @@ class RetryPolicy:
     #: instead of stampeding a recovering backend in lockstep.
     #: ``"none"`` keeps the deterministic ceiling itself.
     jitter: str = "full"
+    #: Hard per-query wall: across *all* attempts and backoffs, a query
+    #: is given up once this much run time has elapsed since its first
+    #: issue.  ``None`` bounds a query only by
+    #: ``max_attempts x (timeout + backoff)`` - which stacked wrappers
+    #: can push past ``TestSettings.watchdog_timeout``; see
+    #: :meth:`for_deadline`.
+    total_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -69,6 +80,57 @@ class RetryPolicy:
             raise ValueError(
                 f"jitter must be 'full' or 'none', got {self.jitter!r}"
             )
+        if (self.total_timeout is not None
+                and self.total_timeout < self.attempt_timeout):
+            raise ValueError(
+                "total_timeout must be >= attempt_timeout (one attempt "
+                f"must fit), got {self.total_timeout} < "
+                f"{self.attempt_timeout}"
+            )
+
+    def worst_case_latency(self) -> float:
+        """Upper bound on one query's time inside the wrapper, seconds.
+
+        All attempts time out at the full ``attempt_timeout`` and every
+        backoff hits its jitter ceiling.  With ``total_timeout`` set the
+        budget caps this bound; without it, this is exactly the quantity
+        that must stay below the run's watchdog for a single query to be
+        deadline-safe.
+        """
+        uncapped = self.max_attempts * self.attempt_timeout + sum(
+            self.backoff(attempt) for attempt in range(self.max_attempts - 1)
+        )
+        if self.total_timeout is None:
+            return uncapped
+        return min(uncapped, self.total_timeout)
+
+    @classmethod
+    def for_deadline(cls, deadline: float, **kwargs) -> "RetryPolicy":
+        """A policy guaranteed to resolve every query within ``deadline``.
+
+        Builds a policy from ``kwargs`` (same fields as the
+        constructor), sets ``total_timeout=deadline``, and trims
+        ``max_attempts`` down to the largest count whose worst case fits
+        - so retries are bounded *a priori*, not just cut off at the
+        wall.  Use ``TestSettings.watchdog_timeout`` (minus headroom) as
+        the deadline to make a retry stack watchdog-safe by
+        construction.
+        """
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        kwargs.pop("total_timeout", None)
+        policy = cls(total_timeout=deadline, **kwargs)
+        if policy.attempt_timeout > deadline:
+            raise ValueError(
+                f"attempt_timeout {policy.attempt_timeout} cannot fit in "
+                f"deadline {deadline}")
+        while policy.max_attempts > 1:
+            capless = dataclasses_replace(policy, total_timeout=None)
+            if capless.worst_case_latency() <= deadline:
+                break
+            policy = dataclasses_replace(
+                policy, max_attempts=policy.max_attempts - 1)
+        return policy
 
     def backoff(self, attempt: int) -> float:
         """Backoff ceiling before re-issuing after losing ``attempt``
@@ -141,6 +203,9 @@ class _ResilienceInstruments:
 class _Inflight:
     query: Query
     attempt: int = 0
+    #: Run time of the first issue - the anchor the per-query
+    #: ``total_timeout`` budget is measured from.
+    started: float = 0.0
     timer: Optional[EventHandle] = None
 
 
@@ -173,7 +238,8 @@ class ResilientSUT(SutBase):
         self.inner.start_run(loop, self._on_inner_completion)
 
     def issue_query(self, query: Query) -> None:
-        state = self._filter.admit(query, _Inflight(query=query))
+        state = self._filter.admit(
+            query, _Inflight(query=query, started=self.loop.now))
         self._attempt(state)
 
     def flush(self) -> None:
@@ -181,11 +247,39 @@ class ResilientSUT(SutBase):
 
     # -- attempts ---------------------------------------------------------------
 
+    def _budget_left(self, state: _Inflight) -> Optional[float]:
+        """Run time remaining in the query's total budget (None: uncapped)."""
+        if self.policy.total_timeout is None:
+            return None
+        return self.policy.total_timeout - (self.loop.now - state.started)
+
+    def _give_up(self, state: _Inflight, reason: str) -> None:
+        self._filter.resolve(state.query.id)
+        self.stats.gave_up_queries += 1
+        if self._m:
+            self._m.gave_up.inc()
+        self.fail(state.query, reason)
+
     def _attempt(self, state: _Inflight) -> None:
+        timeout = self.policy.attempt_timeout
+        remaining = self._budget_left(state)
+        if remaining is not None:
+            if remaining <= 0:
+                self._give_up(state, self._budget_reason(state))
+                return
+            # The deadline never drifts past the budget: the final
+            # attempt gets only what is left of it.
+            timeout = min(timeout, remaining)
         state.timer = self.loop.schedule_after(
-            self.policy.attempt_timeout, lambda: self._attempt_lost(state)
+            timeout, lambda: self._attempt_lost(state)
         )
         self.inner.issue_query(state.query)
+
+    def _budget_reason(self, state: _Inflight) -> str:
+        return (
+            f"retry budget exhausted: {self.policy.total_timeout:g}s "
+            f"total_timeout spent over {state.attempt + 1} attempts"
+        )
 
     def _attempt_lost(self, state: _Inflight) -> None:
         qid = state.query.id
@@ -195,17 +289,19 @@ class ResilientSUT(SutBase):
             state.timer.cancel()
             state.timer = None
         if state.attempt + 1 >= self.policy.max_attempts:
-            self._filter.resolve(qid)
-            self.stats.gave_up_queries += 1
-            if self._m:
-                self._m.gave_up.inc()
-            self.fail(
-                state.query,
+            self._give_up(
+                state,
                 f"no valid response after {self.policy.max_attempts} attempts",
             )
             return
         backoff = self.policy.jittered_backoff(
             state.attempt, self.seed, state.query.id)
+        remaining = self._budget_left(state)
+        if remaining is not None and remaining <= backoff:
+            # Sleeping out the backoff would leave no time for the next
+            # attempt; resolving now keeps the query inside its budget.
+            self._give_up(state, self._budget_reason(state))
+            return
         state.attempt += 1
         self.stats.retries += 1
         if self._m:

@@ -219,3 +219,63 @@ class OutageSUT(SutBase):
             self.blackholed += 1
             return
         self.complete(query, responses)
+
+
+class BrownoutSUT(SutBase):
+    """A slow-replica brownout: alive but degraded for a time window.
+
+    The gray-failure counterpart of :class:`OutageSUT`: during
+    ``[brownout_start, brownout_start + brownout_duration)`` on the run
+    clock every completion is held back an extra ``extra_latency``
+    seconds before being delivered.  The backend still answers - health
+    checks that only test liveness stay green - which is exactly the
+    failure mode latency-aware balancing policies
+    (``repro.fleet.WeightedP99Policy``) and per-replica deadlines exist
+    to contain.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        brownout_start: float,
+        brownout_duration: float,
+        extra_latency: float,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"brownout[{inner.name}]")
+        if brownout_duration < 0:
+            raise ValueError(
+                f"brownout_duration must be >= 0, got {brownout_duration}")
+        if extra_latency <= 0:
+            raise ValueError(
+                f"extra_latency must be positive, got {extra_latency}")
+        self.inner = inner
+        self.brownout_start = brownout_start
+        self.brownout_duration = brownout_duration
+        self.extra_latency = extra_latency
+        #: Completions delayed by the brownout window.
+        self.slowed = 0
+
+    def in_brownout(self, time: float) -> bool:
+        return (self.brownout_start <= time
+                < self.brownout_start + self.brownout_duration)
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.slowed = 0
+        self.inner.start_run(loop, self._gate)
+
+    def issue_query(self, query: Query) -> None:
+        self.inner.issue_query(query)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def _gate(self, query: Query, responses) -> None:
+        if self.in_brownout(self.loop.now):
+            self.slowed += 1
+            self.loop.schedule_after(
+                self.extra_latency,
+                lambda: self.complete(query, responses))
+            return
+        self.complete(query, responses)

@@ -1,0 +1,47 @@
+"""Replicated serving fleet: balancer, autoscaler, capacity search.
+
+The paper frames MLPerf Inference's Server scenario as a proxy for
+production serving fleets; this package closes the loop by actually
+running one.  :class:`ReplicaSet` puts N backend replicas behind a
+SUT-shaped front door with pluggable seed-deterministic balancing
+policies and per-replica circuit breakers (reroute, never crash);
+:class:`Autoscaler` grows and shrinks the set from live load signals on
+the run's event loop; :class:`SweepHarness` searches the Server arrival
+rate for the highest SLO-compliant QPS (``repro sweep`` on the command
+line).  Everything runs under the virtual clock with seeded RNG
+streams, so fleet behavior - routing, scaling, capacity verdicts - is
+bit-for-bit reproducible.  See ``docs/fleet.md``.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerPolicy, ScalingDecision
+from .balancer import (
+    POLICY_NAMES,
+    BalancerPolicy,
+    LeastOutstandingPolicy,
+    RoundRobinPolicy,
+    WeightedP99Policy,
+    make_policy,
+)
+from .replica import Replica, ReplicaHealth
+from .replicaset import FleetStats, ReplicaSet
+from .sweep import SweepConfig, SweepHarness, SweepProbe, SweepResult
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "BalancerPolicy",
+    "FleetStats",
+    "LeastOutstandingPolicy",
+    "POLICY_NAMES",
+    "Replica",
+    "ReplicaHealth",
+    "ReplicaSet",
+    "RoundRobinPolicy",
+    "ScalingDecision",
+    "SweepConfig",
+    "SweepHarness",
+    "SweepProbe",
+    "SweepResult",
+    "WeightedP99Policy",
+    "make_policy",
+]

@@ -1,0 +1,175 @@
+"""Deterministic autoscaler clocked by the run's event loop.
+
+The :class:`Autoscaler` is a :class:`~repro.core.loadgen.RunService`: it
+ticks every ``period`` seconds of run time, reads one load signal from
+its :class:`~repro.fleet.replicaset.ReplicaSet` - mean outstanding
+queries per available replica - and applies classic watermark
+hysteresis:
+
+* signal ≥ ``high_watermark`` → grow by ``step`` replicas;
+* signal ≤ ``low_watermark`` → shrink by ``step`` (drain, never drop);
+* in between, or within ``cooldown`` of the last action, hold.
+
+The gap between the watermarks plus the cooldown is what prevents
+flapping: a burst must push the per-replica backlog past the high mark
+to trigger growth, and the fleet must be demonstrably idle before the
+extra capacity is drained away.
+
+Because the tick runs on the (virtual) event loop and the signal is a
+pure function of run state, the full decision :attr:`~Autoscaler.trace`
+- one :class:`ScalingDecision` per tick, holds included - is bit-
+identical across same-seed runs; the benchmark suite asserts exactly
+that.  With a ``registry`` the ``autoscaler_*`` metric families light
+up (see ``docs/observability.md``); the state machine is drawn in
+``docs/fleet.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, NamedTuple, Optional
+
+from ..core.events import EventHandle, EventLoop
+from ..metrics import MetricsRegistry
+from .replicaset import ReplicaSet
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Watermark-hysteresis tuning for :class:`Autoscaler`."""
+
+    #: Seconds of run time between scaling decisions.
+    period: float = 0.050
+    #: Mean outstanding queries per replica that triggers growth.
+    high_watermark: float = 4.0
+    #: Mean outstanding queries per replica that triggers shrinkage.
+    low_watermark: float = 1.0
+    #: Minimum run-time between two scaling *actions* (holds are free).
+    cooldown: float = 0.200
+    #: Replicas added or drained per action.
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.low_watermark < 0:
+            raise ValueError(
+                f"low_watermark must be >= 0, got {self.low_watermark}")
+        if self.high_watermark <= self.low_watermark:
+            raise ValueError(
+                "high_watermark must exceed low_watermark, got "
+                f"{self.high_watermark} <= {self.low_watermark}")
+        if self.cooldown < 0:
+            raise ValueError(
+                f"cooldown must be >= 0, got {self.cooldown}")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+
+class ScalingDecision(NamedTuple):
+    """One autoscaler tick: what it saw and what it did."""
+
+    time: float
+    signal: float
+    action: str  # "up" | "down" | "hold"
+    replicas_before: int
+    replicas_after: int
+
+
+class _AutoscalerInstruments:
+    """Live ``autoscaler_*`` metric families."""
+
+    __slots__ = ("actions", "signal", "replicas")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.actions = registry.counter(
+            "autoscaler_actions_total",
+            "Autoscaler decisions, by action taken",
+            labels=("action",))
+        self.signal = registry.gauge(
+            "autoscaler_signal",
+            "Outstanding queries per available replica at the last tick")
+        self.replicas = registry.gauge(
+            "autoscaler_replicas",
+            "Available replicas after the last autoscaler tick")
+
+
+class Autoscaler:
+    """Grow/shrink a :class:`ReplicaSet` from its live load signal."""
+
+    def __init__(
+        self,
+        replica_set: ReplicaSet,
+        policy: Optional[AutoscalerPolicy] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.replica_set = replica_set
+        self.policy = policy if policy is not None else AutoscalerPolicy()
+        #: Every tick's :class:`ScalingDecision`, holds included - the
+        #: determinism witness the benchmarks compare across runs.
+        self.trace: List[ScalingDecision] = []
+        self._m = (
+            _AutoscalerInstruments(registry) if registry is not None
+            else None
+        )
+        self._loop: Optional[EventLoop] = None
+        self._keep_going: Callable[[], bool] = lambda: False
+        self._timer: Optional[EventHandle] = None
+        self._last_action_time = 0.0
+
+    # -- RunService -------------------------------------------------------------
+
+    def start(self, loop: EventLoop,
+              keep_going: Callable[[], bool]) -> None:
+        self._loop = loop
+        self._keep_going = keep_going
+        self.trace = []
+        # A fresh run may act immediately: backdate the cooldown anchor.
+        self._last_action_time = loop.now - self.policy.cooldown
+        self._timer = loop.schedule_after(self.policy.period, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- decisions --------------------------------------------------------------
+
+    def signal(self) -> float:
+        """Mean outstanding queries per available replica."""
+        available = len(self.replica_set.available_replicas)
+        return self.replica_set.total_outstanding / max(1, available)
+
+    def _tick(self) -> None:
+        self._timer = None
+        loop = self._loop
+        assert loop is not None
+        now = loop.now
+        signal = self.signal()
+        before = len(self.replica_set.available_replicas)
+        action = "hold"
+        if now - self._last_action_time >= self.policy.cooldown:
+            # A list, not any(generator): short-circuiting would stop a
+            # multi-replica step after its first success.
+            if signal >= self.policy.high_watermark:
+                grown = [self.replica_set.scale_up()
+                         for _ in range(self.policy.step)]
+                if any(grown):
+                    action = "up"
+                    self._last_action_time = now
+            elif signal <= self.policy.low_watermark:
+                shrunk = [self.replica_set.scale_down()
+                          for _ in range(self.policy.step)]
+                if any(shrunk):
+                    action = "down"
+                    self._last_action_time = now
+        after = len(self.replica_set.available_replicas)
+        self.trace.append(
+            ScalingDecision(now, signal, action, before, after))
+        if self._m:
+            self._m.actions.labels(action=action).inc()
+            self._m.signal.set(signal)
+            self._m.replicas.set(float(after))
+        if self._keep_going():
+            self._timer = loop.schedule_after(self.policy.period, self._tick)

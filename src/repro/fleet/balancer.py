@@ -1,0 +1,144 @@
+"""Pluggable, seed-deterministic load-balancing policies.
+
+A policy answers one question per query: *in what order should the
+available replicas be tried?*  The :class:`~repro.fleet.replicaset.ReplicaSet`
+walks the returned ranking and hands the query to the first replica
+whose circuit breaker admits it, so a policy never needs to reason about
+breaker state - it only expresses preference.
+
+All three stock policies are deterministic functions of (their own
+state, the replicas' counters, the seeded RNG handed to
+:meth:`BalancerPolicy.start_run`), so two same-seed runs route every
+query identically - the fleet inherits the repeatability contract of the
+rest of the harness.
+
+* :class:`RoundRobinPolicy` - rotate through the available replicas;
+  oblivious to load, optimal when replicas are identical.
+* :class:`LeastOutstandingPolicy` - prefer the replica with the fewest
+  in-flight queries (ties broken by index); the classic join-the-
+  shortest-queue heuristic.
+* :class:`WeightedP99Policy` - draw the first choice with probability
+  inversely proportional to each replica's sliding-window p99 latency,
+  so a browning-out replica organically sheds share without being
+  declared unhealthy.
+
+See ``docs/fleet.md`` for guidance on choosing between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from .replica import Replica
+
+#: Floor added to p99 estimates before inversion so an all-zero window
+#: (cold start) weighs every replica equally instead of dividing by zero.
+_P99_EPSILON = 1e-6
+
+
+class BalancerPolicy:
+    """Base class: rank the available replicas for one query."""
+
+    #: Registry name (``make_policy``) and metric label value.
+    name = "base"
+
+    def start_run(self, rng: np.random.Generator) -> None:
+        """Reset per-run state.  ``rng`` is the policy's only entropy
+        source; it is seeded from the run seed, so consuming draws in a
+        deterministic order keeps routing replayable."""
+        self._rng = rng
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        """Order ``candidates`` (all administratively UP) by preference.
+
+        Called once per routing decision; must return a permutation of
+        ``candidates`` and must not mutate them.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPolicy(BalancerPolicy):
+    """Rotate through the available replicas, one step per decision."""
+
+    name = "round-robin"
+
+    def start_run(self, rng: np.random.Generator) -> None:
+        super().start_run(rng)
+        self._cursor = 0
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        if not candidates:
+            return []
+        # The cursor advances per decision, not per replica index, so the
+        # rotation stays fair as the autoscaler grows/shrinks the set.
+        offset = self._cursor % len(candidates)
+        self._cursor += 1
+        return list(candidates[offset:]) + list(candidates[:offset])
+
+
+class LeastOutstandingPolicy(BalancerPolicy):
+    """Join the shortest queue: fewest in-flight queries first."""
+
+    name = "least-outstanding"
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        return sorted(candidates, key=lambda r: (r.outstanding, r.index))
+
+
+class WeightedP99Policy(BalancerPolicy):
+    """First choice drawn inversely proportional to observed p99.
+
+    Only the *primary* choice is randomized; the fallback order (tried
+    when the primary's breaker rejects) is fastest-first, so a rejected
+    draw degrades to the sensible deterministic ranking rather than a
+    second random walk.
+    """
+
+    name = "weighted-p99"
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        if len(candidates) <= 1:
+            return list(candidates)
+        weights = np.array(
+            [1.0 / (r.p99() + _P99_EPSILON) for r in candidates])
+        primary = int(self._rng.choice(
+            len(candidates), p=weights / weights.sum()))
+        rest = sorted(
+            (r for i, r in enumerate(candidates) if i != primary),
+            key=lambda r: (r.p99(), r.index))
+        return [candidates[primary]] + rest
+
+
+_POLICIES: Dict[str, Type[BalancerPolicy]] = {
+    cls.name: cls
+    for cls in (RoundRobinPolicy, LeastOutstandingPolicy, WeightedP99Policy)
+}
+
+#: The registry names, for CLI choices and error messages.
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_policy(policy: Optional[object]) -> BalancerPolicy:
+    """Resolve a policy argument: name, instance, or ``None`` (default).
+
+    ``None`` maps to round-robin - the only policy with zero modeling
+    assumptions about the replicas.
+    """
+    if policy is None:
+        return RoundRobinPolicy()
+    if isinstance(policy, BalancerPolicy):
+        return policy
+    if isinstance(policy, str):
+        cls = _POLICIES.get(policy)
+        if cls is None:
+            raise ValueError(
+                f"unknown balancer policy {policy!r}; "
+                f"known: {', '.join(POLICY_NAMES)}")
+        return cls()
+    raise TypeError(
+        f"policy must be a name, a BalancerPolicy, or None; got {policy!r}")

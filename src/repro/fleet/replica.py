@@ -1,0 +1,105 @@
+"""One member of a replicated serving fleet.
+
+A :class:`Replica` is the load balancer's view of a single backend: the
+wrapped SUT, its admission :class:`~repro.durability.breaker.CircuitBreaker`,
+an administrative :class:`ReplicaHealth` state, and the live counters the
+balancing policies rank on (outstanding queries, a sliding window of
+observed latencies).  The replica itself makes no routing decisions -
+:class:`~repro.fleet.replicaset.ReplicaSet` owns those - it only keeps
+the books that the decisions read.
+
+Health is two-layered by design: the breaker tracks *observed* failures
+(timeouts, malformed answers) and recovers on its own via half-open
+probes, while :class:`ReplicaHealth` tracks *administrative* state (a
+kill, a drain ordered by the autoscaler) that no probe should ever
+reverse.  A replica receives traffic only when it is
+:attr:`~ReplicaHealth.UP` *and* its breaker admits the query.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..core.sut import SystemUnderTest
+from ..durability.breaker import BreakerPolicy, CircuitBreaker
+
+#: Sliding latency-window size used for the per-replica p99 estimate the
+#: weighted balancing policy ranks on.  Small on purpose: the estimate
+#: must track a brownout within a few dozen queries, not average it away.
+DEFAULT_LATENCY_WINDOW = 128
+
+
+class ReplicaHealth(enum.Enum):
+    """Administrative health of one replica.
+
+    * **UP** - eligible for new traffic (subject to its breaker).
+    * **DRAINING** - no new traffic; in-flight queries finish normally.
+      The autoscaler's scale-down path parks a replica here until its
+      outstanding count reaches zero.
+    * **DOWN** - dead.  Killed replicas and fully drained replicas land
+      here; only an explicit restore brings a replica back.
+    """
+
+    UP = "up"
+    DRAINING = "draining"
+    DOWN = "down"
+
+
+class Replica:
+    """Bookkeeping for one fleet member (no routing logic here)."""
+
+    __slots__ = ("index", "sut", "breaker", "health", "outstanding",
+                 "issued", "completed", "failed", "_latencies")
+
+    def __init__(
+        self,
+        index: int,
+        sut: SystemUnderTest,
+        *,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float],
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+    ) -> None:
+        self.index = index
+        self.sut = sut
+        self.breaker = CircuitBreaker(breaker_policy, clock=clock)
+        self.health = ReplicaHealth.UP
+        self.outstanding = 0
+        self.issued = 0
+        self.completed = 0
+        self.failed = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    @property
+    def available(self) -> bool:
+        """Eligible for new traffic (administratively, not breaker-wise)."""
+        return self.health is ReplicaHealth.UP
+
+    def observe_latency(self, latency: float) -> None:
+        self._latencies.append(latency)
+
+    def p99(self) -> float:
+        """Sliding-window p99 latency estimate (0 with no observations).
+
+        Nearest-rank over the window - cheap enough to recompute per
+        routing decision at the window sizes involved, and deterministic
+        (no interpolation mode to disagree on).
+        """
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[rank]
+
+    def reset_breaker(self, policy: Optional[BreakerPolicy],
+                      clock: Callable[[], float]) -> None:
+        """Fresh breaker (used by restore: a revived replica must not
+        inherit the failure window that got its predecessor killed)."""
+        self.breaker = CircuitBreaker(policy, clock=clock)
+
+    def __repr__(self) -> str:
+        return (f"Replica(index={self.index}, health={self.health.value}, "
+                f"outstanding={self.outstanding}, "
+                f"breaker={self.breaker.state.value})")

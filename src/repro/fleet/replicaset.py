@@ -1,0 +1,453 @@
+"""A replicated serving fleet behind one SUT-shaped front door.
+
+``ReplicaSet`` presents the :class:`~repro.core.sut.SystemUnderTest`
+protocol to the LoadGen while fanning queries out across N backend
+replicas.  Per query it asks the balancing policy
+(:mod:`repro.fleet.balancer`) for a preference order over the
+administratively-UP replicas, then walks that order until a replica's
+:class:`~repro.durability.breaker.CircuitBreaker` admits the query - so
+a replica that has been timing out is skipped in O(1) without the
+policy having to know why.
+
+Failure handling is reroute-first:
+
+* an attempt that misses its ``attempt_timeout`` deadline, or answers
+  with a flawed response set, is recorded against that replica's breaker
+  and re-dispatched to a different replica (up to ``max_reroutes``
+  extra attempts per query) before the query is failed;
+* :meth:`ReplicaSet.kill_replica` (chaos drills, the benchmark's
+  replica-kill study) marks the replica DOWN and *immediately* rescues
+  its in-flight queries onto survivors - rerouted, not dropped, and the
+  rescue does not consume the queries' own reroute budget;
+* stragglers from superseded attempts are absorbed by the shared
+  :class:`~repro.faults.filtering.CompletionFilter` idiom, so the
+  referee sees exactly one terminal outcome per query.
+
+The set also exposes the grow/shrink primitives the
+:class:`~repro.fleet.autoscaler.Autoscaler` drives: ``scale_up`` revives
+a draining or parked replica (or builds a fresh one via the factory) and
+``scale_down`` drains the highest-indexed UP replica - no new traffic,
+in-flight queries finish, then it parks DOWN.
+
+Everything runs on the run's event loop with seeded policy RNGs, so a
+(seed, policy, fault plan) triple reproduces the identical routing
+trace.  With a ``registry`` the layer emits the ``fleet_*`` and ``lb_*``
+metric families cataloged in ``docs/observability.md``; the design
+rationale lives in ``docs/fleet.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.events import EventHandle, EventLoop
+from ..core.query import Query
+from ..core.sut import Responder, SutBase, SystemUnderTest
+from ..durability.breaker import BreakerPolicy
+from ..faults.filtering import CompletionFilter
+from ..metrics import MetricsRegistry
+from .balancer import BalancerPolicy, make_policy
+from .replica import DEFAULT_LATENCY_WINDOW, Replica, ReplicaHealth
+
+#: Domain-separation tag for the balancing policy's RNG stream (mixed
+#: with the run seed), so routing draws can never collide with the fault
+#: injector's or backoff-jitter's streams.
+_BALANCER_TAG = 0xF1EE7
+
+
+@dataclass
+class FleetStats:
+    """What the replica set did during one run."""
+
+    routed_queries: int = 0
+    fallbacks: int = 0
+    reroutes: int = 0
+    shed_queries: int = 0
+    deadline_failures: int = 0
+    flawed_attempts: int = 0
+    stragglers_absorbed: int = 0
+    kills: int = 0
+    rescued_queries: int = 0
+    drained_replicas: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"routed={self.routed_queries} fallbacks={self.fallbacks} "
+            f"reroutes={self.reroutes} shed={self.shed_queries} "
+            f"deadlines={self.deadline_failures} kills={self.kills} "
+            f"rescued={self.rescued_queries} "
+            f"stragglers={self.stragglers_absorbed}"
+        )
+
+
+class _FleetInstruments:
+    """Live ``fleet_*``/``lb_*`` metric families for one replica set."""
+
+    __slots__ = ("routed", "fallbacks", "reroutes", "shed", "kills",
+                 "stragglers", "drained")
+
+    def __init__(self, registry: MetricsRegistry, fleet) -> None:
+        registry.gauge(
+            "fleet_replicas",
+            "Replicas that are administratively alive (UP or draining)",
+            fn=lambda: float(sum(
+                1 for r in fleet.replicas
+                if r.health is not ReplicaHealth.DOWN)))
+        registry.gauge(
+            "fleet_replicas_available",
+            "Replicas eligible for new traffic (UP)",
+            fn=lambda: float(len(fleet.available_replicas)))
+        registry.gauge(
+            "fleet_outstanding_queries",
+            "In-flight queries summed across all replicas",
+            fn=lambda: float(fleet.total_outstanding))
+        self.routed = registry.counter(
+            "lb_routed_total",
+            "Queries dispatched, by destination replica",
+            labels=("replica",))
+        self.fallbacks = registry.counter(
+            "lb_fallbacks_total",
+            "Dispatches that skipped breaker-rejecting higher choices")
+        self.reroutes = registry.counter(
+            "fleet_reroutes_total",
+            "Attempts re-dispatched to a different replica")
+        self.shed = registry.counter(
+            "fleet_queries_shed_total",
+            "Queries failed because no replica could take them")
+        self.kills = registry.counter(
+            "fleet_replica_kills_total",
+            "Replicas administratively killed mid-run")
+        self.stragglers = registry.counter(
+            "fleet_stragglers_absorbed_total",
+            "Late completions from superseded attempts, absorbed")
+        self.drained = registry.counter(
+            "fleet_replicas_drained_total",
+            "Scale-down drains that completed (replica parked DOWN)")
+
+
+@dataclass
+class _Routed:
+    """Per-query in-flight state (current attempt only)."""
+
+    query: Query
+    replica: int = -1
+    probe: bool = False
+    reroutes: int = 0
+    attempt_started: float = 0.0
+    deadline_timer: Optional[EventHandle] = None
+
+    def cancel_timer(self) -> None:
+        if self.deadline_timer is not None:
+            self.deadline_timer.cancel()
+            self.deadline_timer = None
+
+
+class ReplicaSet(SutBase):
+    """N replicas behind a pluggable, breaker-aware load balancer."""
+
+    def __init__(
+        self,
+        replica_factory: Callable[[int], SystemUnderTest],
+        *,
+        initial_replicas: int = 2,
+        policy: Optional[object] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        attempt_timeout: float = 0.100,
+        max_reroutes: int = 2,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+        seed: int = 0,
+        name: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(name or f"fleet[{initial_replicas}]")
+        if min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {min_replicas}")
+        if not min_replicas <= initial_replicas <= max_replicas:
+            raise ValueError(
+                "initial_replicas must lie in [min_replicas, max_replicas]"
+                f", got {initial_replicas} outside "
+                f"[{min_replicas}, {max_replicas}]")
+        if attempt_timeout <= 0:
+            raise ValueError(
+                f"attempt_timeout must be positive, got {attempt_timeout}")
+        if max_reroutes < 0:
+            raise ValueError(
+                f"max_reroutes must be >= 0, got {max_reroutes}")
+        self.replica_factory = replica_factory
+        self.initial_replicas = initial_replicas
+        self.policy: BalancerPolicy = make_policy(policy)
+        self.breaker_policy = breaker_policy
+        self.attempt_timeout = attempt_timeout
+        self.max_reroutes = max_reroutes
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.latency_window = latency_window
+        self.seed = seed
+        self.stats = FleetStats()
+        self.replicas: List[Replica] = []
+        self._filter = CompletionFilter()
+        #: Indices parked DOWN by a completed scale-down drain, in drain
+        #: order - scale-up revives the most recently parked first.
+        self._parked: List[int] = []
+        self._m = (
+            _FleetInstruments(registry, self) if registry is not None
+            else None
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.stats = FleetStats()
+        self._filter = CompletionFilter()
+        self.replicas = []
+        self._parked = []
+        self.policy.start_run(np.random.default_rng(
+            np.random.SeedSequence((self.seed, _BALANCER_TAG))))
+        for _ in range(self.initial_replicas):
+            self._add_replica()
+
+    def _add_replica(self) -> Replica:
+        index = len(self.replicas)
+        sut = self.replica_factory(index)
+        replica = Replica(
+            index, sut,
+            breaker_policy=self.breaker_policy,
+            clock=lambda: self.loop.now,
+            latency_window=self.latency_window,
+        )
+        self.replicas.append(replica)
+        sut.start_run(
+            self.loop,
+            lambda query, responses, i=index: self._on_completion(
+                i, query, responses))
+        return replica
+
+    def flush(self) -> None:
+        for replica in self.replicas:
+            if replica.health is not ReplicaHealth.DOWN:
+                replica.sut.flush()
+
+    def close(self) -> None:
+        """Release replica backends that own OS resources (worker pools,
+        sockets).  Safe to call before ``start_run`` and more than once."""
+        for replica in self.replicas:
+            close = getattr(replica.sut, "close", None)
+            if callable(close):
+                close()
+
+    # -- fleet views ------------------------------------------------------------
+
+    @property
+    def available_replicas(self) -> List[Replica]:
+        """Replicas eligible for new traffic (UP), in index order."""
+        return [r for r in self.replicas if r.available]
+
+    @property
+    def total_outstanding(self) -> int:
+        return sum(r.outstanding for r in self.replicas)
+
+    # -- routing ----------------------------------------------------------------
+
+    def issue_query(self, query: Query) -> None:
+        state = self._filter.admit(query, _Routed(query=query))
+        if not self._dispatch(state, exclude=None):
+            self._shed(state, "no replica available: every replica is "
+                              "down, draining, or shedding load")
+
+    def _dispatch(self, state: _Routed, exclude: Optional[int]) -> bool:
+        """Hand the query's next attempt to the best admitting replica.
+
+        Walks the policy's ranking and takes the first replica whose
+        breaker admits; returns False when nobody will (all rejecting,
+        or no candidate besides ``exclude``).
+        """
+        candidates = [
+            r for r in self.available_replicas if r.index != exclude
+        ]
+        for position, replica in enumerate(self.policy.rank(candidates)):
+            verdict = replica.breaker.admit()
+            if verdict == "reject":
+                continue
+            if position > 0:
+                self.stats.fallbacks += 1
+                if self._m:
+                    self._m.fallbacks.inc()
+            state.replica = replica.index
+            state.probe = verdict == "probe"
+            state.attempt_started = self.loop.now
+            replica.outstanding += 1
+            replica.issued += 1
+            self.stats.routed_queries += 1
+            if self._m:
+                self._m.routed.labels(replica=replica.index).inc()
+            state.deadline_timer = self.loop.schedule_after(
+                self.attempt_timeout, lambda: self._deadline(state))
+            replica.sut.issue_query(state.query)
+            return True
+        return False
+
+    def _shed(self, state: _Routed, reason: str) -> None:
+        self._filter.resolve(state.query.id)
+        self.stats.shed_queries += 1
+        if self._m:
+            self._m.shed.inc()
+        self.fail(state.query, reason)
+
+    def _reroute_or_fail(self, state: _Routed, exclude: int,
+                         reason: str) -> None:
+        """After a lost attempt on replica ``exclude``: try elsewhere
+        within the query's reroute budget, else fail it."""
+        if state.reroutes < self.max_reroutes:
+            state.reroutes += 1
+            self.stats.reroutes += 1
+            if self._m:
+                self._m.reroutes.inc()
+            if self._dispatch(state, exclude=exclude):
+                return
+        self._shed(state, reason)
+
+    # -- timers -----------------------------------------------------------------
+
+    def _deadline(self, state: _Routed) -> None:
+        if self._filter.get(state.query.id) is not state:
+            return  # resolved in the meantime
+        state.deadline_timer = None
+        index = state.replica
+        replica = self.replicas[index]
+        self._settle_attempt(replica, failed=True)
+        replica.breaker.record_failure(probe=state.probe)
+        self.stats.deadline_failures += 1
+        self._reroute_or_fail(
+            state, exclude=index,
+            reason=(f"no response from replica {index} within "
+                    f"{self.attempt_timeout:g}s"))
+
+    # -- completions ------------------------------------------------------------
+
+    def _on_completion(self, source: int, query: Query, responses) -> None:
+        screened = self._filter.screen(query, responses)
+        if screened.stale or screened.state.replica != source:
+            # Duplicate, post-resolution straggler, or an answer from a
+            # replica the query was already rerouted away from (its
+            # books were settled at reroute time).  Absorbed: the
+            # referee sees one terminal outcome per query.
+            self.stats.stragglers_absorbed += 1
+            if self._m:
+                self._m.stragglers.inc()
+            return
+        state: _Routed = screened.state
+        replica = self.replicas[source]
+        if screened.flaw is not None:
+            state.cancel_timer()
+            self._settle_attempt(replica, failed=True)
+            replica.breaker.record_failure(probe=state.probe)
+            self.stats.flawed_attempts += 1
+            self._reroute_or_fail(state, exclude=source,
+                                  reason=screened.flaw)
+            return
+        state.cancel_timer()
+        self._filter.resolve(query.id)
+        self._settle_attempt(replica, failed=False)
+        replica.breaker.record_success(probe=state.probe)
+        replica.observe_latency(self.loop.now - state.attempt_started)
+        self.complete(query, responses)
+
+    def _settle_attempt(self, replica: Replica, *, failed: bool) -> None:
+        replica.outstanding -= 1
+        if failed:
+            replica.failed += 1
+        else:
+            replica.completed += 1
+        self._maybe_drained(replica)
+
+    # -- health and scaling -----------------------------------------------------
+
+    def kill_replica(self, index: int) -> int:
+        """Administratively kill replica ``index`` (chaos drill).
+
+        Its in-flight queries are rescued onto surviving replicas
+        immediately - rerouted, not dropped - and the rescue does not
+        consume their own reroute budgets (the kill is not the query's
+        fault).  Returns the number of rescued queries.
+        """
+        replica = self.replicas[index]
+        if replica.health is ReplicaHealth.DOWN:
+            return 0
+        replica.health = ReplicaHealth.DOWN
+        self.stats.kills += 1
+        if self._m:
+            self._m.kills.inc()
+        rescued = 0
+        for state in list(self._filter.states()):
+            if state.replica != index:
+                continue
+            state.cancel_timer()
+            replica.outstanding -= 1
+            self.stats.reroutes += 1
+            if self._m:
+                self._m.reroutes.inc()
+            if self._dispatch(state, exclude=index):
+                rescued += 1
+            else:
+                self._shed(state, f"replica {index} killed and no "
+                                  "surviving replica would admit the query")
+        self.stats.rescued_queries += rescued
+        return rescued
+
+    def restore_replica(self, index: int) -> None:
+        """Bring a DOWN replica back UP with a fresh breaker."""
+        replica = self.replicas[index]
+        replica.health = ReplicaHealth.UP
+        replica.reset_breaker(self.breaker_policy, lambda: self.loop.now)
+        if index in self._parked:
+            self._parked.remove(index)
+
+    def scale_up(self) -> bool:
+        """Add one serving replica; False at the ``max_replicas`` cap.
+
+        Preference order: un-drain a DRAINING replica (cheapest - it is
+        still warm), revive the most recently parked one, else build a
+        fresh replica through the factory.
+        """
+        if len(self.available_replicas) >= self.max_replicas:
+            return False
+        draining = [r for r in self.replicas
+                    if r.health is ReplicaHealth.DRAINING]
+        if draining:
+            draining[-1].health = ReplicaHealth.UP
+            return True
+        if self._parked:
+            self.restore_replica(self._parked[-1])
+            return True
+        self._add_replica()
+        return True
+
+    def scale_down(self) -> bool:
+        """Drain the highest-indexed UP replica; False at the floor.
+
+        The replica stops receiving new traffic at once; it parks DOWN
+        when its last in-flight query resolves.
+        """
+        available = self.available_replicas
+        if len(available) <= self.min_replicas:
+            return False
+        victim = available[-1]
+        victim.health = ReplicaHealth.DRAINING
+        self._maybe_drained(victim)
+        return True
+
+    def _maybe_drained(self, replica: Replica) -> None:
+        if (replica.health is ReplicaHealth.DRAINING
+                and replica.outstanding == 0):
+            replica.health = ReplicaHealth.DOWN
+            self._parked.append(replica.index)
+            self.stats.drained_replicas += 1
+            if self._m:
+                self._m.drained.inc()

@@ -1,0 +1,239 @@
+"""SLO-driven capacity search: find the max arrival rate a SUT sustains.
+
+The Server scenario takes a *target* QPS as an input and returns a
+verdict; the question operators actually ask is the inverse - "what is
+the highest arrival rate at which this system still meets its latency
+SLO?".  :class:`SweepHarness` answers it the way FlexBench argues
+capacity questions should be answered: by *searching* the rate axis
+rather than guessing, running one full (virtual-clock, deterministic)
+Server run per probe and judging each probe with the referee's own
+validity rules.
+
+Two search modes:
+
+* ``"binary"`` - bracket ``[qps_low, qps_high]`` and bisect on the
+  run verdict down to ``resolution``.  Sound whenever validity is
+  monotone in the arrival rate (true for capacity-limited SUTs; the
+  benchmark study checks the found rate against a dense step scan).
+* ``"step"`` - walk upward in ``resolution`` increments until the first
+  invalid run; exact by construction, linear in the range.
+
+The result is a :class:`SweepResult` whose :meth:`~SweepResult.report`
+is a ``BENCH_fleet.json``-style capacity document (the ``repro sweep``
+CLI writes it with ``--report``): the SLO probed against, every probe's
+rate/verdict/p99, and the max compliant rate found.  Sweep semantics
+and mode trade-offs are discussed in ``docs/fleet.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, NamedTuple, Optional, Tuple
+
+from ..core.config import Scenario, TestSettings
+from ..core.events import Clock
+from ..core.loadgen import run_benchmark
+from ..core.sut import QuerySampleLibrary, SystemUnderTest
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Search-space knobs for :class:`SweepHarness`."""
+
+    #: Bracket of arrival rates to search, queries per second.
+    qps_low: float = 1.0
+    qps_high: float = 256.0
+    #: Terminal bracket width (binary) or step size (step), qps.
+    resolution: float = 1.0
+    #: ``"binary"`` or ``"step"``.
+    mode: str = "binary"
+    #: Hard cap on probe runs, a stuck-search backstop.
+    max_probes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.qps_low <= 0:
+            raise ValueError(f"qps_low must be positive, got {self.qps_low}")
+        if self.qps_high <= self.qps_low:
+            raise ValueError(
+                "qps_high must exceed qps_low, got "
+                f"{self.qps_high} <= {self.qps_low}")
+        if self.resolution <= 0:
+            raise ValueError(
+                f"resolution must be positive, got {self.resolution}")
+        if self.mode not in ("binary", "step"):
+            raise ValueError(
+                f"mode must be 'binary' or 'step', got {self.mode!r}")
+        if self.max_probes < 2:
+            raise ValueError(
+                f"max_probes must be >= 2, got {self.max_probes}")
+
+
+class SweepProbe(NamedTuple):
+    """One probe run: the rate asked for and how the run judged it."""
+
+    qps: float
+    valid: bool
+    latency_p99: float
+    completed: int
+    reasons: Tuple[str, ...]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one capacity search."""
+
+    config: SweepConfig
+    #: The SLO the probes were judged against, seconds.
+    latency_bound: float
+    #: Allowed fraction of queries over the bound.
+    max_violation_fraction: float
+    #: Every probe, in execution order.
+    probes: List[SweepProbe] = field(default_factory=list)
+    #: Highest SLO-compliant rate found; ``None`` when even ``qps_low``
+    #: failed (the bracket does not contain the capacity).
+    max_qps: Optional[float] = None
+
+    def report(self) -> dict:
+        """The ``BENCH_fleet.json``-style capacity document."""
+        return {
+            "benchmark": "fleet-capacity-sweep",
+            "mode": self.config.mode,
+            "bracket_qps": [self.config.qps_low, self.config.qps_high],
+            "resolution_qps": self.config.resolution,
+            "slo": {
+                "latency_bound_s": self.latency_bound,
+                "max_violation_fraction": self.max_violation_fraction,
+            },
+            "max_valid_qps": self.max_qps,
+            "probe_count": len(self.probes),
+            "probes": [
+                {
+                    "qps": p.qps,
+                    "valid": p.valid,
+                    "latency_p99_s": p.latency_p99,
+                    "completed": p.completed,
+                    "reasons": list(p.reasons),
+                }
+                for p in self.probes
+            ],
+        }
+
+    def write(self, path) -> Path:
+        """Write :meth:`report` as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.report(), indent=2) + "\n")
+        return path
+
+    def summary(self) -> str:
+        found = ("below the bracket" if self.max_qps is None
+                 else f"{self.max_qps:.3g} qps")
+        return (f"max SLO-compliant rate: {found} "
+                f"({len(self.probes)} probe runs, "
+                f"bound {self.latency_bound * 1e3:g} ms)")
+
+
+class SweepHarness:
+    """Binary-search / step the Server arrival rate against the SLO.
+
+    ``make_sut`` builds a *fresh* SUT per probe (probe runs must not
+    share warm caches, breaker state, or worker pools), and any SUT
+    exposing ``close()`` is released after its probe.
+    """
+
+    def __init__(
+        self,
+        make_sut: Callable[[], SystemUnderTest],
+        qsl: QuerySampleLibrary,
+        settings: TestSettings,
+        config: Optional[SweepConfig] = None,
+        *,
+        clock: Optional[Clock] = None,
+        services_factory: Optional[Callable[[SystemUnderTest], list]] = None,
+    ) -> None:
+        if settings.scenario is not Scenario.SERVER:
+            raise ValueError(
+                "capacity sweeps are a Server-scenario tool; got "
+                f"{settings.scenario}")
+        self.make_sut = make_sut
+        self.qsl = qsl
+        self.settings = settings
+        self.config = config if config is not None else SweepConfig()
+        self.clock = clock
+        #: Per-probe :class:`~repro.core.loadgen.RunService` builder
+        #: (e.g. a fresh Autoscaler around the probe's fresh fleet);
+        #: called with the probe's SUT, returns the run's services.
+        self.services_factory = services_factory
+
+    def probe(self, qps: float) -> SweepProbe:
+        """One full Server run at ``qps``, judged by the referee."""
+        settings = self.settings.with_overrides(server_target_qps=qps)
+        sut = self.make_sut()
+        services = (self.services_factory(sut)
+                    if self.services_factory is not None else None)
+        try:
+            result = run_benchmark(sut, self.qsl, settings,
+                                   clock=self.clock, services=services)
+        finally:
+            close = getattr(sut, "close", None)
+            if callable(close):
+                close()
+        return SweepProbe(
+            qps=qps,
+            valid=result.valid,
+            latency_p99=result.metrics.latency_p99,
+            completed=len(result.log.completed_records()),
+            reasons=tuple(result.validity.reasons),
+        )
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            config=self.config,
+            latency_bound=self.settings.resolved_server_latency_bound,
+            max_violation_fraction=(
+                self.settings.resolved_max_violation_fraction),
+        )
+        if self.config.mode == "binary":
+            self._binary(result)
+        else:
+            self._step(result)
+        return result
+
+    def _probe_into(self, result: SweepResult, qps: float) -> SweepProbe:
+        probe = self.probe(qps)
+        result.probes.append(probe)
+        return probe
+
+    def _binary(self, result: SweepResult) -> None:
+        cfg = self.config
+        low = self._probe_into(result, cfg.qps_low)
+        if not low.valid:
+            result.max_qps = None
+            return
+        high = self._probe_into(result, cfg.qps_high)
+        if high.valid:
+            result.max_qps = cfg.qps_high
+            return
+        lo, hi = cfg.qps_low, cfg.qps_high
+        while (hi - lo > cfg.resolution
+               and len(result.probes) < cfg.max_probes):
+            mid = (lo + hi) / 2.0
+            if self._probe_into(result, mid).valid:
+                lo = mid
+            else:
+                hi = mid
+        result.max_qps = lo
+
+    def _step(self, result: SweepResult) -> None:
+        cfg = self.config
+        best: Optional[float] = None
+        qps = cfg.qps_low
+        # The epsilon admits qps_high itself despite float step error.
+        while (qps <= cfg.qps_high + 1e-9 * cfg.qps_high
+               and len(result.probes) < cfg.max_probes):
+            if not self._probe_into(result, qps).valid:
+                break
+            best = qps
+            qps += cfg.resolution
+        result.max_qps = best

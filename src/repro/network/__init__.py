@@ -20,7 +20,12 @@ experiments.
 
 from .client import NetworkStats, NetworkSUT, parse_address
 from .protocol import VERSION, FrameReader, FrameType, ProtocolError
-from .server import InferenceServer, ServerConfig, ServerStats
+from .server import (
+    InferenceServer,
+    ServerConfig,
+    ServerStartupError,
+    ServerStats,
+)
 from .simulated import ChannelModel, ChannelStats, SimulatedChannelSUT
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "NetworkSUT",
     "ProtocolError",
     "ServerConfig",
+    "ServerStartupError",
     "ServerStats",
     "SimulatedChannelSUT",
     "parse_address",

@@ -39,6 +39,7 @@ with that service time realised as wall-clock sleep.
 from __future__ import annotations
 
 import collections
+import errno
 import itertools
 import socket
 import threading
@@ -74,6 +75,12 @@ class ServerConfig:
     max_batch: int = 8
     #: How long the batcher holds a non-full batch open, seconds.
     batch_window: float = 0.0
+    #: Extra bind attempts after a transient port-in-use failure (a
+    #: previous server instance still in TIME_WAIT, a slow releaser).
+    #: Non-transient failures (permission, bad address) never retry.
+    bind_retries: int = 3
+    #: Backoff before bind retry ``n``: ``bind_backoff * 2**n`` seconds.
+    bind_backoff: float = 0.05
     name: str = "inference-server"
 
     def __post_init__(self) -> None:
@@ -87,6 +94,45 @@ class ServerConfig:
             raise ValueError(
                 f"batch_window must be >= 0, got {self.batch_window}"
             )
+        if self.bind_retries < 0:
+            raise ValueError(
+                f"bind_retries must be >= 0, got {self.bind_retries}"
+            )
+        if self.bind_backoff < 0:
+            raise ValueError(
+                f"bind_backoff must be >= 0, got {self.bind_backoff}"
+            )
+
+
+class ServerStartupError(RuntimeError):
+    """The server could not come up, with a classified ``reason``.
+
+    ``reason`` is one of ``"port-in-use"`` (transient; retried up to
+    ``bind_retries`` times before this is raised), ``"permission-denied"``
+    (privileged port, no capability), ``"bad-address"`` (the host is not
+    local), or ``"bind-failed"`` (anything else) - callers branch on the
+    class of failure instead of parsing ``OSError`` strings.
+    """
+
+    def __init__(self, reason: str, host: str, port: int,
+                 cause: OSError) -> None:
+        super().__init__(
+            f"cannot start server on {host}:{port} ({reason}): {cause}")
+        self.reason = reason
+        self.host = host
+        self.port = port
+        self.cause = cause
+
+
+def _classify_bind_error(error: OSError) -> str:
+    """Map a bind-time ``OSError`` to a :class:`ServerStartupError` reason."""
+    if error.errno == errno.EADDRINUSE:
+        return "port-in-use"
+    if error.errno in (errno.EACCES, errno.EPERM):
+        return "permission-denied"
+    if error.errno == errno.EADDRNOTAVAIL:
+        return "bad-address"
+    return "bind-failed"
 
 
 @dataclass
@@ -397,12 +443,17 @@ class InferenceServer:
     # -- lifecycle --------------------------------------------------------------
 
     def start(self) -> Tuple[str, int]:
-        """Bind, listen, and spin up the serving threads."""
+        """Bind, listen, and spin up the serving threads.
+
+        Transient bind failures (port-in-use, typically a predecessor
+        in TIME_WAIT) are retried ``config.bind_retries`` times with
+        exponential backoff; everything else - and retry exhaustion -
+        surfaces as a classified :class:`ServerStartupError` rather
+        than a raw ``OSError``.
+        """
         if self._running:
             raise RuntimeError("server already running")
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.config.host, self.config.port))
+        listener = self._bind_listener()
         listener.listen(32)
         listener.settimeout(_POLL)
         self._listener = listener
@@ -414,6 +465,25 @@ class InferenceServer:
         for index in range(self.config.workers):
             self._spawn(lambda i=index: self._worker_loop(i), f"worker-{index}")
         return self.address
+
+    def _bind_listener(self) -> socket.socket:
+        host, port = self.config.host, self.config.port
+        attempt = 0
+        while True:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((host, port))
+                return listener
+            except OSError as error:
+                listener.close()
+                reason = _classify_bind_error(error)
+                if (reason != "port-in-use"
+                        or attempt >= self.config.bind_retries):
+                    raise ServerStartupError(
+                        reason, host, port, error) from error
+                time.sleep(self.config.bind_backoff * (2 ** attempt))
+                attempt += 1
 
     def __enter__(self) -> "InferenceServer":
         self.start()

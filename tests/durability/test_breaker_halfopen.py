@@ -1,0 +1,100 @@
+"""CircuitBreaker half-open: concurrent probes, stragglers, re-trips."""
+
+import pytest
+
+from repro.durability import BreakerPolicy, BreakerState, CircuitBreaker
+
+
+def make_breaker(**overrides):
+    """A tripped-open breaker plus its settable clock."""
+    t = [0.0]
+    knobs = dict(window=4, failure_threshold=0.5, min_samples=2,
+                 open_duration=1.0, half_open_probes=2)
+    knobs.update(overrides)
+    policy = BreakerPolicy(**knobs)
+    breaker = CircuitBreaker(policy, clock=lambda: t[0])
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    return breaker, t
+
+
+class TestConcurrentProbes:
+    def test_probe_slots_are_capped_by_policy(self):
+        breaker, t = make_breaker()
+        t[0] = 1.5  # past open_duration: next admit goes half-open
+        assert breaker.admit() == "probe"
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.admit() == "probe"
+        # Both probe slots are in flight: further traffic is rejected
+        # until a probe reports back.
+        assert breaker.admit() == "reject"
+        assert breaker.admit() == "reject"
+
+    def test_all_probe_successes_close_the_breaker(self):
+        breaker, t = make_breaker()
+        t[0] = 1.5
+        assert breaker.admit() == "probe"
+        assert breaker.admit() == "probe"
+        breaker.record_success(probe=True)
+        assert breaker.state is BreakerState.HALF_OPEN  # 1 of 2
+        breaker.record_success(probe=True)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.stats.closes == 1
+        assert breaker.admit() == "admit"
+
+    def test_probe_failure_reopens_with_another_probe_in_flight(self):
+        breaker, t = make_breaker()
+        t[0] = 1.5
+        assert breaker.admit() == "probe"
+        assert breaker.admit() == "probe"
+        breaker.record_failure(probe=True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.opens == 2
+        # The re-opened breaker rejects immediately; the still-in-flight
+        # probe's eventual outcome must not disturb the fresh open.
+        assert breaker.admit() == "reject"
+        breaker.record_success(probe=True)  # straggler from old probe
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.admit() == "reject"
+
+    def test_probe_slot_frees_on_success_before_closing(self):
+        breaker, t = make_breaker(half_open_probes=3)
+        t[0] = 1.5
+        assert [breaker.admit() for _ in range(4)] == [
+            "probe", "probe", "probe", "reject"]
+        breaker.record_success(probe=True)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # One slot freed: a new probe may enter while two are out.
+        assert breaker.admit() == "probe"
+
+    def test_reopened_breaker_probes_again_after_another_wait(self):
+        breaker, t = make_breaker()
+        t[0] = 1.5
+        assert breaker.admit() == "probe"
+        breaker.record_failure(probe=True)  # re-open at t=1.5
+        t[0] = 2.0  # only 0.5s into the new open window
+        assert breaker.admit() == "reject"
+        t[0] = 2.6  # past open_duration again
+        assert breaker.admit() == "probe"
+
+
+class TestStragglerSignals:
+    def test_half_open_ignores_non_probe_stragglers(self):
+        breaker, t = make_breaker()
+        t[0] = 1.5
+        assert breaker.admit() == "probe"
+        # A late success from a pre-trip admission arrives while the
+        # breaker is probing; it must not count toward closing.
+        breaker.record_success()
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(probe=True)
+        assert breaker.state is BreakerState.HALF_OPEN  # 1 of 2 probes
+
+    def test_open_state_ignores_ordinary_outcomes(self):
+        breaker, t = make_breaker()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.opens == 1

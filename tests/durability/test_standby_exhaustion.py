@@ -1,0 +1,138 @@
+"""SelfHealingSUT when every fallback is exhausted.
+
+The healing layer's promise is graceful degradation, not magic: when
+the primary AND the standby are both broken, each query must still get
+exactly one terminal outcome - a classified failure, delivered inside
+the deadline - and the run machinery keeps going.
+"""
+
+import pytest
+
+from repro.core.events import EventLoop, VirtualClock
+from repro.core.query import (
+    Query,
+    QueryFailure,
+    QuerySample,
+    QuerySampleResponse,
+)
+from repro.core.sut import SutBase
+from repro.durability import BreakerPolicy, BreakerState, SelfHealingSUT
+
+
+class BlackholeSUT(SutBase):
+    """Accepts every query and never answers."""
+
+    def __init__(self, name="blackhole"):
+        super().__init__(name)
+        self.swallowed = 0
+
+    def issue_query(self, query):
+        self.swallowed += 1
+
+    def flush(self):
+        pass
+
+
+class MalformedSUT(SutBase):
+    """Answers instantly with a response set of the wrong cardinality."""
+
+    def __init__(self, name="malformed"):
+        super().__init__(name)
+
+    def issue_query(self, query):
+        bad = [QuerySampleResponse(s.id, s.index)
+               for s in query.samples]
+        bad.append(QuerySampleResponse(bad[-1].sample_id + 999, None))
+        self.complete(query, bad)
+
+    def flush(self):
+        pass
+
+
+def make_query(qid=1):
+    return Query(id=qid, samples=(QuerySample(id=qid, index=0),))
+
+
+def harness(sut):
+    """Start ``sut`` on a fresh virtual loop; returns (loop, outcomes)."""
+    loop = EventLoop(VirtualClock())
+    outcomes = []
+    sut.start_run(loop, lambda q, r: outcomes.append((q, r)))
+    return loop, outcomes
+
+
+trippy = BreakerPolicy(window=2, min_samples=1, failure_threshold=1.0,
+                       open_duration=1.0, half_open_probes=1)
+
+
+class TestBothBackendsBroken:
+    def test_malformed_primary_and_standby_fail_with_flaw(self):
+        sut = SelfHealingSUT(MalformedSUT("p"), MalformedSUT("s"),
+                             policy=trippy, attempt_timeout=0.1)
+        loop, outcomes = harness(sut)
+        sut.issue_query(make_query())
+        loop.run()
+        assert len(outcomes) == 1
+        _, response = outcomes[0]
+        assert isinstance(response, QueryFailure)
+        assert "expected" in response.reason  # the screening flaw text
+        assert sut.stats.failovers == 1  # the standby did get its shot
+
+    def test_blackholed_primary_and_standby_fail_at_the_deadline(self):
+        sut = SelfHealingSUT(BlackholeSUT("p"), BlackholeSUT("s"),
+                             policy=trippy, attempt_timeout=0.1,
+                             hedge_delay=0.05)
+        loop, outcomes = harness(sut)
+        sut.issue_query(make_query())
+        loop.run()
+        assert len(outcomes) == 1
+        _, response = outcomes[0]
+        assert isinstance(response, QueryFailure)
+        assert "primary or standby" in response.reason
+        assert loop.now == pytest.approx(0.1)  # not one instant later
+        assert sut.stats.hedged_queries == 1
+        assert sut.stats.deadline_failures == 1
+
+    def test_every_query_gets_exactly_one_terminal_outcome(self):
+        sut = SelfHealingSUT(MalformedSUT("p"), BlackholeSUT("s"),
+                             policy=trippy, attempt_timeout=0.1)
+        loop, outcomes = harness(sut)
+        for qid in range(1, 6):
+            sut.issue_query(make_query(qid))
+        loop.run()
+        assert sorted(q.id for q, _ in outcomes) == [1, 2, 3, 4, 5]
+        assert all(isinstance(r, QueryFailure) for _, r in outcomes)
+
+
+class TestNoStandbyShedding:
+    def test_open_breaker_sheds_fast_without_a_standby(self):
+        sut = SelfHealingSUT(MalformedSUT("p"), policy=trippy,
+                             attempt_timeout=0.1)
+        loop, outcomes = harness(sut)
+        sut.issue_query(make_query(1))  # flaw trips the breaker
+        loop.run()
+        assert sut.breaker.state is BreakerState.OPEN
+        sut.issue_query(make_query(2))  # shed instantly, no deadline
+        assert len(outcomes) == 2
+        _, shed = outcomes[-1]
+        assert isinstance(shed, QueryFailure)
+        assert "circuit breaker open" in shed.reason
+        assert sut.stats.shed_queries == 1
+
+
+class TestTotalTimeout:
+    def test_validation_rejects_budget_below_attempt_timeout(self):
+        with pytest.raises(ValueError, match="total_timeout"):
+            SelfHealingSUT(BlackholeSUT(), attempt_timeout=0.2,
+                           total_timeout=0.1)
+
+    def test_budget_equal_to_attempt_timeout_bounds_the_query(self):
+        sut = SelfHealingSUT(BlackholeSUT("p"), BlackholeSUT("s"),
+                             policy=trippy, attempt_timeout=0.05,
+                             total_timeout=0.05)
+        loop, outcomes = harness(sut)
+        sut.issue_query(make_query())
+        loop.run()
+        assert len(outcomes) == 1
+        assert isinstance(outcomes[0][1], QueryFailure)
+        assert loop.now == pytest.approx(0.05)

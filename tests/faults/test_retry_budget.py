@@ -1,0 +1,113 @@
+"""RetryPolicy.total_timeout: the deadline-aware retry budget."""
+
+import pytest
+
+from repro.core.events import EventLoop, VirtualClock
+from repro.core.query import Query, QueryFailure, QuerySample
+from repro.core.sut import SutBase
+from repro.faults import ResilientSUT, RetryPolicy
+
+
+class BlackholeSUT(SutBase):
+    """Accepts every query and never answers."""
+
+    def __init__(self):
+        super().__init__("blackhole")
+        self.attempts = 0
+
+    def issue_query(self, query):
+        self.attempts += 1
+
+    def flush(self):
+        pass
+
+
+def run_one_query(policy):
+    sut = ResilientSUT(BlackholeSUT(), policy)
+    loop = EventLoop(VirtualClock())
+    outcomes = []
+    sut.start_run(loop, lambda q, r: outcomes.append((q, r)))
+    sut.issue_query(Query(id=1, samples=(QuerySample(id=1, index=0),)))
+    loop.run()
+    assert len(outcomes) == 1
+    return sut, loop, outcomes[0][1]
+
+
+class TestWorstCaseLatency:
+    def test_uncapped_is_attempts_plus_backoff_ceilings(self):
+        policy = RetryPolicy(max_attempts=3, attempt_timeout=0.1,
+                             backoff_base=0.01, backoff_factor=2.0)
+        # 3 x 0.1 + (0.01 + 0.02) between attempts.
+        assert policy.worst_case_latency() == pytest.approx(0.33)
+
+    def test_total_timeout_caps_the_worst_case(self):
+        policy = RetryPolicy(max_attempts=10, attempt_timeout=0.1,
+                             backoff_base=0.01, total_timeout=0.25)
+        assert policy.worst_case_latency() == 0.25
+
+    def test_validation_requires_one_attempt_to_fit(self):
+        with pytest.raises(ValueError, match="total_timeout"):
+            RetryPolicy(attempt_timeout=0.2, total_timeout=0.1)
+
+
+class TestForDeadline:
+    def test_trims_attempts_until_the_worst_case_fits(self):
+        policy = RetryPolicy.for_deadline(
+            0.5, max_attempts=10, attempt_timeout=0.2,
+            backoff_base=0.01)
+        assert policy.total_timeout == 0.5
+        assert policy.max_attempts == 2
+        capless = RetryPolicy(max_attempts=policy.max_attempts,
+                              attempt_timeout=0.2, backoff_base=0.01)
+        assert capless.worst_case_latency() <= 0.5
+
+    def test_keeps_all_attempts_when_they_fit(self):
+        policy = RetryPolicy.for_deadline(
+            1.0, max_attempts=3, attempt_timeout=0.1,
+            backoff_base=0.0)
+        assert policy.max_attempts == 3
+
+    def test_rejects_an_attempt_timeout_larger_than_the_deadline(self):
+        with pytest.raises(ValueError, match="fit"):
+            RetryPolicy.for_deadline(0.1, attempt_timeout=0.5)
+
+    def test_floors_at_one_attempt(self):
+        policy = RetryPolicy.for_deadline(
+            0.1, max_attempts=8, attempt_timeout=0.1,
+            backoff_base=0.05)
+        assert policy.max_attempts == 1
+
+
+class TestBudgetEnforcement:
+    def test_query_resolves_at_the_budget_not_attempts_times_timeout(self):
+        # 100 attempts x 50 ms would dangle for 5 s; the budget walls
+        # the query at 120 ms.
+        policy = RetryPolicy(max_attempts=100, attempt_timeout=0.05,
+                             backoff_base=0.0, jitter="none",
+                             total_timeout=0.12)
+        sut, loop, response = run_one_query(policy)
+        assert isinstance(response, QueryFailure)
+        assert "retry budget exhausted" in response.reason
+        assert loop.now == pytest.approx(0.12)
+        # Two full attempts plus the clamped 20 ms remainder.
+        assert sut.inner.attempts == 3
+
+    def test_backoff_that_overruns_the_budget_resolves_early(self):
+        policy = RetryPolicy(max_attempts=10, attempt_timeout=0.05,
+                             backoff_base=1.0, jitter="none",
+                             total_timeout=0.5)
+        sut, loop, response = run_one_query(policy)
+        assert isinstance(response, QueryFailure)
+        # Sleeping the 1 s backoff would blow the budget: the query
+        # resolves right after its first lost attempt instead.
+        assert loop.now == pytest.approx(0.05)
+        assert sut.inner.attempts == 1
+
+    def test_uncapped_behavior_is_unchanged(self):
+        policy = RetryPolicy(max_attempts=4, attempt_timeout=0.05,
+                             backoff_base=0.0, jitter="none")
+        sut, loop, response = run_one_query(policy)
+        assert isinstance(response, QueryFailure)
+        assert "after 4 attempts" in response.reason
+        assert loop.now == pytest.approx(0.2)
+        assert sut.inner.attempts == 4

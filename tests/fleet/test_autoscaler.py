@@ -1,0 +1,134 @@
+"""Autoscaler: watermark hysteresis, cooldown, determinism."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.fleet import Autoscaler, AutoscalerPolicy, ReplicaSet
+from repro.metrics import MetricsRegistry
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+
+def server_settings(queries=300, qps=200.0, bound=1.0, seed=0):
+    return TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=qps,
+        server_latency_bound=bound, min_query_count=queries,
+        min_duration=0.0, watchdog_timeout=60.0, seed=seed,
+    )
+
+
+def slow_fleet(**kwargs):
+    kwargs.setdefault("initial_replicas", 1)
+    kwargs.setdefault("max_replicas", 8)
+    kwargs.setdefault("attempt_timeout", 2.0)
+    return ReplicaSet(lambda i: FixedLatencySUT(latency=0.050), **kwargs)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="period"):
+            AutoscalerPolicy(period=0.0)
+        with pytest.raises(ValueError, match="high_watermark"):
+            AutoscalerPolicy(high_watermark=1.0, low_watermark=1.0)
+        with pytest.raises(ValueError, match="cooldown"):
+            AutoscalerPolicy(cooldown=-1.0)
+        with pytest.raises(ValueError, match="step"):
+            AutoscalerPolicy(step=0)
+
+
+class TestScalingBehavior:
+    def test_backlog_triggers_scale_up(self):
+        # One 50 ms-latency replica at 200 qps drowns instantly; the
+        # autoscaler must grow the fleet to absorb the backlog.
+        fleet = slow_fleet()
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.050, high_watermark=3.0, low_watermark=0.5,
+            cooldown=0.100))
+        result = run_benchmark(fleet, EchoQSL(), server_settings(),
+                               services=[scaler])
+        assert result.valid
+        ups = [d for d in scaler.trace if d.action == "up"]
+        assert ups
+        assert max(d.replicas_after for d in scaler.trace) > 1
+
+    def test_idle_fleet_scales_down_to_the_floor(self):
+        fleet = slow_fleet(initial_replicas=4, min_replicas=1)
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.050, high_watermark=50.0, low_watermark=1.0,
+            cooldown=0.0))
+        # Light load: 4 replicas are far more than needed.
+        result = run_benchmark(
+            fleet, EchoQSL(),
+            server_settings(queries=200, qps=20.0),
+            services=[scaler])
+        assert result.valid
+        assert any(d.action == "down" for d in scaler.trace)
+        assert scaler.trace[-1].replicas_after == 1
+
+    def test_cooldown_separates_actions(self):
+        fleet = slow_fleet()
+        cooldown = 0.200
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.050, high_watermark=2.0, low_watermark=0.1,
+            cooldown=cooldown))
+        run_benchmark(fleet, EchoQSL(), server_settings(),
+                      services=[scaler])
+        actions = [d.time for d in scaler.trace if d.action != "hold"]
+        assert len(actions) >= 2
+        gaps = [b - a for a, b in zip(actions, actions[1:])]
+        assert all(gap >= cooldown - 1e-9 for gap in gaps)
+
+    def test_holds_between_watermarks(self):
+        fleet = slow_fleet(initial_replicas=2, min_replicas=2,
+                           max_replicas=2)
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.050, high_watermark=1e9, low_watermark=0.0,
+            cooldown=0.0))
+        # Watermarks nothing can cross: every tick must be a hold.
+        run_benchmark(fleet, EchoQSL(), server_settings(queries=100),
+                      services=[scaler])
+        assert scaler.trace
+        assert all(d.action == "hold" for d in scaler.trace)
+        assert all(d.replicas_before == d.replicas_after
+                   for d in scaler.trace)
+
+    def test_step_scales_by_more_than_one(self):
+        fleet = slow_fleet()
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.050, high_watermark=2.0, low_watermark=0.1,
+            cooldown=0.100, step=2))
+        run_benchmark(fleet, EchoQSL(), server_settings(),
+                      services=[scaler])
+        first_up = next(d for d in scaler.trace if d.action == "up")
+        assert first_up.replicas_after - first_up.replicas_before == 2
+
+
+class TestDeterminism:
+    def test_trace_is_bit_identical_across_same_seed_runs(self):
+        def one_trace():
+            fleet = slow_fleet(seed=5)
+            scaler = Autoscaler(fleet, AutoscalerPolicy(
+                period=0.050, high_watermark=3.0, low_watermark=0.5,
+                cooldown=0.100))
+            run_benchmark(fleet, EchoQSL(), server_settings(seed=5),
+                          services=[scaler])
+            return scaler.trace
+        trace_a, trace_b = one_trace(), one_trace()
+        assert trace_a == trace_b
+        assert any(d.action != "hold" for d in trace_a)
+
+
+class TestMetrics:
+    def test_autoscaler_families_light_up(self):
+        registry = MetricsRegistry()
+        fleet = slow_fleet()
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.050, high_watermark=3.0, low_watermark=0.5,
+            cooldown=0.100), registry=registry)
+        run_benchmark(fleet, EchoQSL(), server_settings(),
+                      services=[scaler])
+        actions = registry.get("autoscaler_actions_total")
+        total = sum(child.value for _, child in actions.series())
+        assert total == len(scaler.trace)
+        assert registry.get("autoscaler_replicas").value >= 1.0

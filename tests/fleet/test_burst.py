@@ -1,0 +1,100 @@
+"""Arrival-rate bursts: BurstPlan, Server driver integration."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.durability import run_fingerprint
+from repro.faults import BurstPlan, BurstWindow
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+
+def burst_settings(bursts=None, queries=800, qps=100.0, seed=0):
+    return TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=qps,
+        server_latency_bound=0.5, min_query_count=queries,
+        min_duration=0.0, watchdog_timeout=120.0, seed=seed,
+        server_rate_bursts=bursts,
+    )
+
+
+class TestBurstPlan:
+    def test_multiplier_inside_and_outside_windows(self):
+        plan = BurstPlan(windows=(
+            BurstWindow(start=1.0, duration=2.0, multiplier=4.0),
+            BurstWindow(start=5.0, duration=1.0, multiplier=0.5),
+        ))
+        assert plan.multiplier(0.5) == 1.0
+        assert plan.multiplier(1.0) == 4.0
+        assert plan.multiplier(2.9) == 4.0
+        assert plan.multiplier(3.0) == 1.0  # window end is exclusive
+        assert plan.multiplier(5.5) == 0.5
+        assert plan.multiplier(7.0) == 1.0
+
+    def test_flash_crowd_shorthand(self):
+        plan = BurstPlan.flash_crowd(2.0, 1.0, multiplier=8.0)
+        assert plan.multiplier(2.5) == 8.0
+        assert plan.multiplier(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstPlan(windows=(BurstWindow(-1.0, 1.0, 2.0),))
+        with pytest.raises(ValueError):
+            BurstPlan(windows=(BurstWindow(0.0, 0.0, 2.0),))
+        with pytest.raises(ValueError):
+            BurstPlan(windows=(BurstWindow(0.0, 1.0, 0.0),))
+        with pytest.raises(ValueError):  # overlap
+            BurstPlan(windows=(BurstWindow(0.0, 2.0, 2.0),
+                               BurstWindow(1.0, 2.0, 2.0),))
+
+    def test_as_settings_round_trip(self):
+        plan = BurstPlan.flash_crowd(1.0, 0.5, multiplier=4.0)
+        settings = burst_settings(bursts=plan.as_settings())
+        assert settings.server_rate_bursts == ((1.0, 0.5, 4.0),)
+
+
+class TestSettingsValidation:
+    def test_rejects_malformed_windows(self):
+        with pytest.raises(ValueError):
+            burst_settings(bursts=((0.0, 1.0),))  # not length 3
+        with pytest.raises(ValueError):
+            burst_settings(bursts=((-1.0, 1.0, 2.0),))
+        with pytest.raises(ValueError):
+            burst_settings(bursts=((0.0, -1.0, 2.0),))
+        with pytest.raises(ValueError):
+            burst_settings(bursts=((0.0, 1.0, -2.0),))
+        with pytest.raises(ValueError):  # unsorted / overlapping
+            burst_settings(bursts=((2.0, 1.0, 2.0), (0.0, 1.0, 2.0)))
+
+
+class TestServerDriverIntegration:
+    def burst_run(self, seed=0):
+        plan = BurstPlan.flash_crowd(2.0, 2.0, multiplier=4.0)
+        sut = FixedLatencySUT(latency=0.002)
+        result = run_benchmark(
+            sut, EchoQSL(),
+            burst_settings(bursts=plan.as_settings(), seed=seed))
+        return result
+
+    def test_flash_crowd_densifies_arrivals(self):
+        result = self.burst_run()
+        issues = sorted(r.issue_time
+                        for r in result.log.completed_records())
+        inside = sum(1 for t in issues if 2.0 <= t < 4.0)
+        before = sum(1 for t in issues if 0.0 <= t < 2.0)
+        # 4x multiplier: the window must be much denser than baseline
+        # (2x is a comfortable statistical floor for these counts).
+        assert before > 50
+        assert inside > 2 * before
+
+    def test_burst_runs_are_seed_deterministic(self):
+        a, b = self.burst_run(seed=9), self.burst_run(seed=9)
+        assert run_fingerprint(a) == run_fingerprint(b)
+        assert (sorted(r.issue_time for r in a.log.completed_records())
+                == sorted(r.issue_time
+                          for r in b.log.completed_records()))
+
+    def test_no_bursts_field_defaults_to_none(self):
+        settings = burst_settings()
+        assert settings.server_rate_bursts is None

@@ -1,0 +1,93 @@
+"""InferenceServer startup hardening: bind retry and error classes."""
+
+import errno
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.network import ServerStartupError
+from repro.network.server import (
+    InferenceServer,
+    ServerConfig,
+    _classify_bind_error,
+)
+from repro.sut.echo import EchoSUT
+
+pytestmark = pytest.mark.socket
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("code, reason", [
+        (errno.EADDRINUSE, "port-in-use"),
+        (errno.EACCES, "permission-denied"),
+        (errno.EPERM, "permission-denied"),
+        (errno.EADDRNOTAVAIL, "bad-address"),
+        (errno.ECONNREFUSED, "bind-failed"),
+    ])
+    def test_errno_mapping(self, code, reason):
+        assert _classify_bind_error(OSError(code, "boom")) == reason
+
+    def test_unknown_errno_is_bind_failed(self):
+        assert _classify_bind_error(OSError()) == "bind-failed"
+
+
+class TestConfigValidation:
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError, match="bind_retries"):
+            ServerConfig(bind_retries=-1)
+        with pytest.raises(ValueError, match="bind_backoff"):
+            ServerConfig(bind_backoff=-0.1)
+
+
+def occupy_port():
+    """Bind an ephemeral localhost port; returns (socket, port)."""
+    blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    return blocker, blocker.getsockname()[1]
+
+
+class TestBindRetry:
+    def test_port_in_use_without_retries_is_classified(self):
+        blocker, port = occupy_port()
+        try:
+            config = ServerConfig(port=port, bind_retries=0)
+            server = InferenceServer(lambda: EchoSUT(), config)
+            with pytest.raises(ServerStartupError) as excinfo:
+                server.start()
+            assert excinfo.value.reason == "port-in-use"
+            assert excinfo.value.port == port
+            assert isinstance(excinfo.value.cause, OSError)
+        finally:
+            blocker.close()
+
+    def test_transient_port_conflict_is_retried_through(self):
+        blocker, port = occupy_port()
+        releaser = threading.Timer(0.15, blocker.close)
+        releaser.start()
+        config = ServerConfig(port=port, bind_retries=5,
+                              bind_backoff=0.05, workers=1)
+        server = InferenceServer(lambda: EchoSUT(), config)
+        try:
+            address = server.start()  # must outwait the blocker
+            assert address[1] == port
+        finally:
+            releaser.cancel()
+            server.stop()
+            blocker.close()
+
+    def test_non_transient_errors_are_not_retried(self):
+        # TEST-NET-1 is not a local address: binding fails immediately
+        # and retrying would never help.
+        config = ServerConfig(host="192.0.2.1", port=0, bind_retries=5,
+                              bind_backoff=10.0)
+        server = InferenceServer(lambda: EchoSUT(), config)
+        started = time.monotonic()
+        with pytest.raises(ServerStartupError) as excinfo:
+            server.start()
+        assert excinfo.value.reason in ("bad-address", "bind-failed",
+                                        "permission-denied")
+        # No exponential backoff was slept: the failure was instant.
+        assert time.monotonic() - started < 1.0

@@ -1,0 +1,68 @@
+"""Tier-1 fleet smoke: balancer determinism and kill-reroute.
+
+Fast virtual-clock checks of the two fleet guarantees the CI gate
+cares about: same-seed routing is bit-identical, and losing a replica
+mid-run degrades gracefully (rerouted, not dropped).  The deep
+behavioral suites live in ``tests/fleet/``; these carry the ``fleet``
+marker so ``-m fleet`` selects the whole tier.
+"""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.durability import run_fingerprint
+from repro.fleet import ReplicaSet
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+pytestmark = pytest.mark.fleet
+
+
+def settings(queries=200, seed=0, bound=0.2):
+    return TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=200.0,
+        server_latency_bound=bound, min_query_count=queries,
+        min_duration=0.0, watchdog_timeout=60.0, seed=seed,
+    )
+
+
+class _KillAt:
+    def __init__(self, fleet, index, at):
+        self.fleet, self.index, self.at = fleet, index, at
+
+    def start(self, loop, keep_going):
+        loop.schedule_after(
+            self.at, lambda: self.fleet.kill_replica(self.index))
+
+    def stop(self):
+        pass
+
+
+def test_balancer_routing_is_seed_deterministic():
+    def one_run():
+        fleet = ReplicaSet(
+            lambda i: FixedLatencySUT(latency=0.004),
+            initial_replicas=3, policy="weighted-p99", seed=21)
+        result = run_benchmark(fleet, EchoQSL(), settings(seed=21))
+        return ([r.issued for r in fleet.replicas],
+                run_fingerprint(result))
+
+    routed_a, print_a = one_run()
+    routed_b, print_b = one_run()
+    assert routed_a == routed_b
+    assert print_a == print_b
+
+
+def test_replica_kill_reroutes_without_losing_queries():
+    fleet = ReplicaSet(
+        lambda i: FixedLatencySUT(latency=0.030),
+        initial_replicas=3, policy="least-outstanding",
+        attempt_timeout=0.5)
+    killer = _KillAt(fleet, 0, 0.4)
+    result = run_benchmark(fleet, EchoQSL(), settings(),
+                           services=[killer])
+    assert result.valid
+    assert not result.log.failed_records()
+    assert fleet.stats.kills == 1
+    assert fleet.stats.shed_queries == 0
