@@ -1,0 +1,150 @@
+"""Hot-path benchmark runner: the perf trajectory's baseline recorder.
+
+Measures the core engine's throughput on its two hottest paths and
+writes the numbers to ``BENCH_core.json``, so later optimisation PRs
+have a recorded baseline to beat (see ROADMAP.md, "Hot-path speed
+campaign"):
+
+* **event loop** - bare callbacks through
+  :class:`repro.core.events.EventLoop` on the virtual clock, the
+  substrate every scenario driver and SUT schedules on;
+* **issue path** - full LoadGen queries through a Server-scenario run
+  against a zero-latency echo backend: schedule, issue, complete,
+  referee bookkeeping;
+* **stream issue path** - the same run with the backend streaming each
+  answer as token chunks, so the chunk hot path added by
+  ``repro.streaming`` is tracked from its first release.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--out BENCH_core.json]
+
+Numbers are wall-clock and machine-dependent; the JSON records the
+interpreter version alongside so trajectories compare like with like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    _ROOT = Path(__file__).resolve().parent.parent
+    for entry in (str(_ROOT), str(_ROOT / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+from repro.core.config import Scenario, TestSettings
+from repro.core.events import EventLoop, VirtualClock
+from repro.core.loadgen import run_benchmark
+from repro.harness.netbench import SyntheticQSL
+from repro.streaming import StreamModel, streaming_echo
+from repro.sut.echo import EchoSUT
+
+
+def bench_event_loop(events: int) -> float:
+    """Bare scheduled callbacks per wall second through the event loop."""
+    loop = EventLoop(VirtualClock())
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+
+    for i in range(events):
+        loop.schedule(i * 1e-6, tick)
+    started = time.perf_counter()
+    loop.run()
+    elapsed = time.perf_counter() - started
+    assert counter[0] == events
+    return events / elapsed
+
+
+def _server_settings(queries: int, qps: float) -> TestSettings:
+    return TestSettings(
+        scenario=Scenario.SERVER,
+        server_target_qps=qps,
+        server_latency_bound=10.0,
+        min_query_count=queries,
+        min_duration=0.0,
+        watchdog_timeout=3600.0,
+        seed=0,
+    )
+
+
+def bench_issue_path(queries: int) -> float:
+    """Full LoadGen queries per wall second: Server scenario, echo SUT."""
+    settings = _server_settings(queries, qps=1e6)
+    started = time.perf_counter()
+    result = run_benchmark(EchoSUT(latency=1e-6), SyntheticQSL(), settings)
+    elapsed = time.perf_counter() - started
+    assert result.metrics.query_count >= queries
+    return result.metrics.query_count / elapsed
+
+
+def bench_stream_issue_path(queries: int) -> float:
+    """Streamed queries per wall second: every answer arrives as seeded
+    token chunks before its completion (chunk hot path + referee)."""
+    settings = _server_settings(queries, qps=1e6)
+    sut = streaming_echo(
+        latency=1e-6,
+        model=StreamModel(first_token_delay=1e-6, inter_token_delay=1e-6),
+    )
+    started = time.perf_counter()
+    result = run_benchmark(sut, SyntheticQSL(), settings)
+    elapsed = time.perf_counter() - started
+    assert result.metrics.stream is not None
+    assert result.metrics.stream.streamed_query_count >= queries
+    return result.metrics.query_count / elapsed
+
+
+def run_benchmarks(events: int, queries: int, repeats: int) -> dict:
+    """Best-of-``repeats`` for each benched path (max smooths jitter)."""
+    benches = {
+        "event_loop_events_per_s": lambda: bench_event_loop(events),
+        "issue_path_queries_per_s": lambda: bench_issue_path(queries),
+        "stream_issue_path_queries_per_s":
+            lambda: bench_stream_issue_path(max(1, queries // 4)),
+    }
+    results = {}
+    for name, bench in benches.items():
+        best = max(bench() for _ in range(repeats))
+        results[name] = round(best, 1)
+        print(f"{name:36s} {best:12,.0f}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="trajectory file to write (default: %(default)s)")
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="event-loop callbacks per repeat")
+    parser.add_argument("--queries", type=int, default=20_000,
+                        help="issue-path queries per repeat")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per bench; best is recorded")
+    args = parser.parse_args(argv)
+    results = run_benchmarks(args.events, args.queries, args.repeats)
+    payload = {
+        "area": "core",
+        "benchmarks": results,
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "events": args.events,
+            "queries": args.queries,
+            "repeats": args.repeats,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"trajectory written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -99,15 +99,41 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dynamic-batcher cap, in samples")
     par.add_argument("--samples", type=int, default=256,
                      help="synthetic dataset size (and offline batch)")
+    stream = run.add_argument_group("streaming (--stream)")
+    stream.add_argument("--stream", action="store_true",
+                        help="stream each answer as token chunks: the "
+                             "summary gains TTFT/TPOT percentiles and "
+                             "goodput (docs/streaming.md).  With --sut "
+                             "device this is one direct measured run at "
+                             "--target-qps rather than a tuning search; "
+                             "with --sut network the remote server "
+                             "should host a streaming backend ('repro "
+                             "serve --backend streaming-echo')")
+    stream.add_argument("--ttft-ms", type=float, default=None,
+                        help="time-to-first-token SLO target")
+    stream.add_argument("--tpot-ms", type=float, default=None,
+                        help="time-per-output-token SLO target")
+    stream.add_argument("--min-tokens", type=int, default=8)
+    stream.add_argument("--max-tokens", type=int, default=32)
+    stream.add_argument("--first-token-ms", type=float, default=2.0,
+                        help="stream model delay to the first token")
+    stream.add_argument("--inter-token-ms", type=float, default=0.5,
+                        help="stream model delay between later tokens")
+    stream.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
         "serve", help="host a backend behind the network protocol")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=9090)
-    serve.add_argument("--backend", choices=["echo", "parallel"],
+    serve.add_argument("--backend",
+                       choices=["echo", "parallel", "streaming-echo"],
                        default="echo",
                        help="echo: per-worker-thread EchoSUT; parallel: "
-                            "one shared process-parallel pool")
+                            "one shared process-parallel pool; "
+                            "streaming-echo: echo that streams each "
+                            "answer as token chunks (CHUNK frames)")
+    serve.add_argument("--stream-seed", type=int, default=0,
+                       help="stream model seed (--backend streaming-echo)")
     serve.add_argument("--latency-ms", type=float, default=1.0,
                        help="backend per-query service time")
     serve.add_argument("--workers", type=int, default=2)
@@ -154,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--drop", type=float, default=0.0,
                          help="channel frame drop probability; > 0 adds "
                               "a retry layer and its resilient_* series")
+    metrics.add_argument("--stream", action="store_true",
+                         help="stream answers as token chunks so the "
+                              "stream_* series (TTFT/TPOT histograms, "
+                              "chunk counters) light up")
     metrics.add_argument("--seed", type=int, default=0)
     metrics.add_argument("--snapshot-period-ms", type=float, default=100.0,
                          help="telemetry sampling period, run time")
@@ -236,6 +266,70 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _stream_targets(args) -> dict:
+    """``TestSettings`` overrides for the token-level SLO targets."""
+    targets = {}
+    if getattr(args, "ttft_ms", None) is not None:
+        targets["ttft_target_ns"] = int(args.ttft_ms * 1e6)
+    if getattr(args, "tpot_ms", None) is not None:
+        targets["tpot_target_ns"] = int(args.tpot_ms * 1e6)
+    return targets
+
+
+def _cmd_run_stream(args) -> int:
+    """``run --stream`` with the in-process device SUT: one direct
+    measured run of the streaming path on the virtual clock."""
+    from .core.config import TestSettings
+    from .core.loadgen import run_benchmark
+    from .harness.netbench import SyntheticQSL
+    from .streaming import StreamModel, StreamingSUT
+    from .sut.device import DeviceModel, ProcessorType
+    from .sut.fleet import task_workload
+    from .sut.simulated import SimulatedSUT
+
+    if args.task is None:
+        print("--stream with --sut device requires --task", file=sys.stderr)
+        return 2
+    scenario = _SCENARIOS[args.scenario]
+    task = _TASKS[args.task]
+    common = dict(
+        scenario=scenario, task=task,
+        min_duration=0.0, watchdog_timeout=300.0, seed=args.seed,
+        **_stream_targets(args),
+    )
+    if scenario is Scenario.SERVER:
+        settings = TestSettings(
+            server_target_qps=args.target_qps,
+            server_latency_bound=args.latency_bound_ms * 1e-3,
+            min_query_count=args.queries, **common)
+    elif scenario is Scenario.OFFLINE:
+        settings = TestSettings(
+            offline_sample_count=args.samples, min_query_count=1, **common)
+    else:
+        settings = TestSettings(min_query_count=args.queries, **common)
+    device = DeviceModel(
+        name="cli-device", processor=ProcessorType.GPU,
+        peak_gops=args.peak_gops, base_utilization=args.base_utilization,
+        saturation_gops=args.saturation_gops,
+        overhead=args.overhead_ms * 1e-3, max_batch=args.max_batch,
+        engines=args.engines,
+    )
+    model = StreamModel(
+        first_token_delay=args.first_token_ms * 1e-3,
+        inter_token_delay=args.inter_token_ms * 1e-3,
+        min_tokens=args.min_tokens, max_tokens=args.max_tokens,
+        seed=args.seed,
+    )
+    sut = StreamingSUT(
+        SimulatedSUT(device, task_workload(task),
+                     batch_window=args.batch_window_ms * 1e-3),
+        model=model,
+    )
+    result = run_benchmark(sut, SyntheticQSL(), settings)
+    print(result.summary())
+    return 0 if result.valid else 1
+
+
 def _cmd_run_network(args) -> int:
     from .core.config import TestSettings
     from .harness.netbench import NetworkRunResult, SyntheticQSL
@@ -256,6 +350,7 @@ def _cmd_run_network(args) -> int:
         min_query_count=args.queries,
         min_duration=0.0,
         watchdog_timeout=60.0,
+        **_stream_targets(args),
     )
     qsl = SyntheticQSL()
     sut = NetworkSUT(
@@ -352,6 +447,14 @@ def _cmd_serve(args) -> int:
                 max_batch=args.max_batch)
             description = (f"parallel echo backend ({args.model_workers} "
                            f"procs, {args.latency_ms} ms)")
+        elif args.backend == "streaming-echo":
+            from .streaming import StreamModel, streaming_echo
+
+            model = StreamModel(seed=args.stream_seed)
+            backend = lambda: streaming_echo(  # noqa: E731
+                latency=latency, model=model)
+            description = (f"streaming echo backend ({args.latency_ms} ms, "
+                           f"seed {args.stream_seed})")
         else:
             backend = lambda: EchoSUT(latency=latency)  # noqa: E731
             description = f"echo backend ({args.latency_ms} ms)"
@@ -424,7 +527,13 @@ def _cmd_run(args) -> int:
     if args.sut == "network":
         return _cmd_run_network(args)
     if args.sut == "parallel":
+        if args.stream:
+            print("--stream supports --sut device and --sut network",
+                  file=sys.stderr)
+            return 2
         return _cmd_run_parallel(args)
+    if args.stream:
+        return _cmd_run_stream(args)
     if args.task is None:
         print("--sut device requires --task", file=sys.stderr)
         return 2
@@ -561,6 +670,10 @@ def _cmd_metrics(args) -> int:
     )
     registry = MetricsRegistry()
     backend = EchoSUT(latency=args.latency_ms * 1e-3)
+    if args.stream:
+        from .streaming import StreamingSUT
+
+        backend = StreamingSUT(backend)
     channel = SimulatedChannelSUT(backend, model)
     sut = channel
     if args.outage > 0:

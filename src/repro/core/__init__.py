@@ -21,13 +21,20 @@ from .experimental import (
 )
 from .loadgen import LoadGen, LoadGenResult, run_benchmark
 from .logging import QueryLog
-from .metrics import ScenarioMetrics, compute_metrics, empty_metrics
+from .metrics import (
+    ScenarioMetrics,
+    StreamMetrics,
+    compute_metrics,
+    compute_stream_metrics,
+    empty_metrics,
+)
 from .query import (
     Query,
     QueryFailure,
     QueryRecord,
     QuerySample,
     QuerySampleResponse,
+    StreamChunk,
 )
 from .stats import (
     QueryRequirement,
@@ -65,6 +72,8 @@ __all__ = [
     "SINGLE_STREAM_MIN_QUERIES",
     "Scenario",
     "ScenarioMetrics",
+    "StreamChunk",
+    "StreamMetrics",
     "SutBase",
     "SystemUnderTest",
     "Task",
@@ -75,6 +84,7 @@ __all__ = [
     "VirtualClock",
     "WallClock",
     "compute_metrics",
+    "compute_stream_metrics",
     "empty_metrics",
     "find_max_burst_rate",
     "run_burst_benchmark",

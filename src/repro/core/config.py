@@ -221,6 +221,17 @@ class TestSettings:
     #: ``repro.faults.BurstPlan``.  ``None`` keeps the constant rate.
     server_rate_bursts: Optional[tuple] = None
 
+    #: Token-level serving SLOs for streamed responses, in nanoseconds
+    #: (the real LoadGen expresses its targets in ns; the resolved_*
+    #: properties convert to seconds).  ``ttft_target_ns`` bounds
+    #: time-to-first-token, ``tpot_target_ns`` bounds the mean
+    #: inter-token interval after the first.  Violations are budgeted
+    #: against the same tail fraction as the classic latency rule, and
+    #: *goodput* counts only queries that met every SLO.  ``None``
+    #: disables the corresponding check (the classic rules still apply).
+    ttft_target_ns: Optional[int] = None
+    tpot_target_ns: Optional[int] = None
+
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -277,6 +288,14 @@ class TestSettings:
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
             raise ValueError(
                 f"watchdog_timeout must be positive, got {self.watchdog_timeout}"
+            )
+        if self.ttft_target_ns is not None and self.ttft_target_ns <= 0:
+            raise ValueError(
+                f"ttft_target_ns must be positive, got {self.ttft_target_ns}"
+            )
+        if self.tpot_target_ns is not None and self.tpot_target_ns <= 0:
+            raise ValueError(
+                f"tpot_target_ns must be positive, got {self.tpot_target_ns}"
             )
         if self.server_rate_bursts is not None:
             windows = tuple(tuple(w) for w in self.server_rate_bursts)
@@ -368,6 +387,24 @@ class TestSettings:
         if rules is not None:
             return rules.max_violation_fraction
         return 1.0 - self.resolved_tail_percentile
+
+    @property
+    def resolved_ttft_target(self) -> Optional[float]:
+        """TTFT SLO in seconds, or None when unset."""
+        if self.ttft_target_ns is None:
+            return None
+        return self.ttft_target_ns / 1e9
+
+    @property
+    def resolved_tpot_target(self) -> Optional[float]:
+        """TPOT SLO in seconds, or None when unset."""
+        if self.tpot_target_ns is None:
+            return None
+        return self.tpot_target_ns / 1e9
+
+    @property
+    def has_stream_slos(self) -> bool:
+        return self.ttft_target_ns is not None or self.tpot_target_ns is not None
 
     def with_overrides(self, **kwargs) -> "TestSettings":
         """Return a copy with the given fields replaced."""

@@ -90,6 +90,21 @@ class LoadGenResult:
             f"Latency p90 (ms)  : {self.metrics.latency_p90 * 1e3:.3f}",
             f"Latency p99 (ms)  : {self.metrics.latency_p99 * 1e3:.3f}",
         ]
+        stream = self.metrics.stream
+        if stream is not None:
+            lines += [
+                f"Streamed queries  : {stream.streamed_query_count} "
+                f"({stream.token_count} tokens, "
+                f"{stream.restart_count} restarts)",
+                f"TTFT p50/p90/p99  : {stream.ttft_p50 * 1e3:.3f} / "
+                f"{stream.ttft_p90 * 1e3:.3f} / "
+                f"{stream.ttft_p99 * 1e3:.3f} ms",
+                f"TPOT p50/p90/p99  : {stream.tpot_p50 * 1e3:.3f} / "
+                f"{stream.tpot_p90 * 1e3:.3f} / "
+                f"{stream.tpot_p99 * 1e3:.3f} ms",
+                f"Goodput (q/s)     : {stream.goodput:.6g} "
+                f"({stream.slo_compliant_count} SLO-compliant)",
+            ]
         for reason in self.validity.reasons:
             lines.append(f"  * {reason}")
         lines.append("=" * 60)

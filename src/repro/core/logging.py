@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .query import Query, QueryRecord, QuerySampleResponse
+from .query import Query, QueryRecord, QuerySampleResponse, StreamChunk
 
 
 class QueryLog:
@@ -61,6 +61,17 @@ class QueryLog:
         self.duplicate_completions: List[Tuple[int, float]] = []
         #: (query_id, time) of completions for queries never issued.
         self.unsolicited_responses: List[Tuple[int, float]] = []
+        #: (query_id, time, reason) of chunk deliveries that violated
+        #: stream ordering: duplicate sequence numbers, gaps, chunks
+        #: after the final chunk, chunks timestamped before issue.
+        self.stream_chunk_anomalies: List[Tuple[int, float, str]] = []
+        #: (query_id, time) of queries that completed while their stream
+        #: was still open (chunks seen, but never a ``last=True`` chunk):
+        #: truncated streams.
+        self.truncated_streams: List[Tuple[int, float]] = []
+        #: Accepted chunk / token totals across all records.
+        self.stream_chunks = 0
+        self.stream_tokens = 0
 
     def record_issue(self, query: Query, issue_time: float,
                      scheduled_time: Optional[float] = None) -> None:
@@ -153,6 +164,11 @@ class QueryLog:
                 f"{len(got_ids - expected_ids)} responses name sample ids "
                 "that are not part of the query",
             )
+        if record.chunk_count > 0 and not record.stream_closed:
+            # The stream never delivered its final chunk: a truncated
+            # stream.  The completion is still recorded (the terminal
+            # outcome did arrive) but the run carries the misbehavior.
+            self.truncated_streams.append((query.id, completion_time))
         record.completion_time = completion_time
         self._resolved_count += 1
         if keep_responses or (
@@ -163,6 +179,74 @@ class QueryLog:
         if self.observer is not None:
             self.observer("completed", query, completion_time, responses)
         return "completed"
+
+    def record_chunk(self, query: Query, time: float, chunk: StreamChunk) -> str:
+        """Record one streamed chunk, classifying misbehavior.
+
+        Returns the classification:
+
+        * ``"chunk"``       - in-sequence chunk, timing recorded;
+        * ``"restart"``     - ``seq == 0`` after prior progress: the
+          stream restarted (a retry or reroute reissued the query).
+          Allowed - the attempt's timing resets so TTFT/TPOT reflect
+          the answer the client actually received - but counted in
+          ``QueryRecord.stream_restarts``;
+        * ``"anomaly"``     - out-of-order / duplicate / post-final /
+          pre-issue chunk, noted in :attr:`stream_chunk_anomalies`;
+        * ``"late"``        - chunk for an already-resolved query, also
+          noted in :attr:`stream_chunk_anomalies`;
+        * ``"unsolicited"`` - chunk for a query never issued.
+        """
+        record = self._records.get(query.id)
+        if record is None:
+            self.unsolicited_responses.append((query.id, time))
+            return "unsolicited"
+        if record.resolved:
+            self.stream_chunk_anomalies.append(
+                (query.id, time,
+                 f"chunk seq {chunk.seq} arrived after the query resolved")
+            )
+            return "late"
+        if time < record.issue_time:
+            self.stream_chunk_anomalies.append(
+                (query.id, time,
+                 f"chunk seq {chunk.seq} timestamped before issue")
+            )
+            return "anomaly"
+        restarted = chunk.seq == 0 and record.chunk_count > 0
+        if restarted:
+            record.stream_restarts += 1
+            record.first_chunk_time = None
+            record.last_chunk_time = None
+            record.chunk_count = 0
+            record.token_count = 0
+            record.stream_closed = False
+        elif record.stream_closed:
+            self.stream_chunk_anomalies.append(
+                (query.id, time,
+                 f"chunk seq {chunk.seq} arrived after the final chunk")
+            )
+            return "anomaly"
+        elif chunk.seq != record.chunk_count:
+            kind = "duplicate" if chunk.seq < record.chunk_count else "out-of-order"
+            self.stream_chunk_anomalies.append(
+                (query.id, time,
+                 f"{kind} chunk seq {chunk.seq} "
+                 f"(expected {record.chunk_count})")
+            )
+            return "anomaly"
+        if record.chunk_count == 0:
+            record.first_chunk_time = time
+        record.last_chunk_time = time
+        record.chunk_count += 1
+        record.token_count += chunk.token_count
+        if chunk.last:
+            record.stream_closed = True
+        self.stream_chunks += 1
+        self.stream_tokens += chunk.token_count
+        if self.observer is not None:
+            self.observer("chunk", query, time, chunk)
+        return "restart" if restarted else "chunk"
 
     def record_failure(self, query: Query, time: float, reason: str) -> str:
         """Mark an issued query as failed (it will never complete cleanly).
@@ -190,6 +274,10 @@ class QueryLog:
         """All records in issue order."""
         return [self._records[qid] for qid in self._order]
 
+    def record_for(self, query_id: int) -> Optional[QueryRecord]:
+        """The record for one query id, or None if never issued."""
+        return self._records.get(query_id)
+
     def completed_records(self) -> List[QueryRecord]:
         """Cleanly completed records (failed queries are excluded)."""
         return [r for r in self.records() if r.completed and not r.failed]
@@ -213,14 +301,20 @@ class QueryLog:
     def outstanding(self) -> int:
         return len(self._records) - self._resolved_count
 
+    def streamed_records(self) -> List[QueryRecord]:
+        """Cleanly completed records that received at least one chunk."""
+        return [r for r in self.completed_records() if r.streamed]
+
     @property
     def anomaly_count(self) -> int:
         """Total misbehavior observations (duplicates + unsolicited +
-        failed records)."""
+        failed records + stream anomalies)."""
         return (
             len(self.duplicate_completions)
             + len(self.unsolicited_responses)
             + len(self.failed_records())
+            + len(self.stream_chunk_anomalies)
+            + len(self.truncated_streams)
         )
 
     def logged_responses(self) -> Dict[int, object]:
@@ -267,6 +361,13 @@ class QueryLog:
             if record.failed:
                 entry["failure_reason"] = record.failure_reason
                 entry["failure_time"] = record.failure_time
+            if record.streamed:
+                entry["first_chunk_time"] = record.first_chunk_time
+                entry["last_chunk_time"] = record.last_chunk_time
+                entry["chunk_count"] = record.chunk_count
+                entry["token_count"] = record.token_count
+                entry["stream_closed"] = record.stream_closed
+                entry["stream_restarts"] = record.stream_restarts
             if record.responses is not None:
                 entry["responses"] = [
                     _jsonable(r.data) for r in record.responses

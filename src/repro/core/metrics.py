@@ -15,10 +15,44 @@ The functions here compute those metrics from a completed
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .config import Scenario, TestSettings
 from .logging import QueryLog
+from .query import QueryRecord
 from .stats import percentile
+
+
+@dataclass(frozen=True)
+class StreamMetrics:
+    """Token-level summary of a streamed run (see ``docs/streaming.md``).
+
+    TTFT is time-to-first-token (issue to first chunk); TPOT is the mean
+    inter-token interval after the first token, per query.  *Goodput* is
+    the paper-faithful throughput-under-QoS generalisation: queries per
+    second counting only queries that met **every** configured SLO.
+    """
+
+    #: Clean completions that streamed at least one chunk.
+    streamed_query_count: int
+    chunk_count: int
+    token_count: int
+    #: Total stream restarts observed (retries / reroutes); not misbehavior.
+    restart_count: int
+    ttft_mean: float
+    ttft_p50: float
+    ttft_p90: float
+    ttft_p99: float
+    tpot_mean: float
+    tpot_p50: float
+    tpot_p90: float
+    tpot_p99: float
+    #: Clean completions that met every configured token SLO.
+    slo_compliant_count: int
+    ttft_violations: int
+    tpot_violations: int
+    #: SLO-compliant queries per second over the run window.
+    goodput: float
 
 
 @dataclass(frozen=True)
@@ -38,6 +72,8 @@ class ScenarioMetrics:
     primary_metric_name: str
     #: Measured throughput in samples/second over the run window.
     throughput: float
+    #: Token-level metrics; None when the run streamed no chunks.
+    stream: Optional[StreamMetrics] = None
 
 
 def run_duration(log: QueryLog) -> float:
@@ -82,6 +118,80 @@ def empty_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
     )
 
 
+def effective_ttft(record: QueryRecord) -> float:
+    """TTFT with the non-streamed fallback: a query answered in one
+    atomic completion delivered its whole answer as its "first token"."""
+    ttft = record.ttft
+    return record.latency if ttft is None else ttft
+
+
+def effective_tpot(record: QueryRecord) -> float:
+    """TPOT with the non-streamed fallback (a single atomic answer has
+    no inter-token interval, so it contributes zero)."""
+    tpot = record.tpot
+    return 0.0 if tpot is None else tpot
+
+
+def record_meets_stream_slos(record: QueryRecord, settings: TestSettings) -> bool:
+    """Did this clean completion meet every configured token SLO?"""
+    ttft_target = settings.resolved_ttft_target
+    if ttft_target is not None and effective_ttft(record) > ttft_target:
+        return False
+    tpot_target = settings.resolved_tpot_target
+    if tpot_target is not None and effective_tpot(record) > tpot_target:
+        return False
+    return True
+
+
+def compute_stream_metrics(
+    log: QueryLog, settings: TestSettings
+) -> Optional[StreamMetrics]:
+    """Token-level metrics for a run, or None if nothing streamed."""
+    completed = log.completed_records()
+    streamed = [r for r in completed if r.streamed]
+    if not streamed:
+        return None
+    duration = run_duration(log)
+    # SLO compliance is judged over *all* clean completions (a query
+    # that never streamed still either met or missed the targets via
+    # the fallback semantics); percentiles are reported over the
+    # streamed population, which is what TTFT/TPOT describe.
+    ttfts = [effective_ttft(r) for r in streamed]
+    tpots = [effective_tpot(r) for r in streamed]
+    ttft_target = settings.resolved_ttft_target
+    tpot_target = settings.resolved_tpot_target
+    ttft_violations = (
+        sum(1 for r in completed if effective_ttft(r) > ttft_target)
+        if ttft_target is not None else 0
+    )
+    tpot_violations = (
+        sum(1 for r in completed if effective_tpot(r) > tpot_target)
+        if tpot_target is not None else 0
+    )
+    compliant = sum(
+        1 for r in completed if record_meets_stream_slos(r, settings)
+    )
+    n = len(streamed)
+    return StreamMetrics(
+        streamed_query_count=n,
+        chunk_count=sum(r.chunk_count for r in streamed),
+        token_count=sum(r.token_count for r in streamed),
+        restart_count=sum(r.stream_restarts for r in completed),
+        ttft_mean=sum(ttfts) / n,
+        ttft_p50=percentile(ttfts, 0.50),
+        ttft_p90=percentile(ttfts, 0.90),
+        ttft_p99=percentile(ttfts, 0.99),
+        tpot_mean=sum(tpots) / n,
+        tpot_p50=percentile(tpots, 0.50),
+        tpot_p90=percentile(tpots, 0.90),
+        tpot_p99=percentile(tpots, 0.99),
+        slo_compliant_count=compliant,
+        ttft_violations=ttft_violations,
+        tpot_violations=tpot_violations,
+        goodput=compliant / duration if duration > 0 else float("inf"),
+    )
+
+
 def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
     """Compute the Table II metric (plus latency summary) for a run."""
     latencies = log.latencies()
@@ -117,4 +227,5 @@ def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
         primary_metric=primary,
         primary_metric_name=name,
         throughput=throughput,
+        stream=compute_stream_metrics(log, settings),
     )

@@ -77,6 +77,47 @@ class QueryFailure:
         return f"QueryFailure(reason={self.reason!r})"
 
 
+class StreamChunk:
+    """One increment of a streamed answer.
+
+    Streaming SUTs deliver their output as an ordered sequence of
+    chunks through the same responder channel used for terminal
+    outcomes (``SutBase.emit_chunk``), followed by a normal response
+    list once the stream ends.  ``seq`` numbers chunks from zero;
+    ``last`` marks the final chunk; ``token_count`` is how many output
+    tokens the chunk carries (chunks may batch several tokens, as real
+    streaming APIs do).  A stream that restarts - because a retry or
+    reroute reissued the query - begins again at ``seq == 0``; the
+    referee counts the restart and keeps only the final attempt's
+    timing.
+
+    Slotted: chunks outnumber queries by the mean token count, so they
+    sit on the hottest completion path in a streaming run.
+    """
+
+    __slots__ = ("query_id", "seq", "token_count", "last", "data")
+
+    def __init__(
+        self,
+        query_id: int,
+        seq: int,
+        token_count: int = 1,
+        last: bool = False,
+        data: object = None,
+    ) -> None:
+        self.query_id = query_id
+        self.seq = seq
+        self.token_count = token_count
+        self.last = last
+        self.data = data
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamChunk(query_id={self.query_id}, seq={self.seq}, "
+            f"token_count={self.token_count}, last={self.last})"
+        )
+
+
 class QuerySampleResponse:
     """The SUT's answer for one sample of a query.
 
@@ -116,6 +157,19 @@ class QueryRecord:
     #: retry exhaustion, ...) rather than a clean response.
     failure_reason: Optional[str] = None
     failure_time: Optional[float] = None
+    #: Streaming lifecycle (all None/zero for non-streamed queries).
+    #: Chunk times are the *current attempt's*: a stream restart resets
+    #: them, so TTFT/TPOT reflect the attempt that actually answered.
+    first_chunk_time: Optional[float] = None
+    last_chunk_time: Optional[float] = None
+    chunk_count: int = 0
+    token_count: int = 0
+    #: True once a chunk with ``last=True`` arrived for the current
+    #: attempt; a streamed record completing without it is *truncated*.
+    stream_closed: bool = False
+    #: How many times the stream restarted at ``seq == 0`` (retries,
+    #: reroutes).  Informational, not misbehavior.
+    stream_restarts: int = 0
 
     @property
     def latency(self) -> float:
@@ -136,3 +190,36 @@ class QueryRecord:
     def resolved(self) -> bool:
         """The query reached *some* terminal state (clean or failed)."""
         return self.completed or self.failed
+
+    @property
+    def streamed(self) -> bool:
+        """At least one chunk arrived for this query."""
+        return self.first_chunk_time is not None
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Time to first token: first chunk minus issue, in seconds.
+
+        ``None`` until a chunk arrives.  For non-streamed queries the
+        caller falls back to the full latency (the whole answer *is*
+        the first token).
+        """
+        if self.first_chunk_time is None:
+            return None
+        return self.first_chunk_time - self.issue_time
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Time per output token after the first, in seconds.
+
+        ``(last_chunk - first_chunk) / (tokens - 1)``; zero for a
+        single-token stream (there is no inter-token interval to
+        measure); ``None`` for non-streamed queries.
+        """
+        if self.first_chunk_time is None or self.last_chunk_time is None:
+            return None
+        if self.token_count <= 1:
+            return 0.0
+        return (self.last_chunk_time - self.first_chunk_time) / (
+            self.token_count - 1
+        )

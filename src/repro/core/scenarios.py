@@ -29,7 +29,7 @@ import numpy as np
 from .config import Scenario, TestMode, TestSettings
 from .events import EventLoop
 from .logging import QueryLog
-from .query import Query, QueryFailure
+from .query import Query, QueryFailure, StreamChunk
 from .sampler import QueryFactory, SampleSelector
 from .sut import SystemUnderTest
 from ..metrics import MetricsRegistry
@@ -117,7 +117,8 @@ class _DriverInstruments:
     """
 
     __slots__ = ("issued", "samples", "completed", "failed", "latency",
-                 "anomalies", "scenario")
+                 "anomalies", "scenario", "chunks", "tokens", "ttft",
+                 "tpot")
 
     def __init__(self, registry: MetricsRegistry, scenario: Scenario,
                  log: QueryLog) -> None:
@@ -158,6 +159,26 @@ class _DriverInstruments:
             "Issued queries that have not yet reached a terminal state",
             fn=lambda: log.outstanding,
         )
+        self.chunks = registry.counter(
+            "stream_chunks_total",
+            "Accepted in-sequence stream chunks",
+            labels=("scenario",),
+        ).labels(**label)
+        self.tokens = registry.counter(
+            "stream_tokens_total",
+            "Output tokens carried by accepted stream chunks",
+            labels=("scenario",),
+        ).labels(**label)
+        self.ttft = registry.histogram(
+            "stream_ttft_seconds",
+            "Time to first token (issue to first chunk) of streamed queries",
+            labels=("scenario",),
+        ).labels(**label)
+        self.tpot = registry.histogram(
+            "stream_tpot_seconds",
+            "Mean inter-token interval after the first token, per query",
+            labels=("scenario",),
+        ).labels(**label)
 
 
 class ScenarioDriver:
@@ -223,6 +244,21 @@ class ScenarioDriver:
         must be able to invalidate a run, never to corrupt or crash it.
         """
         now = self.loop.now
+        if isinstance(responses, StreamChunk):
+            # Chunks are progress, not a terminal outcome: record the
+            # timing, bump the stream counters, and wait for the real
+            # completion that follows the last chunk.
+            status = self.log.record_chunk(query, now, responses)
+            metrics = self._metrics
+            if metrics is not None:
+                if status in ("chunk", "restart"):
+                    metrics.chunks.inc()
+                    metrics.tokens.inc(responses.token_count)
+                else:  # anomaly / late / unsolicited - cold path
+                    metrics.anomalies.labels(
+                        scenario=metrics.scenario, kind="stream_" + status
+                    ).inc()
+            return
         if isinstance(responses, QueryFailure):
             status = self.log.record_failure(query, now, responses.reason)
         else:
@@ -235,6 +271,12 @@ class ScenarioDriver:
             if status == "completed":
                 metrics.completed.inc()
                 metrics.latency.observe(now - query.issue_time)
+                record = self.log.record_for(query.id)
+                if record is not None and record.streamed:
+                    # Final-attempt timing: a restarted stream reset
+                    # these, so the histograms see what the client saw.
+                    metrics.ttft.observe(record.ttft)
+                    metrics.tpot.observe(record.tpot)
             elif status == "failed":
                 metrics.failed.inc()
             else:  # duplicate / unsolicited - cold path, resolve labels

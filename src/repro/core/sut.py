@@ -20,12 +20,17 @@ from __future__ import annotations
 from typing import Callable, List, Protocol, Sequence, runtime_checkable
 
 from .events import EventLoop
-from .query import Query, QueryFailure, QuerySampleResponse
+from .query import Query, QueryFailure, QuerySampleResponse, StreamChunk
 
 #: Signature of the completion callback handed to the SUT.  The second
 #: argument is normally the response list; a SUT may instead deliver a
 #: :class:`~repro.core.query.QueryFailure` (see :meth:`SutBase.fail`) to
-#: report that the query will never complete cleanly.
+#: report that the query will never complete cleanly, or a
+#: :class:`~repro.core.query.StreamChunk` (see :meth:`SutBase.emit_chunk`)
+#: to stream an incremental piece of the answer.  Chunks are *progress*,
+#: not a terminal outcome: a streaming SUT still delivers the normal
+#: response list (or a failure) after its last chunk, which is what lets
+#: every non-streaming consumer of this channel keep working unchanged.
 Responder = Callable[[Query, List[QuerySampleResponse]], None]
 
 
@@ -122,6 +127,19 @@ class SutBase:
         if self._responder is None:
             raise RuntimeError("start_run was never called on this SUT")
         self._responder(query, QueryFailure(reason))
+
+    def emit_chunk(self, query: Query, chunk: StreamChunk) -> None:
+        """Stream one incremental piece of ``query``'s answer.
+
+        Chunks ride the same responder channel as terminal outcomes, so
+        every wrapper in the stack (retry, healing, fleet, network) sees
+        them without a second callback plumbing.  The stream must end
+        with a chunk marked ``last=True`` followed by the usual
+        :meth:`complete` (or :meth:`fail`) call.
+        """
+        if self._responder is None:
+            raise RuntimeError("start_run was never called on this SUT")
+        self._responder(query, chunk)
 
     def issue_query(self, query: Query) -> None:
         raise NotImplementedError

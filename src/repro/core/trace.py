@@ -5,7 +5,9 @@ The real LoadGen emits ``mlperf_trace.json`` viewable in
 :class:`~repro.core.logging.QueryLog`: one complete ("X") event per
 query on a per-wave track, plus instant events for issues.  Useful for
 eyeballing batching behaviour, queue buildup, and the scenario's arrival
-pattern.
+pattern.  Streamed queries (``docs/streaming.md``) additionally get a
+"first token" instant and a first-to-last-chunk span on their own track,
+so TTFT and the token tail are visible inside the total-latency bar.
 
 For Network-division runs the exporter also accepts per-query
 :class:`TransportTiming` records (kept by ``NetworkSUT`` and
@@ -135,6 +137,37 @@ def to_chrome_trace(
                 "scheduled": record.scheduled_time,
             },
         })
+        if record.streamed:
+            # Streamed queries get their token timeline on the same
+            # track: an instant at the first token and a span covering
+            # first-to-last chunk, so TTFT and the streaming tail are
+            # visible inside the query's total-latency bar.
+            events.append({
+                "name": "first token",
+                "cat": "stream",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": track,
+                "ts": record.first_chunk_time * _US,
+                "args": {"ttft_ms": (record.ttft or 0.0) * 1e3},
+            })
+            events.append({
+                "name": f"stream {record.query.id}",
+                "cat": "stream",
+                "ph": "X",
+                "pid": 1,
+                "tid": track,
+                "ts": record.first_chunk_time * _US,
+                "dur": (record.last_chunk_time - record.first_chunk_time)
+                       * _US,
+                "args": {
+                    "tokens": record.token_count,
+                    "chunks": record.chunk_count,
+                    "tpot_ms": (record.tpot or 0.0) * 1e3,
+                    "restarts": record.stream_restarts,
+                },
+            })
     if transport:
         events.append({
             "name": "process_name",

@@ -31,6 +31,7 @@ from typing import Dict, List
 
 from .config import Scenario, TestMode, TestSettings
 from .logging import QueryLog
+from .metrics import effective_tpot, effective_ttft, record_meets_stream_slos
 from .scenarios import DriverStats
 
 
@@ -103,6 +104,25 @@ def _check_misbehavior(
             r.failure_reason for r in failed[:_DETAIL_LIMIT]
         ]
 
+    if log.stream_chunk_anomalies:
+        first = log.stream_chunk_anomalies[0]
+        reasons.append(
+            f"{len(log.stream_chunk_anomalies)} stream chunk anomalies "
+            f"(e.g. query {first[0]}: {first[2]})"
+        )
+        details["stream_chunk_anomaly_count"] = len(log.stream_chunk_anomalies)
+        details["stream_chunk_anomalies"] = [
+            reason for _qid, _t, reason in
+            log.stream_chunk_anomalies[:_DETAIL_LIMIT]
+        ]
+
+    if log.truncated_streams:
+        reasons.append(
+            f"{len(log.truncated_streams)} truncated streams (completed "
+            "without a final chunk)"
+        )
+        details["truncated_stream_count"] = len(log.truncated_streams)
+
 
 def validate_run(
     log: QueryLog, settings: TestSettings, stats: DriverStats
@@ -162,6 +182,45 @@ def validate_run(
                 f"{fraction:.4%} of queries exceeded the {bound * 1e3:.0f} ms "
                 f"bound (budget {budget:.0%})"
             )
+
+    # Token-level SLOs (streamed responses): violations draw on the same
+    # tail budget as the classic latency rule, and goodput - queries/s
+    # counting only fully SLO-compliant queries - lands in the details.
+    ttft_target = settings.resolved_ttft_target
+    tpot_target = settings.resolved_tpot_target
+    if ttft_target is not None or tpot_target is not None:
+        budget = settings.resolved_max_violation_fraction
+        if ttft_target is not None:
+            violations = sum(
+                1 for r in records if effective_ttft(r) > ttft_target
+            )
+            fraction = violations / len(records)
+            details["ttft_target"] = ttft_target
+            details["ttft_violation_fraction"] = fraction
+            if fraction > budget:
+                reasons.append(
+                    f"{fraction:.4%} of queries exceeded the TTFT target "
+                    f"{ttft_target * 1e3:.1f} ms (budget {budget:.0%})"
+                )
+        if tpot_target is not None:
+            violations = sum(
+                1 for r in records if effective_tpot(r) > tpot_target
+            )
+            fraction = violations / len(records)
+            details["tpot_target"] = tpot_target
+            details["tpot_violation_fraction"] = fraction
+            if fraction > budget:
+                reasons.append(
+                    f"{fraction:.4%} of queries exceeded the TPOT target "
+                    f"{tpot_target * 1e3:.1f} ms (budget {budget:.0%})"
+                )
+        compliant = sum(
+            1 for r in records if record_meets_stream_slos(r, settings)
+        )
+        details["slo_compliant_queries"] = compliant
+        details["goodput"] = (
+            compliant / duration if duration > 0 else float("inf")
+        )
 
     if scenario is Scenario.MULTI_STREAM:
         offenders = sum(1 for v in stats.skipped_intervals.values() if v > 0)

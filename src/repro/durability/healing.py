@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.events import EventHandle, EventLoop
-from ..core.query import Query
+from ..core.query import Query, StreamChunk
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..faults.filtering import CompletionFilter
 from ..metrics import MetricsRegistry
@@ -104,6 +104,9 @@ class _Guarded:
     hedged: bool = False
     primary_dead: bool = False
     standby_dead: bool = False
+    #: Run time of admission - anchors the total budget when streaming
+    #: progress re-arms the deadline.
+    started: float = 0.0
     deadline_timer: Optional[EventHandle] = None
     hedge_timer: Optional[EventHandle] = None
 
@@ -206,7 +209,8 @@ class SelfHealingSUT(SutBase):
                 # Shed *from the primary*: the standby carries the load
                 # while the breaker waits out the outage.
                 state = self._filter.admit(
-                    query, _Guarded(query=query, routed="standby"))
+                    query, _Guarded(query=query, routed="standby",
+                                    started=self.loop.now))
                 self.stats.standby_queries += 1
                 self._arm_deadline(state)
                 self.standby.issue_query(query)
@@ -219,7 +223,7 @@ class SelfHealingSUT(SutBase):
         state = self._filter.admit(
             query,
             _Guarded(query=query, routed="primary",
-                     probe=(verdict == "probe")))
+                     probe=(verdict == "probe"), started=self.loop.now))
         if state.probe:
             self.stats.probe_queries += 1
             if self._m:
@@ -269,6 +273,10 @@ class SelfHealingSUT(SutBase):
         if self._m:
             self._m.hedges.inc()
         assert self.standby is not None
+        # The standby's stream starts over at seq 0; both attempts draw
+        # the same per-query stream plan, so whichever source is ahead
+        # after the restart screens clean without double-counting.
+        self._filter.restart_stream(state.query.id)
         self.standby.issue_query(state.query)
 
     # -- completions ------------------------------------------------------------
@@ -279,7 +287,39 @@ class SelfHealingSUT(SutBase):
     def _from_standby(self, query: Query, responses) -> None:
         self._on_completion("standby", query, responses)
 
+    def _on_chunk(self, source: str, query: Query,
+                  chunk: StreamChunk) -> None:
+        current = self._filter.get(query.id)
+        if current is not None and source == "primary" and current.primary_dead:
+            # A failed-over primary may keep streaming; drop its chunks
+            # *before* screening so they cannot advance the stream
+            # progress the standby's attempt is being screened against.
+            self.stats.filtered_completions += 1
+            return
+        screened = self._filter.screen_chunk(query, chunk)
+        if screened.stale or screened.flaw is not None:
+            self.stats.filtered_completions += 1
+            return
+        state: _Guarded = screened.state
+        # Streaming progress re-arms the deadline (the backend is
+        # alive), still bounded by the query's total budget.
+        if state.deadline_timer is not None:
+            state.deadline_timer.cancel()
+        deadline = self.attempt_timeout
+        if self.total_timeout is not None:
+            deadline = max(
+                0.0,
+                min(deadline,
+                    self.total_timeout - (self.loop.now - state.started)),
+            )
+        state.deadline_timer = self.loop.schedule_after(
+            deadline, lambda: self._deadline(state))
+        self._responder(query, chunk)
+
     def _on_completion(self, source: str, query: Query, responses) -> None:
+        if isinstance(responses, StreamChunk):
+            self._on_chunk(source, query, responses)
+            return
         screened = self._filter.screen(query, responses)
         if screened.stale:
             # Duplicate, hedge loser, or post-deadline straggler: the
@@ -317,6 +357,7 @@ class SelfHealingSUT(SutBase):
                 self.stats.failovers += 1
                 if self._m:
                     self._m.hedges.inc()
+                self._filter.restart_stream(qid)
                 self.standby.issue_query(state.query)
                 return
             if self.standby is not None and not state.standby_dead:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Optional, TypeVar
 
-from ..core.query import Query, QueryFailure
+from ..core.query import Query, QueryFailure, StreamChunk
 
 S = TypeVar("S")
 
@@ -68,11 +68,24 @@ class Screened(NamedTuple):
         return self.state is not None and self.flaw is None
 
 
+class _StreamProgress:
+    """Where one in-flight query's chunk stream has advanced to."""
+
+    __slots__ = ("next_seq", "saw_last")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.saw_last = False
+
+
 class CompletionFilter:
     """In-flight registry + duplicate/straggler/malformed screening."""
 
     def __init__(self) -> None:
         self._inflight: Dict[int, object] = {}
+        #: Chunk-stream progress per in-flight query, kept in a side
+        #: table so non-streaming queries pay nothing.
+        self._streams: Dict[int, _StreamProgress] = {}
 
     def __len__(self) -> int:
         return len(self._inflight)
@@ -92,7 +105,20 @@ class CompletionFilter:
     def resolve(self, query_id: int) -> Optional[object]:
         """Remove and return the state; later completions for this query
         will screen as stale."""
+        self._streams.pop(query_id, None)
         return self._inflight.pop(query_id, None)
+
+    def restart_stream(self, query_id: int) -> None:
+        """Forget the query's chunk progress because the caller is about
+        to reissue it (retry, reroute, hedge).
+
+        The next attempt's stream starts over at ``seq == 0``; without
+        this reset its chunks would collide with the dead attempt's
+        progress and either be double-counted or screened as flawed.
+        Stragglers from the old attempt instead screen as flawed chunks
+        and are silently dropped by the caller.
+        """
+        self._streams.pop(query_id, None)
 
     def states(self) -> List[object]:
         """Snapshot of every in-flight state (admission order)."""
@@ -111,3 +137,42 @@ class CompletionFilter:
         if isinstance(responses, QueryFailure):
             return Screened(state=state, flaw=f"attempt failed: {responses.reason}")
         return Screened(state=state, flaw=malformed_reason(query, responses))
+
+    def screen_chunk(self, query: Query, chunk: StreamChunk) -> Screened:
+        """Classify one stream chunk arriving from the unreliable source.
+
+        A clean chunk (``flaw is None``) advances the query's stream
+        progress and should be forwarded upward; a flawed chunk
+        (out-of-sequence, duplicate, after the final chunk) must be
+        *dropped*, not treated as a failed attempt - chunks are
+        progress reports, and a straggler from a dead attempt says
+        nothing about the live one.  ``seq == 0`` after prior progress
+        is a legitimate stream restart (a lower layer reissued the
+        query) and resets progress.
+        """
+        state = self._inflight.get(query.id)
+        if state is None:
+            return Screened(state=None, flaw=None)
+        progress = self._streams.get(query.id)
+        if progress is None:
+            progress = self._streams[query.id] = _StreamProgress()
+        if chunk.seq == 0 and progress.next_seq > 0:
+            progress.next_seq = 0
+            progress.saw_last = False
+        if progress.saw_last:
+            return Screened(
+                state=state,
+                flaw=f"chunk seq {chunk.seq} after the final chunk",
+            )
+        if chunk.seq != progress.next_seq:
+            return Screened(
+                state=state,
+                flaw=(
+                    f"out-of-sequence chunk seq {chunk.seq} "
+                    f"(expected {progress.next_seq})"
+                ),
+            )
+        progress.next_seq += 1
+        if chunk.last:
+            progress.saw_last = True
+        return Screened(state=state, flaw=None)

@@ -27,7 +27,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.events import EventHandle, EventLoop
-from ..core.query import Query
+from ..core.query import Query, StreamChunk
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..metrics import MetricsRegistry
 from .filtering import CompletionFilter
@@ -310,11 +310,43 @@ class ResilientSUT(SutBase):
 
     def _reissue(self, state: _Inflight) -> None:
         if self._filter.get(state.query.id) is state:
+            # The new attempt's stream starts over at seq 0; forget the
+            # dead attempt's chunk progress so its chunks are not
+            # double-counted and the restart screens clean.
+            self._filter.restart_stream(state.query.id)
             self._attempt(state)
 
     # -- inner completions ------------------------------------------------------
 
+    def _on_chunk(self, query: Query, chunk: StreamChunk) -> None:
+        screened = self._filter.screen_chunk(query, chunk)
+        if screened.stale or screened.flaw is not None:
+            # Straggler chunks from a dead attempt (or for a resolved
+            # query) are absorbed; they are progress reports, not
+            # evidence the live attempt failed.
+            self.stats.filtered_completions += 1
+            if self._m:
+                self._m.filtered.inc()
+            return
+        state = screened.state
+        # Streaming progress resets the per-attempt deadline: the
+        # attempt is alive, so the timeout meters the gap between
+        # chunks rather than the whole stream.
+        if state.timer is not None:
+            state.timer.cancel()
+        timeout = self.policy.attempt_timeout
+        remaining = self._budget_left(state)
+        if remaining is not None:
+            timeout = max(0.0, min(timeout, remaining))
+        state.timer = self.loop.schedule_after(
+            timeout, lambda: self._attempt_lost(state)
+        )
+        self._responder(query, chunk)
+
     def _on_inner_completion(self, query: Query, responses) -> None:
+        if isinstance(responses, StreamChunk):
+            self._on_chunk(query, responses)
+            return
         screened = self._filter.screen(query, responses)
         if screened.stale:
             # Duplicate, unsolicited, or post-deadline straggler: the

@@ -44,7 +44,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..core.events import EventHandle, EventLoop
-from ..core.query import Query
+from ..core.query import Query, StreamChunk
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..durability.breaker import BreakerPolicy
 from ..faults.filtering import CompletionFilter
@@ -289,6 +289,10 @@ class ReplicaSet(SutBase):
                 self._m.routed.labels(replica=replica.index).inc()
             state.deadline_timer = self.loop.schedule_after(
                 self.attempt_timeout, lambda: self._deadline(state))
+            # A fresh attempt streams from seq 0; forget any chunk
+            # progress of the attempt this dispatch replaces so the
+            # restart screens clean without double-counting.
+            self._filter.restart_stream(state.query.id)
             replica.sut.issue_query(state.query)
             return True
         return False
@@ -331,7 +335,36 @@ class ReplicaSet(SutBase):
 
     # -- completions ------------------------------------------------------------
 
+    def _on_chunk(self, source: int, query: Query,
+                  chunk: StreamChunk) -> None:
+        current = self._filter.get(query.id)
+        if current is None or current.replica != source:
+            # Chunk from a replica the query was rerouted away from (or
+            # for a resolved query): a straggler, dropped before it can
+            # touch the live attempt's stream progress.
+            self.stats.stragglers_absorbed += 1
+            if self._m:
+                self._m.stragglers.inc()
+            return
+        screened = self._filter.screen_chunk(query, chunk)
+        if screened.stale or screened.flaw is not None:
+            self.stats.stragglers_absorbed += 1
+            if self._m:
+                self._m.stragglers.inc()
+            return
+        state: _Routed = screened.state
+        # Streaming progress re-arms the attempt deadline: the replica
+        # is alive, so the timeout meters inter-chunk gaps.
+        if state.deadline_timer is not None:
+            state.deadline_timer.cancel()
+        state.deadline_timer = self.loop.schedule_after(
+            self.attempt_timeout, lambda: self._deadline(state))
+        self._responder(query, chunk)
+
     def _on_completion(self, source: int, query: Query, responses) -> None:
+        if isinstance(responses, StreamChunk):
+            self._on_chunk(source, query, responses)
+            return
         screened = self._filter.screen(query, responses)
         if screened.stale or screened.state.replica != source:
             # Duplicate, post-resolution straggler, or an answer from a

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.events import EventHandle, EventLoop
-from ..core.query import Query, QuerySampleResponse
+from ..core.query import Query, QuerySampleResponse, StreamChunk
 from ..core.sut import Responder, SutBase
 from ..core.trace import TransportTiming
 from ..faults.filtering import CompletionFilter, malformed_reason
@@ -68,6 +68,10 @@ class NetworkStats:
     gave_up_queries: int = 0
     #: Duplicates and post-resolution stragglers swallowed.
     filtered_completions: int = 0
+    #: CHUNK frames forwarded to the referee.
+    chunks_received: int = 0
+    #: Stale, duplicate, or out-of-sequence CHUNK frames dropped.
+    filtered_chunks: int = 0
     #: FAIL frames received from the server.
     server_failures: int = 0
     malformed_completions: int = 0
@@ -274,6 +278,9 @@ class NetworkSUT(SutBase):
             state.attempt += 1
             state.connection = conn
             self.stats.retries += 1
+            # The retried attempt streams from seq 0; forget the dead
+            # attempt's chunk progress so its restart screens clean.
+            self._filter.restart_stream(qid)
             self._send_attempt(state)
             return
         self._filter.resolve(qid)
@@ -329,6 +336,31 @@ class NetworkSUT(SutBase):
             server_send=server_send,
         )
         self.complete(state.query, responses)
+
+    def _on_chunk(self, chunk: StreamChunk) -> None:
+        """Loop thread: screen one CHUNK frame and forward it upward.
+
+        A clean chunk is progress, so it re-arms the per-attempt
+        deadline - a server mid-stream is not a server that timed out.
+        Flawed chunks (stragglers from a superseded attempt, duplicates,
+        out-of-sequence arrivals) are dropped, never retried: the
+        terminal COMPLETE still carries the authoritative answer.
+        """
+        state = self._filter.get(chunk.query_id)
+        if state is None:
+            self.stats.filtered_chunks += 1
+            return
+        screened = self._filter.screen_chunk(state.query, chunk)
+        if screened.stale or screened.flaw is not None:
+            self.stats.filtered_chunks += 1
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self.loop.schedule_after(
+            self.query_timeout, lambda: self._deadline(state)
+        )
+        self.stats.chunks_received += 1
+        self.emit_chunk(state.query, chunk)
 
     def _on_fail(self, query_id: int, reason: str) -> None:
         state = self._filter.get(query_id)
@@ -450,6 +482,9 @@ class NetworkSUT(SutBase):
                     query_id, responses, s_recv, s_send, recv_time
                 )
             )
+        elif ftype is FrameType.CHUNK:
+            chunk = protocol.parse_chunk(payload)
+            self.loop.post(lambda: self._on_chunk(chunk))
         elif ftype is FrameType.FAIL:
             query_id, reason = protocol.parse_fail(payload)
             self.loop.post(lambda: self._on_fail(query_id, reason))

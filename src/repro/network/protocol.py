@@ -14,12 +14,14 @@ Framing::
     |  2 B  |   1 B   | 1 B  |  4 B big-endian | length bytes   |
     +-------+---------+------+-----------------+----------------+
 
-Seven frame types cover the conversation: ``HELLO`` (version/name
+Eight frame types cover the conversation: ``HELLO`` (version/name
 exchange, first frame on every connection), ``LOAD`` (untimed sample
 preload, the Fig. 3 steps 1-4 analogue), ``ISSUE`` (one query),
 ``COMPLETE`` (responses plus server-side timestamps), ``FAIL`` (a
 query-scoped recorded failure), ``DRAIN`` (graceful end-of-session),
-and ``STATS`` (server counters; also the reply to ``LOAD``/``DRAIN``).
+``STATS`` (server counters; also the reply to ``LOAD``/``DRAIN``), and
+``CHUNK`` (one streamed piece of an answer; zero or more precede the
+query's ``COMPLETE``).
 
 The payload codec is a tagged recursive encoding of the JSON scalar
 types plus ``bytes`` and C-contiguous numpy arrays (dtype + shape +
@@ -43,7 +45,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.query import Query, QuerySample, QuerySampleResponse
+from ..core.query import Query, QuerySample, QuerySampleResponse, StreamChunk
 
 MAGIC = b"MI"
 VERSION = 1
@@ -62,7 +64,7 @@ class ProtocolError(Exception):
 
 
 class FrameType(enum.IntEnum):
-    """The seven conversation frame types."""
+    """The eight conversation frame types."""
 
     HELLO = 1
     LOAD = 2
@@ -71,6 +73,9 @@ class FrameType(enum.IntEnum):
     FAIL = 5
     DRAIN = 6
     STATS = 7
+    #: One streamed chunk of an answer; zero or more CHUNK frames
+    #: precede a query's COMPLETE (or FAIL) frame.
+    CHUNK = 8
 
 
 # -- payload codec -------------------------------------------------------------
@@ -373,6 +378,39 @@ def parse_complete(payload: Any) -> Tuple[int, List[QuerySampleResponse], float,
         responses,
         float(msg["server_recv"]),
         float(msg["server_send"]),
+    )
+
+
+def chunk_frame(
+    query_id: int,
+    seq: int,
+    token_count: int,
+    last: bool,
+    data: Any = None,
+) -> bytes:
+    return encode_frame(FrameType.CHUNK, {
+        "query_id": query_id,
+        "seq": seq,
+        "tokens": token_count,
+        "last": bool(last),
+        "data": data,
+    })
+
+
+def parse_chunk(payload: Any) -> StreamChunk:
+    msg = _require(payload, "query_id", "seq", "tokens", "last")
+    seq = int(msg["seq"])
+    tokens = int(msg["tokens"])
+    if seq < 0:
+        raise ProtocolError(f"CHUNK seq must be >= 0, got {seq}")
+    if tokens < 0:
+        raise ProtocolError(f"CHUNK tokens must be >= 0, got {tokens}")
+    return StreamChunk(
+        query_id=int(msg["query_id"]),
+        seq=seq,
+        token_count=tokens,
+        last=bool(msg["last"]),
+        data=msg.get("data"),
     )
 
 

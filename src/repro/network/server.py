@@ -48,7 +48,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from ..core.events import EventLoop, WallClock
-from ..core.query import Query, QueryFailure, QuerySample, QuerySampleResponse
+from ..core.query import (
+    Query, QueryFailure, QuerySample, QuerySampleResponse, StreamChunk,
+)
 from ..core.sut import QuerySampleLibrary, SystemUnderTest
 from ..metrics import MetricsRegistry
 from . import protocol
@@ -143,6 +145,8 @@ class ServerStats:
     queries_received: int = 0
     completed: int = 0
     failed: int = 0
+    #: Stream chunks forwarded to clients ahead of their COMPLETE.
+    chunks: int = 0
     #: ISSUEs shed because the admission queue was full.
     rejected: int = 0
     protocol_errors: int = 0
@@ -157,6 +161,7 @@ class ServerStats:
             "queries_received": self.queries_received,
             "completed": self.completed,
             "failed": self.failed,
+            "chunks": self.chunks,
             "rejected": self.rejected,
             "protocol_errors": self.protocol_errors,
             "batches": self.batches,
@@ -187,6 +192,9 @@ class _ServerInstruments:
             "server_queries_completed_total", "Queries answered COMPLETE")
         self.failed = registry.counter(
             "server_queries_failed_total", "Queries answered FAIL")
+        self.chunks = registry.counter(
+            "server_stream_chunks_total",
+            "Stream chunks forwarded ahead of COMPLETE")
         self.rejected = registry.counter(
             "server_queries_rejected_total",
             "ISSUEs shed because the admission queue was full")
@@ -238,22 +246,40 @@ class _BackendRunner:
         self.sut = sut
         self.loop = EventLoop(WallClock())
         self._result: Optional[Tuple[Query, object]] = None
+        self._on_chunk: Optional[Callable[[StreamChunk], None]] = None
         self._lock = threading.Lock()
         self.sut.start_run(self.loop, self._capture)
 
     def _capture(self, query: Query, responses) -> None:
+        # Chunks are progress, not the answer: hand them to the caller's
+        # sink (if it asked for one) and keep waiting for the terminal
+        # completion.
+        if isinstance(responses, StreamChunk):
+            if self._on_chunk is not None:
+                self._on_chunk(responses)
+            return
         # Keep the first terminal answer; duplicates from a misbehaving
         # backend are dropped here rather than forwarded over the wire.
         if self._result is None:
             self._result = (query, responses)
 
-    def run(self, query: Query):
-        """Execute ``query``; returns a response list or QueryFailure."""
+    def run(self, query: Query,
+            on_chunk: Optional[Callable[[StreamChunk], None]] = None):
+        """Execute ``query``; returns a response list or QueryFailure.
+
+        ``on_chunk`` (optional) receives each :class:`StreamChunk` the
+        backend emits while the query runs, before the terminal answer
+        is returned.
+        """
         with self._lock:
             self._result = None
-            self.sut.issue_query(query)
-            self.sut.flush()
-            self.loop.run()
+            self._on_chunk = on_chunk
+            try:
+                self.sut.issue_query(query)
+                self.sut.flush()
+                self.loop.run()
+            finally:
+                self._on_chunk = None
             if self._result is None:
                 return QueryFailure("backend produced no completion")
             answered, responses = self._result
@@ -804,8 +830,15 @@ class InferenceServer:
             issue_time=time.monotonic(),
             contiguous=False,
         )
+        # Chunks are forwarded live only for single-request batches: a
+        # merged batch runs as one backend query, so its chunks cannot
+        # be attributed to any one client request and are dropped.
+        on_chunk = None
+        if len(batch) == 1:
+            sole = batch[0]
+            on_chunk = lambda chunk: self._send_chunk(sole, chunk)
         try:
-            outcome = runner.run(query)
+            outcome = runner.run(query, on_chunk=on_chunk)
         except Exception as exc:  # a crashing backend fails the batch
             outcome = QueryFailure(f"backend raised {exc!r}")
         if isinstance(outcome, QueryFailure):
@@ -841,6 +874,31 @@ class InferenceServer:
             self._send_complete(request, responses)
 
     # -- replies ----------------------------------------------------------------
+
+    def _send_chunk(self, request: _PendingRequest,
+                    chunk: StreamChunk) -> None:
+        """Forward one stream chunk to the client, under its own id.
+
+        Chunks are not terminal: no ``_request_done``, and a chunk whose
+        payload is not wire-encodable is resent without the payload
+        rather than failing the query - the terminal COMPLETE carries
+        the authoritative answer.
+        """
+        try:
+            frame = protocol.chunk_frame(
+                request.query_id, chunk.seq, chunk.token_count,
+                chunk.last, chunk.data,
+            )
+        except TypeError:
+            frame = protocol.chunk_frame(
+                request.query_id, chunk.seq, chunk.token_count,
+                chunk.last, None,
+            )
+        with self._stats_lock:
+            self.stats.chunks += 1
+            if self._m:
+                self._m.chunks.inc()
+        request.session.send(frame)
 
     def _send_complete(
         self, request: _PendingRequest, responses: List[QuerySampleResponse]

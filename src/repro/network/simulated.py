@@ -34,14 +34,15 @@ the trace exporter draws identical network spans for simulated runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..core.events import EventLoop
-from ..core.query import Query, QueryFailure
+from ..core.query import Query, QueryFailure, StreamChunk
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..core.trace import TransportTiming
+from ..streaming.reassembly import StreamReassembler
 from . import protocol
 
 
@@ -91,6 +92,10 @@ class ChannelStats:
     queries_dropped: int = 0
     completions_forwarded: int = 0
     completions_dropped: int = 0
+    chunks_forwarded: int = 0
+    chunks_dropped: int = 0
+    #: Chunks stuck behind a lost one when their query resolved.
+    chunks_stranded: int = 0
     reordered_frames: int = 0
     bytes_forward: int = 0
     bytes_reverse: int = 0
@@ -137,10 +142,15 @@ class SimulatedChannelSUT(SutBase):
         inner: SystemUnderTest,
         model: Optional[ChannelModel] = None,
         name: Optional[str] = None,
+        reassemble_streams: bool = True,
     ) -> None:
         super().__init__(name or f"channel[{inner.name}]")
         self.inner = inner
         self.model = model if model is not None else ChannelModel()
+        #: Restore chunk order client-side (what a real streaming client
+        #: does).  Disable to let the referee see the raw reordered
+        #: arrivals - useful for demonstrating misbehavior detection.
+        self.reassemble_streams = reassemble_streams
         self.stats = ChannelStats()
         self.transport_records: Dict[int, TransportTiming] = {}
         self._rng = np.random.default_rng(self.model.seed)
@@ -149,6 +159,9 @@ class SimulatedChannelSUT(SutBase):
         self._inner_recv: Dict[int, float] = {}
         self._send_times: Dict[int, float] = {}
         self._last_delivery = 0.0
+        self._reassembler = StreamReassembler()
+        self._chunks_in_flight: Dict[int, int] = {}
+        self._held_completions: Dict[int, Callable[[], None]] = {}
 
     def start_run(self, loop: EventLoop, responder: Responder) -> None:
         super().start_run(loop, responder)
@@ -160,6 +173,9 @@ class SimulatedChannelSUT(SutBase):
         self._inner_recv = {}
         self._send_times = {}
         self._last_delivery = loop.now
+        self._reassembler = StreamReassembler()
+        self._chunks_in_flight = {}
+        self._held_completions = {}
         self.inner.start_run(loop, self._on_inner_completion)
 
     # -- forward direction ------------------------------------------------------
@@ -193,6 +209,9 @@ class SimulatedChannelSUT(SutBase):
     # -- reverse direction ------------------------------------------------------
 
     def _on_inner_completion(self, query: Query, responses) -> None:
+        if isinstance(responses, StreamChunk):
+            self._transit_chunk(query, responses)
+            return
         if isinstance(responses, QueryFailure):
             size = len(protocol.fail_frame(query.id, responses.reason))
         else:
@@ -217,6 +236,17 @@ class SimulatedChannelSUT(SutBase):
         self.stats.completions_forwarded += 1
 
         def _deliver() -> None:
+            # The terminal frame must not overtake this query's chunks
+            # still on the wire (per-flow ordering, as TCP would give
+            # us); hold it until the last of them lands.  Chunks that
+            # were *dropped* never went on the wire, so a lossy stream
+            # still resolves - as a truncated stream.
+            if self.reassemble_streams and \
+                    self._chunks_in_flight.get(query.id, 0) > 0:
+                self._held_completions[query.id] = _deliver
+                return
+            self._held_completions.pop(query.id, None)
+            self.stats.chunks_stranded += self._reassembler.finish(query.id)
             self.transport_records[query.id] = TransportTiming(
                 send_time=self._send_times.pop(query.id, server_recv),
                 recv_time=self.loop.now,
@@ -224,6 +254,38 @@ class SimulatedChannelSUT(SutBase):
                 server_send=server_send,
             )
             self._responder(query, responses)
+
+        self._schedule_delivery(deliver_at, _deliver)
+
+    def _transit_chunk(self, query: Query, chunk: StreamChunk) -> None:
+        """Carry one stream chunk over the reverse link."""
+        size = len(protocol.chunk_frame(
+            query.id, chunk.seq, chunk.token_count, chunk.last, chunk.data
+        ))
+        self.stats.bytes_reverse += size
+        if self._rng.random() < self.model.drop_rate:
+            self.stats.chunks_dropped += 1
+            return
+        deliver_at = self._transit(self._reverse, size)
+        self.stats.chunks_forwarded += 1
+        self._chunks_in_flight[query.id] = \
+            self._chunks_in_flight.get(query.id, 0) + 1
+
+        def _deliver() -> None:
+            remaining = self._chunks_in_flight.get(query.id, 1) - 1
+            if remaining <= 0:
+                self._chunks_in_flight.pop(query.id, None)
+            else:
+                self._chunks_in_flight[query.id] = remaining
+            if self.reassemble_streams:
+                for released in self._reassembler.push(query.id, chunk):
+                    self._responder(query, released)
+            else:
+                self._responder(query, chunk)
+            if remaining <= 0:
+                held = self._held_completions.pop(query.id, None)
+                if held is not None:
+                    held()
 
         self._schedule_delivery(deliver_at, _deliver)
 

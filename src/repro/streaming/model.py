@@ -1,0 +1,116 @@
+"""Seeded per-query stream shapes: how many tokens, in which chunks, when.
+
+The model is a pure function of ``(model seed, query id)``: a
+:class:`StreamModel` asked twice for the same query returns the same
+:class:`StreamPlan`, which is what makes a virtual-clock streaming run
+bit-identical across reruns and lets tests predict exact chunk timings.
+Draws use a dedicated ``SeedSequence`` domain tag so stream shapes are
+independent of every other seeded subsystem (arrival times, loaded-set
+choice, fault plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Tuple
+
+import numpy as np
+
+#: SeedSequence domain tag for stream-shape draws.
+_STREAM_TAG = 0x57EA4
+
+
+class ChunkEvent(NamedTuple):
+    """One planned chunk: emission offset from the stream's start."""
+
+    #: Seconds after the stream starts (the inner answer being ready).
+    offset: float
+    #: Output tokens this chunk carries.
+    token_count: int
+    #: True on the stream's final chunk.
+    last: bool
+
+
+class StreamPlan(NamedTuple):
+    """The full planned stream for one query."""
+
+    token_count: int
+    chunks: Tuple[ChunkEvent, ...]
+
+    @property
+    def duration(self) -> float:
+        """Offset of the final chunk."""
+        return self.chunks[-1].offset
+
+
+@dataclass(frozen=True)
+class StreamModel:
+    """Distribution of stream shapes, deterministic per query.
+
+    ``first_token_delay`` models the gap between the answer being ready
+    and the first chunk leaving (prefill-to-decode handoff);
+    ``inter_token_delay`` is the per-token decode interval.  Jitter
+    fields add a seeded uniform ``±jitter`` perturbation per event,
+    clamped so offsets never go backwards.  Token counts are drawn
+    uniformly from ``[min_tokens, max_tokens]``; chunks carry
+    ``tokens_per_chunk`` tokens (the final chunk takes the remainder),
+    mirroring streaming APIs that batch several tokens per flush.
+    """
+
+    first_token_delay: float = 0.002
+    inter_token_delay: float = 0.0005
+    min_tokens: int = 8
+    max_tokens: int = 32
+    tokens_per_chunk: int = 1
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.first_token_delay < 0:
+            raise ValueError(
+                f"first_token_delay must be >= 0, got {self.first_token_delay}"
+            )
+        if self.inter_token_delay < 0:
+            raise ValueError(
+                f"inter_token_delay must be >= 0, got {self.inter_token_delay}"
+            )
+        if self.min_tokens < 1:
+            raise ValueError(f"min_tokens must be >= 1, got {self.min_tokens}")
+        if self.max_tokens < self.min_tokens:
+            raise ValueError(
+                f"max_tokens must be >= min_tokens, got {self.max_tokens}"
+            )
+        if self.tokens_per_chunk < 1:
+            raise ValueError(
+                f"tokens_per_chunk must be >= 1, got {self.tokens_per_chunk}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def plan(self, query_id: int) -> StreamPlan:
+        """The deterministic stream shape for one query."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, query_id, _STREAM_TAG))
+        )
+        tokens = int(rng.integers(self.min_tokens, self.max_tokens + 1))
+        chunks = []
+        offset = 0.0
+        emitted = 0
+        seq = 0
+        while emitted < tokens:
+            count = min(self.tokens_per_chunk, tokens - emitted)
+            delay = (
+                self.first_token_delay
+                if seq == 0
+                else self.inter_token_delay * count
+            )
+            if self.jitter > 0.0:
+                delay += float(rng.uniform(-self.jitter, self.jitter))
+            offset += max(0.0, delay)
+            emitted += count
+            chunks.append(
+                ChunkEvent(offset=offset, token_count=count,
+                           last=emitted >= tokens)
+            )
+            seq += 1
+        return StreamPlan(token_count=tokens, chunks=tuple(chunks))

@@ -1,0 +1,1 @@
+"""Tests for the streaming inference subsystem (repro.streaming)."""

@@ -1,0 +1,60 @@
+"""The seeded stream model: deterministic plans, honest validation."""
+
+import pytest
+
+from repro.streaming import StreamModel
+
+pytestmark = pytest.mark.streaming
+
+
+def test_plans_are_deterministic_per_query_id():
+    model = StreamModel(seed=3)
+    assert model.plan(17) == model.plan(17)
+    assert StreamModel(seed=3).plan(17) == model.plan(17)
+
+
+def test_different_queries_and_seeds_get_different_plans():
+    model = StreamModel(seed=3)
+    plans = {model.plan(qid).chunks for qid in range(20)}
+    assert len(plans) > 1
+    assert StreamModel(seed=4).plan(17) != model.plan(17)
+
+
+def test_plan_shape_respects_the_model():
+    model = StreamModel(
+        first_token_delay=0.002, inter_token_delay=0.0005,
+        min_tokens=5, max_tokens=9, tokens_per_chunk=2, seed=0)
+    for qid in range(50):
+        plan = model.plan(qid)
+        assert 5 <= plan.token_count <= 9
+        assert sum(c.token_count for c in plan.chunks) == plan.token_count
+        assert all(c.token_count <= 2 for c in plan.chunks)
+        # Exactly one final chunk, at the end.
+        assert [c.last for c in plan.chunks].count(True) == 1
+        assert plan.chunks[-1].last
+        # Offsets are non-decreasing; the first token obeys its delay.
+        offsets = [c.offset for c in plan.chunks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == pytest.approx(0.002)
+        assert plan.duration == offsets[-1]
+
+
+def test_jitter_perturbs_but_never_reorders():
+    jittered = StreamModel(jitter=0.0004, seed=5)
+    for qid in range(20):
+        offsets = [c.offset for c in jittered.plan(qid).chunks]
+        assert offsets == sorted(offsets)
+        assert all(offset >= 0 for offset in offsets)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(first_token_delay=-0.001),
+    dict(inter_token_delay=-0.001),
+    dict(min_tokens=0),
+    dict(max_tokens=2, min_tokens=3),
+    dict(tokens_per_chunk=0),
+    dict(jitter=-0.1),
+])
+def test_invalid_models_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        StreamModel(**kwargs)

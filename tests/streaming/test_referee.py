@@ -1,0 +1,136 @@
+"""The referee's chunk bookkeeping: classification, timing, audit log."""
+
+import json
+
+import pytest
+
+from repro.core.logging import QueryLog
+from repro.core.query import (
+    Query, QuerySample, QuerySampleResponse, StreamChunk,
+)
+
+pytestmark = pytest.mark.streaming
+
+
+def make_query(qid=1):
+    return Query(
+        id=qid, samples=(QuerySample(id=100, index=0),), issue_time=0.0)
+
+
+def issued(log, qid=1, time=1.0):
+    query = make_query(qid)
+    log.record_issue(query, time, scheduled_time=time)
+    return query
+
+
+def complete(log, query, time):
+    log.observe_completion(
+        query, time, [QuerySampleResponse(100, 0)], keep_responses=False)
+
+
+def test_clean_stream_records_timing_and_counts():
+    log = QueryLog()
+    query = issued(log)
+    assert log.record_chunk(query, 1.003, StreamChunk(1, 0, 3)) == "chunk"
+    assert log.record_chunk(query, 1.005, StreamChunk(1, 1, 3)) == "chunk"
+    assert log.record_chunk(
+        query, 1.007, StreamChunk(1, 2, 3, last=True)) == "chunk"
+    complete(log, query, 1.008)
+    record = log.record_for(1)
+    assert record.streamed and record.stream_closed
+    assert record.chunk_count == 3 and record.token_count == 9
+    assert record.ttft == pytest.approx(0.003)
+    assert record.tpot == pytest.approx(0.004 / 8)
+    assert log.stream_chunks == 3 and log.stream_tokens == 9
+    assert not log.stream_chunk_anomalies and not log.truncated_streams
+
+
+def test_restart_resets_the_attempt_not_the_query():
+    log = QueryLog()
+    query = issued(log)
+    log.record_chunk(query, 1.003, StreamChunk(1, 0))
+    log.record_chunk(query, 1.004, StreamChunk(1, 1))
+    # A wrapper reissued the query; the new attempt starts at seq 0.
+    assert log.record_chunk(query, 1.050, StreamChunk(1, 0)) == "restart"
+    log.record_chunk(query, 1.052, StreamChunk(1, 1, last=True))
+    complete(log, query, 1.053)
+    record = log.record_for(1)
+    assert record.stream_restarts == 1
+    assert record.chunk_count == 2  # the dead attempt is not counted
+    assert record.first_chunk_time == pytest.approx(1.050)
+    assert not log.stream_chunk_anomalies
+    assert log.anomaly_count == 0
+
+
+@pytest.mark.parametrize("shape", ["duplicate", "out-of-order"])
+def test_gap_and_duplicate_chunks_are_anomalies(shape):
+    log = QueryLog()
+    query = issued(log)
+    log.record_chunk(query, 1.003, StreamChunk(1, 0))
+    if shape == "duplicate":
+        # Re-sending seq 1 after progressing past it.
+        log.record_chunk(query, 1.004, StreamChunk(1, 1))
+        status = log.record_chunk(query, 1.005, StreamChunk(1, 1))
+    else:
+        # Seq 2 skips ahead of the expected seq 1.
+        status = log.record_chunk(query, 1.004, StreamChunk(1, 2))
+    assert status == "anomaly"
+    assert len(log.stream_chunk_anomalies) == 1
+    assert shape in log.stream_chunk_anomalies[0][2]
+    assert log.anomaly_count == 1
+
+
+def test_chunk_after_final_is_an_anomaly():
+    log = QueryLog()
+    query = issued(log)
+    log.record_chunk(query, 1.003, StreamChunk(1, 0, last=True))
+    assert log.record_chunk(query, 1.004, StreamChunk(1, 1)) == "anomaly"
+    assert "final" in log.stream_chunk_anomalies[0][2]
+
+
+def test_late_and_unsolicited_chunks_are_classified():
+    log = QueryLog()
+    query = issued(log)
+    complete(log, query, 1.010)
+    assert log.record_chunk(query, 1.011, StreamChunk(1, 0)) == "late"
+    stranger = make_query(99)
+    assert log.record_chunk(
+        stranger, 1.012, StreamChunk(99, 0)) == "unsolicited"
+
+
+def test_completion_without_final_chunk_is_truncated():
+    log = QueryLog()
+    query = issued(log)
+    log.record_chunk(query, 1.003, StreamChunk(1, 0))
+    complete(log, query, 1.010)
+    assert log.truncated_streams == [(1, 1.010)]
+    assert log.anomaly_count == 1
+    # The completion itself is still recorded - the answer arrived.
+    assert log.record_for(1).completion_time == 1.010
+
+
+def test_single_token_stream_has_zero_tpot():
+    log = QueryLog()
+    query = issued(log)
+    log.record_chunk(query, 1.002, StreamChunk(1, 0, 1, last=True))
+    complete(log, query, 1.003)
+    record = log.record_for(1)
+    assert record.tpot == 0.0
+    assert record.ttft == pytest.approx(0.002)
+
+
+def test_stream_fields_reach_the_audit_log():
+    log = QueryLog()
+    query = issued(log)
+    log.record_chunk(query, 1.003, StreamChunk(1, 0, 2))
+    log.record_chunk(query, 1.005, StreamChunk(1, 1, 2, last=True))
+    complete(log, query, 1.006)
+    row = next(
+        json.loads(line) for line in log.to_jsonl().splitlines()
+        if json.loads(line).get("query_id") == 1
+    )
+    assert row["chunk_count"] == 2
+    assert row["token_count"] == 4
+    assert row["stream_closed"] is True
+    assert row["first_chunk_time"] == pytest.approx(1.003)
+    assert row["stream_restarts"] == 0

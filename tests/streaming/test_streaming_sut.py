@@ -1,0 +1,91 @@
+"""StreamingSUT: chunks precede the completion, failures pass through."""
+
+import pytest
+
+from repro.core.events import EventLoop, VirtualClock
+from repro.core.query import (
+    Query, QueryFailure, QuerySample, QuerySampleResponse, StreamChunk,
+)
+from repro.core.sut import SutBase
+from repro.streaming import StreamModel, StreamingSUT, streaming_echo
+from repro.sut.echo import EchoSUT
+
+pytestmark = pytest.mark.streaming
+
+
+def make_query(qid=1, samples=1):
+    return Query(
+        id=qid,
+        samples=tuple(QuerySample(id=100 + i, index=i)
+                      for i in range(samples)),
+        issue_time=0.0,
+    )
+
+
+def drive(sut, queries):
+    """Run ``queries`` through ``sut`` on a fresh loop; returns the
+    ordered (query_id, response) deliveries."""
+    loop = EventLoop(VirtualClock())
+    delivered = []
+    sut.start_run(loop, lambda q, r: delivered.append((q.id, r)))
+    for query in queries:
+        sut.issue_query(query)
+    sut.flush()
+    loop.run()
+    return delivered
+
+
+def test_chunks_arrive_in_order_then_the_completion():
+    model = StreamModel(seed=9)
+    sut = streaming_echo(latency=0.001, model=model)
+    query = make_query(qid=42)
+    delivered = drive(sut, [query])
+    plan = model.plan(42)
+    chunks = [r for _, r in delivered if isinstance(r, StreamChunk)]
+    assert len(chunks) == len(plan.chunks)
+    assert [c.seq for c in chunks] == list(range(len(chunks)))
+    assert [c.token_count for c in chunks] == \
+        [e.token_count for e in plan.chunks]
+    assert chunks[-1].last and not any(c.last for c in chunks[:-1])
+    # The terminal completion is the very last delivery.
+    final_id, final = delivered[-1]
+    assert final_id == 42
+    assert isinstance(final, list)
+    assert [r.sample_id for r in final] == [100]
+
+
+def test_failures_pass_through_without_a_stream():
+    class FailingSUT(SutBase):
+        def issue_query(self, query):
+            self.loop.schedule_after(
+                0.001, lambda: self.fail(query, "backend down"))
+
+    delivered = drive(StreamingSUT(FailingSUT("failing")), [make_query()])
+    assert len(delivered) == 1
+    assert isinstance(delivered[0][1], QueryFailure)
+
+
+def test_nested_streaming_wrappers_compose():
+    """An inner StreamingSUT's chunks pass through the outer shim; only
+    the terminal completion is re-streamed (by the outer)."""
+    model = StreamModel(seed=9)
+    inner = StreamingSUT(EchoSUT(latency=0.001), model=model)
+    outer = StreamingSUT(inner, model=model)
+    query = make_query(qid=7)
+    delivered = drive(outer, [query])
+    plan = model.plan(7)
+    chunks = [r for _, r in delivered if isinstance(r, StreamChunk)]
+    # Inner stream forwarded + outer restream of the completion.
+    assert len(chunks) == 2 * len(plan.chunks)
+    assert isinstance(delivered[-1][1], list)
+
+
+def test_interleaved_queries_keep_their_own_streams():
+    model = StreamModel(seed=9)
+    sut = streaming_echo(latency=0.001, model=model)
+    queries = [make_query(qid=i) for i in range(5)]
+    delivered = drive(sut, queries)
+    for query in queries:
+        seqs = [r.seq for qid, r in delivered
+                if qid == query.id and isinstance(r, StreamChunk)]
+        assert seqs == list(range(len(model.plan(query.id).chunks)))

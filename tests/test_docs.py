@@ -52,7 +52,8 @@ def test_intra_repo_links_resolve(doc):
 def test_doc_files_exist():
     """The load-bearing pages the README advertises must exist."""
     for name in ("README.md", "CONTRIBUTING.md", "docs/architecture.md",
-                 "docs/observability.md", "docs/fleet.md"):
+                 "docs/observability.md", "docs/fleet.md",
+                 "docs/streaming.md"):
         assert (REPO / name).is_file(), f"missing {name}"
 
 

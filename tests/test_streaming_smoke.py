@@ -1,0 +1,112 @@
+"""Tier-1 streaming smoke: seeded determinism, SLO verdicts, misbehavior.
+
+Fast virtual-clock checks of the guarantees the CI gate cares about:
+same-seed streaming runs are bit-identical (summary text included),
+token-level SLO targets produce VALID/INVALID verdicts with the tail
+budget applied, and out-of-order or truncated streams are classified as
+misbehavior.  The deep behavioral suites live in ``tests/streaming/``;
+these carry the ``streaming`` marker so ``-m streaming`` selects the
+whole tier.  See ``docs/streaming.md``.
+"""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.core.query import StreamChunk
+from repro.core.sut import SutBase
+from repro.durability import run_fingerprint
+from repro.streaming import StreamModel, streaming_echo
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+pytestmark = pytest.mark.streaming
+
+
+def settings(queries=100, seed=0, **overrides):
+    base = dict(
+        scenario=Scenario.SERVER, server_target_qps=200.0,
+        server_latency_bound=0.5, min_query_count=queries,
+        min_duration=0.0, watchdog_timeout=60.0, seed=seed,
+        ttft_target_ns=50_000_000, tpot_target_ns=5_000_000,
+    )
+    base.update(overrides)
+    return TestSettings(**base)
+
+
+def streaming_run(run_settings=None, **sut_kwargs):
+    sut_kwargs.setdefault("latency", 0.001)
+    sut_kwargs.setdefault("model", StreamModel(seed=7))
+    return run_benchmark(
+        streaming_echo(**sut_kwargs), EchoQSL(),
+        run_settings if run_settings is not None else settings())
+
+
+def test_seeded_streaming_run_is_bit_identical():
+    first, second = streaming_run(), streaming_run()
+    assert first.valid
+    assert first.summary() == second.summary()
+    assert run_fingerprint(first) == run_fingerprint(second)
+    stream = first.metrics.stream
+    assert stream is not None
+    assert stream.streamed_query_count == first.metrics.query_count
+    assert stream.goodput > 0
+    for line in ("Streamed queries", "TTFT p50/p90/p99",
+                 "TPOT p50/p90/p99", "Goodput (q/s)"):
+        assert line in first.summary()
+
+
+def test_slo_targets_gate_validity():
+    # Generous targets: all compliant, goodput equals completion rate.
+    good = streaming_run()
+    assert good.valid
+    assert good.metrics.stream.slo_compliant_count == \
+        good.metrics.query_count
+    # An unmeetable TPOT target (inter-token delay is 0.5 ms, target
+    # 0.1 ms) must invalidate the run with a reason naming the target.
+    bad = streaming_run(settings(tpot_target_ns=100_000))
+    assert not bad.valid
+    assert any("TPOT target" in reason for reason in bad.validity.reasons)
+    assert bad.metrics.stream.goodput == 0.0
+
+
+def test_non_streaming_suts_are_unchanged():
+    result = run_benchmark(
+        FixedLatencySUT(latency=0.002), EchoQSL(),
+        settings(ttft_target_ns=None, tpot_target_ns=None))
+    assert result.valid
+    assert result.metrics.stream is None
+    assert "Streamed queries" not in result.summary()
+
+
+class _MisbehavingStreamer(SutBase):
+    """Streams two chunks in the wrong order, or truncates the stream."""
+
+    def __init__(self, mode: str) -> None:
+        super().__init__(f"misbehaving[{mode}]")
+        self.mode = mode
+
+    def issue_query(self, query) -> None:
+        from repro.core.query import QuerySampleResponse
+
+        if self.mode == "out-of-order":
+            self.emit_chunk(query, StreamChunk(query.id, 1, last=True))
+        else:  # truncated: chunks flow but the final chunk never comes
+            self.emit_chunk(query, StreamChunk(query.id, 0))
+        responses = [
+            QuerySampleResponse(s.id, s.index) for s in query.samples
+        ]
+        self.loop.schedule_after(
+            0.001, lambda: self.complete(query, responses))
+
+
+@pytest.mark.parametrize("mode,expected", [
+    ("out-of-order", "stream chunk anomalies"),
+    ("truncated", "truncated streams"),
+])
+def test_stream_misbehavior_invalidates_the_run(mode, expected):
+    result = run_benchmark(
+        _MisbehavingStreamer(mode), EchoQSL(), settings(queries=20))
+    assert not result.valid
+    assert any(expected in reason for reason in result.validity.reasons), \
+        result.validity.reasons
