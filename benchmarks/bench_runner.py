@@ -15,6 +15,13 @@ campaign"):
   answer as token chunks, so the chunk hot path added by
   ``repro.streaming`` is tracked from its first release.
 
+The session tier's hot path is recorded separately to
+``BENCH_sessions.json`` (``--sessions-out``):
+
+* **session issue path** - session-scenario turns per wall second
+  through the prefix cache against a zero-latency echo backend: replay
+  graph, turn chaining, cache bookkeeping, referee (``docs/sessions.md``).
+
 Run it from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_runner.py [--out BENCH_core.json]
@@ -101,6 +108,30 @@ def bench_stream_issue_path(queries: int) -> float:
     return result.metrics.query_count / elapsed
 
 
+def bench_session_issue_path(sessions: int) -> float:
+    """Session turns per wall second through the prefix cache: Poisson
+    session arrivals, strictly ordered turn chaining, LRU cache
+    bookkeeping, referee session accounting."""
+    from repro.sessions import PrefixCacheSUT
+
+    settings = TestSettings(
+        scenario=Scenario.SESSION,
+        server_target_qps=1e6,
+        session_count=sessions,
+        session_think_time_mean=0.0,  # stress configuration: no gaps
+        min_duration=0.0,
+        watchdog_timeout=3600.0,
+        seed=0,
+    )
+    sut = PrefixCacheSUT(EchoSUT(latency=1e-6), capacity_tokens=1 << 18)
+    started = time.perf_counter()
+    result = run_benchmark(sut, SyntheticQSL(), settings)
+    elapsed = time.perf_counter() - started
+    assert result.valid, result.validity.reasons
+    assert sut.stats.accesses == result.metrics.query_count
+    return result.metrics.query_count / elapsed
+
+
 def run_benchmarks(events: int, queries: int, repeats: int) -> dict:
     """Best-of-``repeats`` for each benched path (max smooths jitter)."""
     benches = {
@@ -117,32 +148,54 @@ def run_benchmarks(events: int, queries: int, repeats: int) -> dict:
     return results
 
 
+def run_session_benchmarks(sessions: int, repeats: int) -> dict:
+    """Best-of-``repeats`` for the session-tier hot path."""
+    best = max(bench_session_issue_path(sessions) for _ in range(repeats))
+    results = {"session_issue_path_turns_per_s": round(best, 1)}
+    print(f"{'session_issue_path_turns_per_s':36s} {best:12,.0f}")
+    return results
+
+
+def _write_trajectory(path: str, area: str, results: dict,
+                      meta: dict) -> None:
+    meta = dict(meta)
+    meta.update({
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    })
+    payload = {"area": area, "benchmarks": results, "meta": meta}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"trajectory written to {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_core.json",
                         help="trajectory file to write (default: %(default)s)")
+    parser.add_argument("--sessions-out", default="BENCH_sessions.json",
+                        help="session-tier trajectory file "
+                             "(default: %(default)s)")
     parser.add_argument("--events", type=int, default=200_000,
                         help="event-loop callbacks per repeat")
     parser.add_argument("--queries", type=int, default=20_000,
                         help="issue-path queries per repeat")
+    parser.add_argument("--sessions", type=int, default=2_000,
+                        help="session-issue-path conversations per repeat")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repeats per bench; best is recorded")
     args = parser.parse_args(argv)
     results = run_benchmarks(args.events, args.queries, args.repeats)
-    payload = {
-        "area": "core",
-        "benchmarks": results,
-        "meta": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "events": args.events,
-            "queries": args.queries,
-            "repeats": args.repeats,
-            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        },
-    }
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"trajectory written to {args.out}")
+    _write_trajectory(args.out, "core", results, {
+        "events": args.events,
+        "queries": args.queries,
+        "repeats": args.repeats,
+    })
+    session_results = run_session_benchmarks(args.sessions, args.repeats)
+    _write_trajectory(args.sessions_out, "sessions", session_results, {
+        "sessions": args.sessions,
+        "repeats": args.repeats,
+    })
     return 0
 
 

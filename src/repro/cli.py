@@ -9,7 +9,10 @@ Six commands cover the everyday workflows:
                 instead drives a remote ``repro serve`` instance over
                 TCP on the wall clock; with ``--sut parallel
                 --workers N`` it runs the glyph classifier sharded
-                across N worker processes (``repro.parallel``).
+                across N worker processes (``repro.parallel``); with
+                ``--workload session`` it replays seeded multi-turn
+                conversations through a shared-prefix cache and audits
+                the cache's hit trail (``docs/sessions.md``).
 * ``serve``   - host a backend behind the network protocol so a
                 ``run --sut network`` (or any NetworkSUT) can drive it;
                 ``--backend parallel`` hosts the process-parallel pool
@@ -67,7 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="benchmark a simulated device")
     run.add_argument("--task", choices=sorted(_TASKS))
-    run.add_argument("--scenario", choices=sorted(_SCENARIOS), required=True)
+    run.add_argument("--scenario", choices=sorted(_SCENARIOS))
+    run.add_argument("--workload", choices=["queries", "session"],
+                     default="queries",
+                     help="queries: the paper's independent-query "
+                          "scenarios (--scenario picks which); session: "
+                          "multi-turn conversation replay through a "
+                          "shared-prefix cache (docs/sessions.md)")
     run.add_argument("--sut", choices=["device", "network", "parallel"],
                      default="device",
                      help="device: in-process simulated device; "
@@ -120,6 +129,19 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--inter-token-ms", type=float, default=0.5,
                         help="stream model delay between later tokens")
     stream.add_argument("--seed", type=int, default=0)
+    session = run.add_argument_group("session workload (--workload session)")
+    session.add_argument("--sessions", type=int, default=64,
+                         help="conversations to replay")
+    session.add_argument("--session-qps", type=float, default=20.0,
+                         help="Poisson session arrival rate, sessions/s")
+    session.add_argument("--turns-min", type=int, default=2)
+    session.add_argument("--turns-max", type=int, default=8)
+    session.add_argument("--think-time-s", type=float, default=0.5,
+                         help="mean exponential think time between turns")
+    session.add_argument("--cache-tokens", type=int, default=32_768,
+                         help="prefix-cache capacity, in tokens")
+    session.add_argument("--backend-latency-ms", type=float, default=2.0,
+                         help="echo backend per-turn service time")
 
     serve = sub.add_parser(
         "serve", help="host a backend behind the network protocol")
@@ -238,7 +260,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "replicas instead of a single backend")
     sweep.add_argument("--balancer", choices=["round-robin",
                                               "least-outstanding",
-                                              "weighted-p99"],
+                                              "weighted-p99",
+                                              "session-affinity"],
                        default="least-outstanding",
                        help="fleet balancing policy (--replicas)")
     sweep.add_argument("--autoscale", action="store_true",
@@ -523,7 +546,72 @@ def _cmd_run_parallel(args) -> int:
     return 0 if result.valid else 1
 
 
+def _cmd_run_session(args) -> int:
+    """``run --workload session``: replay seeded conversations through
+    the prefix cache and report per-session percentiles plus the
+    audited cache hit rate (docs/sessions.md)."""
+    from .core.config import TestSettings
+    from .core.loadgen import run_benchmark
+    from .harness.netbench import SyntheticQSL
+    from .metrics import MetricsRegistry
+    from .sessions import (
+        PrefixCacheSUT,
+        audit_cache_events,
+        replay_graph_from_settings,
+    )
+    from .sut.echo import EchoSUT
+
+    settings = TestSettings(
+        scenario=Scenario.SESSION,
+        task=_TASKS[args.task] if args.task else None,
+        server_target_qps=args.session_qps,
+        session_count=args.sessions,
+        session_turns_min=args.turns_min,
+        session_turns_max=args.turns_max,
+        session_think_time_mean=args.think_time_s,
+        min_duration=0.0,
+        watchdog_timeout=600.0,
+        seed=args.seed,
+        **_stream_targets(args),
+    )
+    backend = EchoSUT(latency=args.backend_latency_ms * 1e-3)
+    if args.stream:
+        from .streaming import StreamModel, StreamingSUT
+
+        backend = StreamingSUT(backend, model=StreamModel(seed=args.seed))
+    registry = MetricsRegistry()
+    sut = PrefixCacheSUT(backend, capacity_tokens=args.cache_tokens,
+                         registry=registry)
+    result = run_benchmark(sut, SyntheticQSL(), settings, registry=registry)
+    print(result.summary())
+    stats = sut.stats
+    print(f"prefix cache      : {stats.hits} hits / "
+          f"{stats.partial_hits} partial / {stats.misses} misses "
+          f"({stats.evictions} evictions), "
+          f"hit rate {stats.hit_rate:.1%}, "
+          f"token hit rate {stats.token_hit_rate:.1%}")
+    problems = audit_cache_events(
+        sut.events, replay_graph_from_settings(settings),
+        sut.capacity_tokens)
+    if problems:
+        print(f"cache audit       : FAILED ({len(problems)} discrepancies; "
+              f"first: {problems[0]})")
+        return 1
+    print(f"cache audit       : clean ({len(sut.events)} events replayed)")
+    return 0 if result.valid else 1
+
+
 def _cmd_run(args) -> int:
+    if args.workload == "session":
+        if args.sut != "device":
+            print("--workload session supports --sut device only",
+                  file=sys.stderr)
+            return 2
+        return _cmd_run_session(args)
+    if args.scenario is None:
+        print("run requires --scenario (unless --workload session)",
+              file=sys.stderr)
+        return 2
     if args.sut == "network":
         return _cmd_run_network(args)
     if args.sut == "parallel":

@@ -20,12 +20,15 @@ from typing import Dict, Optional
 
 
 class Scenario(enum.Enum):
-    """The four MLPerf Inference evaluation scenarios (Table II)."""
+    """The four MLPerf Inference evaluation scenarios (Table II), plus
+    the session extension: multi-turn conversation replay layered on the
+    Server arrival process (``repro.sessions``, ``docs/sessions.md``)."""
 
     SINGLE_STREAM = "single_stream"
     MULTI_STREAM = "multi_stream"
     SERVER = "server"
     OFFLINE = "offline"
+    SESSION = "session"
 
     @property
     def short_name(self) -> str:
@@ -34,6 +37,7 @@ class Scenario(enum.Enum):
             Scenario.MULTI_STREAM: "MS",
             Scenario.SERVER: "S",
             Scenario.OFFLINE: "O",
+            Scenario.SESSION: "SE",
         }[self]
 
     @property
@@ -43,6 +47,7 @@ class Scenario(enum.Enum):
             Scenario.MULTI_STREAM: "number of streams subject to latency bound",
             Scenario.SERVER: "queries per second subject to latency bound",
             Scenario.OFFLINE: "throughput (samples/second)",
+            Scenario.SESSION: "completed sessions per second",
         }[self]
 
 
@@ -164,6 +169,10 @@ SINGLE_STREAM_REPORTED_PERCENTILE = 0.90
 #: pseudorandom-number-generator seed", Section IV-A).
 DEFAULT_SEED = 0x5EED_2019
 
+#: Default conversations replayed by the session scenario when
+#: ``TestSettings.session_count`` is unset (``docs/sessions.md``).
+DEFAULT_SESSION_COUNT = 64
+
 
 @dataclass
 class TestSettings:
@@ -232,6 +241,23 @@ class TestSettings:
     ttft_target_ns: Optional[int] = None
     tpot_target_ns: Optional[int] = None
 
+    #: Session scenario (``repro.sessions``, ``docs/sessions.md``).
+    #: ``session_count`` is how many user conversations the run replays;
+    #: new sessions arrive via the Server Poisson process at
+    #: ``server_target_qps`` *sessions*/s, and within a session turn N+1
+    #: issues only after turn N completes plus a drawn think time.  The
+    #: remaining knobs parameterize the seeded replay-graph generator
+    #: (``repro.sessions.SessionProfile``); per-user draws come from
+    #: ``SeedSequence((seed, user_id, 0x5E55))`` so the graph is a pure
+    #: function of the run seed.  All plain data, so journaled session
+    #: runs replay identically.
+    session_count: Optional[int] = None
+    session_turns_min: int = 2
+    session_turns_max: int = 8
+    session_think_time_mean: float = 2.0
+    session_new_tokens_min: int = 16
+    session_new_tokens_max: int = 128
+
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -296,6 +322,35 @@ class TestSettings:
         if self.tpot_target_ns is not None and self.tpot_target_ns <= 0:
             raise ValueError(
                 f"tpot_target_ns must be positive, got {self.tpot_target_ns}"
+            )
+        if self.session_count is not None and self.session_count < 1:
+            raise ValueError(
+                f"session_count must be >= 1, got {self.session_count}"
+            )
+        if self.session_turns_min < 1:
+            raise ValueError(
+                f"session_turns_min must be >= 1, got {self.session_turns_min}"
+            )
+        if self.session_turns_max < self.session_turns_min:
+            raise ValueError(
+                "session_turns_max must be >= session_turns_min, got "
+                f"{self.session_turns_max} < {self.session_turns_min}"
+            )
+        if self.session_think_time_mean < 0:
+            raise ValueError(
+                f"session_think_time_mean must be >= 0, got "
+                f"{self.session_think_time_mean}"
+            )
+        if self.session_new_tokens_min < 1:
+            raise ValueError(
+                f"session_new_tokens_min must be >= 1, got "
+                f"{self.session_new_tokens_min}"
+            )
+        if self.session_new_tokens_max < self.session_new_tokens_min:
+            raise ValueError(
+                "session_new_tokens_max must be >= session_new_tokens_min, "
+                f"got {self.session_new_tokens_max} < "
+                f"{self.session_new_tokens_min}"
             )
         if self.server_rate_bursts is not None:
             windows = tuple(tuple(w) for w in self.server_rate_bursts)
@@ -364,6 +419,11 @@ class TestSettings:
             return SINGLE_STREAM_MIN_QUERIES
         if self.scenario is Scenario.OFFLINE:
             return 1
+        if self.scenario is Scenario.SESSION:
+            # The session rule gates on completed *sessions* (see
+            # validate_run), not a turn count; an explicit override
+            # above still applies.
+            return 1
         rules = self._rules()
         if rules is not None:
             return rules.latency_bounded_query_count
@@ -387,6 +447,13 @@ class TestSettings:
         if rules is not None:
             return rules.max_violation_fraction
         return 1.0 - self.resolved_tail_percentile
+
+    @property
+    def resolved_session_count(self) -> int:
+        """Sessions the session scenario replays (default 64)."""
+        if self.session_count is not None:
+            return self.session_count
+        return DEFAULT_SESSION_COUNT
 
     @property
     def resolved_ttft_target(self) -> Optional[float]:

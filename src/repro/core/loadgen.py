@@ -105,6 +105,22 @@ class LoadGenResult:
                 f"Goodput (q/s)     : {stream.goodput:.6g} "
                 f"({stream.slo_compliant_count} SLO-compliant)",
             ]
+        session = self.metrics.session
+        if session is not None:
+            lines += [
+                f"Sessions          : {session.completed_session_count}/"
+                f"{session.session_count} completed "
+                f"({session.turn_count} turns, "
+                f"{session.turns_per_session_mean:.2f} turns/session)",
+                f"Session lat p50/p90/p99 : "
+                f"{session.session_latency_p50 * 1e3:.3f} / "
+                f"{session.session_latency_p90 * 1e3:.3f} / "
+                f"{session.session_latency_p99 * 1e3:.3f} ms",
+                f"Turn TTFT p50/p90/p99   : "
+                f"{session.turn_ttft_p50 * 1e3:.3f} / "
+                f"{session.turn_ttft_p90 * 1e3:.3f} / "
+                f"{session.turn_ttft_p99 * 1e3:.3f} ms",
+            ]
         for reason in self.validity.reasons:
             lines.append(f"  * {reason}")
         lines.append("=" * 60)

@@ -358,6 +358,12 @@ class QueryLog:
                 "scheduled_time": record.scheduled_time,
                 "completion_time": record.completion_time,
             }
+            if record.query.session is not None:
+                turn = record.query.session
+                entry["session_id"] = turn.session_id
+                entry["turn_index"] = turn.turn_index
+                entry["turn_count"] = turn.turn_count
+                entry["prefix_tokens"] = turn.prefix_tokens
             if record.failed:
                 entry["failure_reason"] = record.failure_reason
                 entry["failure_time"] = record.failure_time

@@ -56,6 +56,37 @@ class StreamMetrics:
 
 
 @dataclass(frozen=True)
+class SessionMetrics:
+    """Per-conversation summary of a session run (``docs/sessions.md``).
+
+    Everything here is derived from the query log alone - sessions are
+    reconstructed from the :class:`~repro.core.query.SessionTurn` tags
+    on completed records, independently of the driver's bookkeeping, so
+    the two can be cross-checked.  *Session latency* is the sum of a
+    conversation's turn latencies (the time the user actually spent
+    waiting, think time excluded); *turn TTFT* is effective TTFT over
+    all session turns, streamed or not.
+    """
+
+    #: Distinct conversations with at least one clean completion.
+    session_count: int
+    #: Conversations whose every planned turn completed cleanly.
+    completed_session_count: int
+    #: Clean completions carrying a session tag.
+    turn_count: int
+    turns_per_session_mean: float
+    session_latency_mean: float
+    session_latency_p50: float
+    session_latency_p90: float
+    session_latency_p99: float
+    turn_ttft_p50: float
+    turn_ttft_p90: float
+    turn_ttft_p99: float
+    #: Fully completed conversations per second over the run window.
+    sessions_per_second: float
+
+
+@dataclass(frozen=True)
 class ScenarioMetrics:
     """Summary statistics computed from one run's query log."""
 
@@ -74,6 +105,8 @@ class ScenarioMetrics:
     throughput: float
     #: Token-level metrics; None when the run streamed no chunks.
     stream: Optional[StreamMetrics] = None
+    #: Per-conversation metrics; None when no query carried a session tag.
+    session: Optional[SessionMetrics] = None
 
 
 def run_duration(log: QueryLog) -> float:
@@ -93,6 +126,7 @@ def scenario_metric_name(scenario: Scenario) -> str:
         Scenario.MULTI_STREAM: "streams",
         Scenario.SERVER: "scheduled queries/s",
         Scenario.OFFLINE: "samples/s",
+        Scenario.SESSION: "completed sessions/s",
     }[scenario]
 
 
@@ -192,6 +226,51 @@ def compute_stream_metrics(
     )
 
 
+def compute_session_metrics(
+    log: QueryLog, settings: TestSettings
+) -> Optional[SessionMetrics]:
+    """Per-conversation metrics, or None if no query carried a session tag.
+
+    A session counts as *completed* when the log holds a clean
+    completion for every one of its planned turns (``turn_count`` from
+    the tag) - a referee-side reconstruction that never trusts the
+    driver's own counters.
+    """
+    completed = log.completed_records()
+    tagged = [r for r in completed if r.query.session is not None]
+    if not tagged:
+        return None
+    by_session: dict = {}
+    for record in tagged:
+        by_session.setdefault(record.session_id, []).append(record)
+    completed_sessions = 0
+    session_latencies = []
+    for records in by_session.values():
+        planned = records[0].query.session.turn_count
+        if len(records) == planned:
+            completed_sessions += 1
+        session_latencies.append(sum(r.latency for r in records))
+    duration = run_duration(log)
+    ttfts = [effective_ttft(r) for r in tagged]
+    n = len(by_session)
+    return SessionMetrics(
+        session_count=n,
+        completed_session_count=completed_sessions,
+        turn_count=len(tagged),
+        turns_per_session_mean=len(tagged) / n,
+        session_latency_mean=sum(session_latencies) / n,
+        session_latency_p50=percentile(session_latencies, 0.50),
+        session_latency_p90=percentile(session_latencies, 0.90),
+        session_latency_p99=percentile(session_latencies, 0.99),
+        turn_ttft_p50=percentile(ttfts, 0.50),
+        turn_ttft_p90=percentile(ttfts, 0.90),
+        turn_ttft_p99=percentile(ttfts, 0.99),
+        sessions_per_second=(
+            completed_sessions / duration if duration > 0 else float("inf")
+        ),
+    )
+
+
 def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
     """Compute the Table II metric (plus latency summary) for a run."""
     latencies = log.latencies()
@@ -203,6 +282,7 @@ def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
 
     scenario = settings.scenario
     name = scenario_metric_name(scenario)
+    session = compute_session_metrics(log, settings)
     if scenario is Scenario.SINGLE_STREAM:
         primary = percentile(latencies, 0.90)
     elif scenario is Scenario.MULTI_STREAM:
@@ -211,6 +291,8 @@ def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
         primary = settings.server_target_qps
     elif scenario is Scenario.OFFLINE:
         primary = throughput
+    elif scenario is Scenario.SESSION:
+        primary = session.sessions_per_second if session is not None else 0.0
     else:  # pragma: no cover - exhaustive over the enum
         raise ValueError(f"unknown scenario {scenario}")
 
@@ -228,4 +310,5 @@ def compute_metrics(log: QueryLog, settings: TestSettings) -> ScenarioMetrics:
         primary_metric_name=name,
         throughput=throughput,
         stream=compute_stream_metrics(log, settings),
+        session=session,
     )

@@ -13,6 +13,29 @@ from dataclasses import dataclass
 from typing import List, NamedTuple, Optional, Tuple
 
 
+class SessionTurn(NamedTuple):
+    """Conversation-turn coordinates carried by a session-workload query.
+
+    ``session_id`` identifies the user conversation; ``turn_index`` is
+    this query's zero-based position within it and ``turn_count`` the
+    conversation's planned length, so the referee can tell a finished
+    session from one whose tail was lost.  ``prefix_tokens`` is the
+    context shared with earlier turns (what a prefix cache can reuse),
+    ``new_tokens`` the fresh prompt this turn appends, and
+    ``response_tokens`` the answer's planned length - together they
+    determine the next turn's prefix, which is what lets the
+    prefix-cache audit recompute expected hits from the replay graph
+    alone (see ``docs/sessions.md``).
+    """
+
+    session_id: int
+    turn_index: int
+    turn_count: int
+    prefix_tokens: int
+    new_tokens: int
+    response_tokens: int
+
+
 class QuerySample(NamedTuple):
     """One sample within a query.
 
@@ -43,6 +66,10 @@ class Query:
     samples: Tuple[QuerySample, ...]
     issue_time: float = 0.0
     contiguous: bool = True
+    #: Set on session-workload queries: which conversation turn this is.
+    #: ``None`` for the classic independent-query scenarios, so nothing
+    #: downstream pays for sessions it does not use.
+    session: Optional[SessionTurn] = None
 
     def __post_init__(self) -> None:
         if not self.samples:
@@ -207,6 +234,18 @@ class QueryRecord:
         if self.first_chunk_time is None:
             return None
         return self.first_chunk_time - self.issue_time
+
+    @property
+    def session_id(self) -> Optional[int]:
+        """The owning conversation's id, or None for independent queries."""
+        turn = self.query.session
+        return None if turn is None else turn.session_id
+
+    @property
+    def turn_index(self) -> Optional[int]:
+        """This query's zero-based turn position within its session."""
+        turn = self.query.session
+        return None if turn is None else turn.turn_index
 
     @property
     def tpot(self) -> Optional[float]:

@@ -14,6 +14,12 @@ Each driver owns the timing policy of one scenario:
 * **Offline** - a single query carrying every sample (>= 24,576), issued
   at time zero; the SUT may reorder freely.  Metric: samples/second.
 
+A fifth driver extends the paper's set: **Session**
+(:class:`repro.sessions.driver.SessionDriver`) replays multi-turn
+conversations - Poisson *session* arrivals whose turns are issued
+strictly in order with think-time gaps, so queries are no longer
+independent (see ``docs/sessions.md``).
+
 Drivers are pure event-loop citizens: they schedule issue events and
 react to completion callbacks, so they work identically under virtual
 and measured time.
@@ -98,6 +104,12 @@ class DriverStats:
     #: Offline: number of batch queries issued (1 unless the minimum
     #: duration forced extras).
     offline_queries: int = 0
+    #: Session scenario: conversation lifecycle counts.  Stalled
+    #: sessions (started minus completed minus aborted at run end) are
+    #: how the validator tells a lost turn from a drained run.
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    sessions_aborted: int = 0
     #: Watchdog: set when the overall-run timeout terminated the run.
     watchdog_fired: bool = False
     watchdog_time: float = 0.0
@@ -222,9 +234,12 @@ class ScenarioDriver:
         from a stuck one)."""
         return self._issue_phase_open
 
-    def _issue(self, indices: List[int], scheduled_time: Optional[float] = None) -> Query:
+    def _issue(self, indices: List[int], scheduled_time: Optional[float] = None,
+               session=None) -> Query:
         now = self.loop.now
         query = self.factory.make_query(indices, issue_time=now)
+        if session is not None:
+            query.session = session
         self.log.record_issue(query, now, scheduled_time=scheduled_time)
         self.stats.issued_queries += 1
         self._outstanding += 1
@@ -508,6 +523,14 @@ def make_driver(
     ``docs/observability.md`` for the catalog); without one the hot
     paths skip instrumentation entirely.
     """
+    if settings.scenario is Scenario.SESSION:
+        # Lazy import: the session workload lives outside core (it is a
+        # layer over the scenario machinery, like streaming and fleet),
+        # and core must stay importable without it.
+        from ..sessions.driver import SessionDriver
+
+        return SessionDriver(loop, settings, sut, source, log,
+                             registry=registry)
     driver_cls = {
         Scenario.SINGLE_STREAM: SingleStreamDriver,
         Scenario.MULTI_STREAM: MultiStreamDriver,

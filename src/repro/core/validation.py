@@ -11,7 +11,9 @@ A performance run is VALID only if:
 * server: no more than 1% (3% for translation) of queries exceeded the
   task's QoS latency bound (Table III);
 * multistream: no more than 1% (3%) of queries produced one or more
-  skipped arrival intervals.
+  skipped arrival intervals;
+* session (our extension): every planned conversation completed - a
+  stalled or aborted session invalidates the run (``docs/sessions.md``).
 
 On top of the paper's rules, the referee flags SUT misbehavior it
 detected while the run was in flight (the paper's v0.5 round relied on
@@ -31,7 +33,12 @@ from typing import Dict, List
 
 from .config import Scenario, TestMode, TestSettings
 from .logging import QueryLog
-from .metrics import effective_tpot, effective_ttft, record_meets_stream_slos
+from .metrics import (
+    compute_session_metrics,
+    effective_tpot,
+    effective_ttft,
+    record_meets_stream_slos,
+)
 from .scenarios import DriverStats
 
 
@@ -221,6 +228,52 @@ def validate_run(
         details["goodput"] = (
             compliant / duration if duration > 0 else float("inf")
         )
+
+    if scenario is Scenario.SESSION:
+        # The session rule gates on whole conversations, not turns: every
+        # planned session must have started and finished.  A *stalled*
+        # session (started but neither completed nor aborted) is the
+        # multi-turn-hang signature - a lost turn means the next one was
+        # never issued, so outstanding-query checks alone can miss it.
+        details["sessions_started"] = stats.sessions_started
+        details["sessions_completed"] = stats.sessions_completed
+        details["sessions_aborted"] = stats.sessions_aborted
+        stalled = (stats.sessions_started - stats.sessions_completed
+                   - stats.sessions_aborted)
+        if stalled > 0:
+            details["sessions_stalled"] = stalled
+            reasons.append(
+                f"{stalled} sessions stalled mid-conversation (a turn was "
+                "issued but its answer never arrived)"
+            )
+        if stats.sessions_aborted > 0:
+            reasons.append(
+                f"{stats.sessions_aborted} sessions aborted after a failed "
+                "turn"
+            )
+        required = settings.resolved_session_count
+        if stats.sessions_completed < required:
+            reasons.append(
+                f"completed {stats.sessions_completed} sessions, minimum is "
+                f"{required}"
+            )
+        session = compute_session_metrics(log, settings)
+        if session is not None:
+            details["session_latency_p50"] = session.session_latency_p50
+            details["session_latency_p90"] = session.session_latency_p90
+            details["session_latency_p99"] = session.session_latency_p99
+            details["turn_ttft_p50"] = session.turn_ttft_p50
+            details["turn_ttft_p90"] = session.turn_ttft_p90
+            details["turn_ttft_p99"] = session.turn_ttft_p99
+            details["sessions_per_second"] = session.sessions_per_second
+            # Referee cross-check: the log-derived completion count must
+            # agree with the driver's bookkeeping.
+            if session.completed_session_count != stats.sessions_completed:
+                reasons.append(
+                    f"driver reports {stats.sessions_completed} completed "
+                    f"sessions but the log shows "
+                    f"{session.completed_session_count}"
+                )
 
     if scenario is Scenario.MULTI_STREAM:
         offenders = sum(1 for v in stats.skipped_intervals.values() if v > 0)

@@ -19,6 +19,7 @@ from .balancer import (
     BalancerPolicy,
     LeastOutstandingPolicy,
     RoundRobinPolicy,
+    SessionAffinityPolicy,
     WeightedP99Policy,
     make_policy,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "ReplicaSet",
     "RoundRobinPolicy",
     "ScalingDecision",
+    "SessionAffinityPolicy",
     "SweepConfig",
     "SweepHarness",
     "SweepProbe",

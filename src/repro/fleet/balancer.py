@@ -21,6 +21,9 @@ rest of the harness.
   inversely proportional to each replica's sliding-window p99 latency,
   so a browning-out replica organically sheds share without being
   declared unhealthy.
+* :class:`SessionAffinityPolicy` - pin each conversation's turns to the
+  replica that served its previous turn (the one holding the shared
+  prefix), falling back to least-outstanding; see ``docs/sessions.md``.
 
 See ``docs/fleet.md`` for guidance on choosing between them.
 """
@@ -57,6 +60,16 @@ class BalancerPolicy:
         ``candidates`` and must not mutate them.
         """
         raise NotImplementedError
+
+    def rank_for(self, query, candidates: Sequence[Replica]) -> List[Replica]:
+        """Rank with the query in hand.
+
+        The ReplicaSet calls this entry point; the default ignores the
+        query and delegates to :meth:`rank`, so load-oblivious policies
+        stay one-method.  Content-aware policies (session affinity)
+        override this instead.
+        """
+        return self.rank(candidates)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -114,9 +127,58 @@ class WeightedP99Policy(BalancerPolicy):
         return [candidates[primary]] + rest
 
 
+class SessionAffinityPolicy(BalancerPolicy):
+    """Pin each conversation to one replica; spill only when it is gone.
+
+    Session turns share a growing prefix, so the replica that served
+    turn N holds the KV state turn N+1 wants
+    (:class:`~repro.sessions.cache.PrefixCacheSUT` models the win; see
+    ``docs/sessions.md``).  The first turn of a session - and every
+    non-session query - routes least-outstanding; later turns prefer
+    the pinned replica, falling back to least-outstanding (and re-
+    pinning) when the pin left the candidate set or its breaker later
+    rejects the dispatch.  The pin is routing *preference* only: this
+    is the affinity stub the fleet prefix-cache work will build on, not
+    a replica-side cache.
+    """
+
+    name = "session-affinity"
+
+    def start_run(self, rng: np.random.Generator) -> None:
+        super().start_run(rng)
+        #: session_id -> index of the replica that last served it.
+        self._pins: Dict[int, int] = {}
+
+    def _least_outstanding(
+        self, candidates: Sequence[Replica]
+    ) -> List[Replica]:
+        return sorted(candidates, key=lambda r: (r.outstanding, r.index))
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        return self._least_outstanding(candidates)
+
+    def rank_for(self, query, candidates: Sequence[Replica]) -> List[Replica]:
+        turn = getattr(query, "session", None)
+        if turn is None or not candidates:
+            return self._least_outstanding(candidates)
+        ranked = self._least_outstanding(candidates)
+        pinned_index = self._pins.get(turn.session_id)
+        if pinned_index is not None:
+            for position, replica in enumerate(ranked):
+                if replica.index == pinned_index:
+                    ranked.insert(0, ranked.pop(position))
+                    break
+        # Pin (or re-pin) to the first preference; if the breaker sends
+        # the dispatch further down the ranking the pin goes stale for
+        # one turn and self-corrects on the next.
+        self._pins[turn.session_id] = ranked[0].index
+        return ranked
+
+
 _POLICIES: Dict[str, Type[BalancerPolicy]] = {
     cls.name: cls
-    for cls in (RoundRobinPolicy, LeastOutstandingPolicy, WeightedP99Policy)
+    for cls in (RoundRobinPolicy, LeastOutstandingPolicy, WeightedP99Policy,
+                SessionAffinityPolicy)
 }
 
 #: The registry names, for CLI choices and error messages.

@@ -271,7 +271,8 @@ class ReplicaSet(SutBase):
         candidates = [
             r for r in self.available_replicas if r.index != exclude
         ]
-        for position, replica in enumerate(self.policy.rank(candidates)):
+        ranking = self.policy.rank_for(state.query, candidates)
+        for position, replica in enumerate(ranking):
             verdict = replica.breaker.admit()
             if verdict == "reject":
                 continue

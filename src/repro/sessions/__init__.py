@@ -1,0 +1,38 @@
+"""Session workloads: multi-turn conversations over the LoadGen core.
+
+Three pieces, one seeded contract (``docs/sessions.md``):
+
+* :mod:`~repro.sessions.replay` generates the deterministic per-user
+  replay graph - turn counts, think times, prefix growth - every draw
+  keyed by ``SeedSequence((seed, user_id, 0x5E55))``.
+* :mod:`~repro.sessions.driver` is the ``Scenario.SESSION`` driver:
+  Poisson session arrivals, strictly ordered turns (turn N+1 issues
+  only after turn N's answer plus think time).
+* :mod:`~repro.sessions.cache` is the shared-prefix cache stand-in
+  whose hit/miss/eviction trail the referee audits against the graph.
+"""
+
+from .cache import CacheEvent, CacheStats, PrefixCacheSUT, audit_cache_events
+from .driver import SessionDriver
+from .replay import (
+    SESSION_TAG,
+    ReplayGraph,
+    SessionPlan,
+    SessionProfile,
+    TurnPlan,
+    replay_graph_from_settings,
+)
+
+__all__ = [
+    "CacheEvent",
+    "CacheStats",
+    "PrefixCacheSUT",
+    "ReplayGraph",
+    "SESSION_TAG",
+    "SessionDriver",
+    "SessionPlan",
+    "SessionProfile",
+    "TurnPlan",
+    "audit_cache_events",
+    "replay_graph_from_settings",
+]

@@ -1,0 +1,285 @@
+"""Shared-prefix cache: an auditable KV-cache stand-in for session runs.
+
+:class:`PrefixCacheSUT` wraps any SUT and models what a real serving
+stack's prefix (KV) cache does for multi-turn traffic: a turn whose
+conversation prefix is still resident skips most of its prefill work.
+The model is deliberately simple - per-session token counts under LRU
+eviction with a token capacity - because the point is not realism, it
+is *auditability*: every hit, partial hit, miss, and eviction is
+appended to an ordered event list, and :func:`audit_cache_events`
+replays that access order through an independent LRU model built only
+from the replay graph and capacity, so the referee can prove the cache
+claimed exactly the hits it was entitled to.  The session smoke test
+additionally pins the whole event list bit-identical across seeded
+runs.
+
+Latency is where the cache shows up in results: a turn is issued to the
+inner SUT only after a prefill delay of ``miss_latency_per_token`` per
+token that must be (re)computed plus ``hit_latency_per_token`` per
+reused token, so cache effectiveness is visible in per-session latency
+and TTFT percentiles, not just in counters.  See ``docs/sessions.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional
+
+from ..core.events import EventLoop
+from ..core.query import Query
+from ..core.sut import Responder, SutBase, SystemUnderTest
+from .replay import ReplayGraph
+
+
+class CacheEvent(NamedTuple):
+    """One entry in the cache's ordered audit trail.
+
+    ``kind`` is ``"hit"`` / ``"partial"`` / ``"miss"`` for accesses
+    (``tokens`` = prefix tokens reused) and ``"evict"`` for evictions
+    (``tokens`` = resident tokens released, ``turn_index`` = -1).
+    """
+
+    kind: str
+    session_id: int
+    turn_index: int
+    tokens: int
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache behavior over one run."""
+
+    hits: int = 0
+    partial_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    tokens_reused: int = 0
+    tokens_missed: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.partial_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses whose full prefix was resident."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def token_hit_rate(self) -> float:
+        """Fraction of prefix tokens served from cache."""
+        total = self.tokens_reused + self.tokens_missed
+        return self.tokens_reused / total if total else 0.0
+
+
+class _LruModel:
+    """The reference LRU-by-session token cache, shared by the live SUT
+    and the offline audit so they cannot drift apart."""
+
+    def __init__(self, capacity_tokens: int) -> None:
+        if capacity_tokens < 1:
+            raise ValueError(
+                f"capacity_tokens must be >= 1, got {capacity_tokens}")
+        self.capacity_tokens = capacity_tokens
+        #: session_id -> resident tokens, in LRU -> MRU insertion order.
+        self._resident: Dict[int, int] = {}
+
+    @property
+    def resident_tokens(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def resident_sessions(self) -> int:
+        return len(self._resident)
+
+    def access(self, session_id: int, turn_index: int, prefix_tokens: int,
+               new_tokens: int, response_tokens: int) -> List[CacheEvent]:
+        """Process one turn; return its access event plus any evictions.
+
+        The reused prefix is capped at what is both resident *and*
+        claimed by the turn; afterwards the session's entry grows to the
+        conversation so far (prefix + prompt + answer) and moves to MRU,
+        evicting other sessions LRU-first while over capacity.  The
+        just-touched session is never evicted - a conversation larger
+        than the whole cache still keeps its own entry.
+        """
+        cached = self._resident.pop(session_id, 0)
+        reused = min(cached, prefix_tokens)
+        if prefix_tokens > 0 and reused == prefix_tokens:
+            kind = "hit"
+        elif reused > 0:
+            kind = "partial"
+        else:
+            kind = "miss"
+        events = [CacheEvent(kind, session_id, turn_index, reused)]
+        self._resident[session_id] = (
+            prefix_tokens + new_tokens + response_tokens)
+        while (self.resident_tokens > self.capacity_tokens
+               and len(self._resident) > 1):
+            victim = next(iter(self._resident))
+            if victim == session_id:
+                break
+            events.append(CacheEvent(
+                "evict", victim, -1, self._resident.pop(victim)))
+        return events
+
+
+class PrefixCacheSUT(SutBase):
+    """Wraps ``inner`` with a prefix-reuse model for session queries.
+
+    Non-session queries pass straight through; session turns pay a
+    prefill delay shaped by the cache before reaching the inner SUT.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        capacity_tokens: int = 32_768,
+        miss_latency_per_token: float = 50e-6,
+        hit_latency_per_token: float = 2e-6,
+        registry=None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"prefix-cache({inner.name})")
+        if miss_latency_per_token < 0 or hit_latency_per_token < 0:
+            raise ValueError("per-token latencies must be >= 0")
+        self.inner = inner
+        self.model = _LruModel(capacity_tokens)
+        self.miss_latency_per_token = miss_latency_per_token
+        self.hit_latency_per_token = hit_latency_per_token
+        self.stats = CacheStats()
+        #: Ordered audit trail; ``audit_cache_events`` replays it.
+        self.events: List[CacheEvent] = []
+        if registry is not None:
+            self._m_hits = registry.counter(
+                "prefix_cache_hits_total",
+                "Session turns whose full prefix was resident",
+            )
+            self._m_partial = registry.counter(
+                "prefix_cache_partial_hits_total",
+                "Session turns that reused part of their prefix",
+            )
+            self._m_misses = registry.counter(
+                "prefix_cache_misses_total",
+                "Session turns that reused no prefix tokens",
+            )
+            self._m_evictions = registry.counter(
+                "prefix_cache_evictions_total",
+                "Sessions evicted LRU-first to fit the token capacity",
+            )
+            self._m_reused = registry.counter(
+                "prefix_cache_tokens_reused_total",
+                "Prefix tokens served from cache",
+            )
+            self._m_missed = registry.counter(
+                "prefix_cache_tokens_missed_total",
+                "Prefix tokens recomputed because they were not resident",
+            )
+            registry.gauge(
+                "prefix_cache_resident_tokens",
+                "Tokens currently held by the prefix cache",
+                fn=lambda: self.model.resident_tokens,
+            )
+        else:
+            self._m_hits = self._m_partial = self._m_misses = None
+            self._m_evictions = self._m_reused = self._m_missed = None
+
+    @property
+    def capacity_tokens(self) -> int:
+        return self.model.capacity_tokens
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        # Completions need no interception: the inner SUT answers the
+        # referee directly, chunks and failures included.
+        self.inner.start_run(loop, responder)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def issue_query(self, query: Query) -> None:
+        turn = query.session
+        if turn is None:
+            self.inner.issue_query(query)
+            return
+        events = self.model.access(
+            turn.session_id, turn.turn_index, turn.prefix_tokens,
+            turn.new_tokens, turn.response_tokens)
+        self.events.extend(events)
+        access = events[0]
+        reused = access.tokens
+        missed = turn.prefix_tokens - reused
+        self.stats.tokens_reused += reused
+        self.stats.tokens_missed += missed
+        if access.kind == "hit":
+            self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
+        elif access.kind == "partial":
+            self.stats.partial_hits += 1
+            if self._m_partial is not None:
+                self._m_partial.inc()
+        else:
+            self.stats.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
+        evictions = len(events) - 1
+        if evictions:
+            self.stats.evictions += evictions
+            if self._m_evictions is not None:
+                self._m_evictions.inc(evictions)
+        if self._m_reused is not None:
+            self._m_reused.inc(reused)
+            self._m_missed.inc(missed)
+        # Prefill: recompute what missed (plus the fresh prompt), skim
+        # what hit.  This is the delay that makes cache effectiveness
+        # visible in latency and TTFT percentiles.
+        delay = (
+            (missed + turn.new_tokens) * self.miss_latency_per_token
+            + reused * self.hit_latency_per_token
+        )
+        if delay > 0:
+            self.loop.schedule_after(
+                delay, lambda: self.inner.issue_query(query))
+        else:
+            self.inner.issue_query(query)
+
+
+def audit_cache_events(
+    events: List[CacheEvent],
+    graph: ReplayGraph,
+    capacity_tokens: int,
+) -> List[str]:
+    """Referee-side audit: did the cache claim exactly its entitlement?
+
+    Replays the recorded *access order* (which turns ran, in which
+    order) through an independent :class:`_LruModel` parameterized only
+    by the replay graph and the declared capacity, and compares the
+    regenerated event list - hits, partial reuse amounts, and eviction
+    points included - against the recorded one.  Returns a list of
+    discrepancy descriptions; an empty list means the trail is clean.
+    """
+    model = _LruModel(capacity_tokens)
+    expected: List[CacheEvent] = []
+    for event in events:
+        if event.kind == "evict":
+            continue  # evictions are regenerated, not replayed
+        plan = graph.plan(event.session_id)
+        if not 0 <= event.turn_index < plan.turn_count:
+            return [
+                f"session {event.session_id} has no turn "
+                f"{event.turn_index} in the replay graph"
+            ]
+        turn = plan.turns[event.turn_index]
+        expected.extend(model.access(
+            event.session_id, event.turn_index, turn.prefix_tokens,
+            turn.new_tokens, turn.response_tokens))
+    problems = []
+    for position, (got, want) in enumerate(zip(events, expected)):
+        if got != want:
+            problems.append(
+                f"event {position}: recorded {got!r}, expected {want!r}")
+    if len(events) != len(expected):
+        problems.append(
+            f"recorded {len(events)} events, expected {len(expected)}")
+    return problems

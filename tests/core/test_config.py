@@ -16,17 +16,20 @@ from repro.core.config import (
 
 
 class TestScenarioMetadata:
-    def test_four_scenarios(self):
-        assert len(list(Scenario)) == 4
+    def test_five_scenarios(self):
+        # The paper's four plus the session scenario (docs/sessions.md).
+        assert len(list(Scenario)) == 5
 
     def test_short_names(self):
-        assert {s.short_name for s in Scenario} == {"SS", "MS", "S", "O"}
+        assert {s.short_name for s in Scenario} == \
+            {"SS", "MS", "S", "O", "SE"}
 
     def test_metric_names_mention_the_right_quantity(self):
         assert "latency" in Scenario.SINGLE_STREAM.metric_name
         assert "streams" in Scenario.MULTI_STREAM.metric_name
         assert "queries per second" in Scenario.SERVER.metric_name
         assert "samples/second" in Scenario.OFFLINE.metric_name
+        assert "sessions" in Scenario.SESSION.metric_name
 
 
 class TestTaskMetadata:

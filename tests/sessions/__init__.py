@@ -1,0 +1,4 @@
+"""Deep behavioral tests for the session workload tier
+(``repro.sessions``): replay-graph determinism, driver turn ordering,
+prefix-cache accounting and audit, and the multi-turn-hang regression.
+The quick tier-1 gate lives in ``tests/test_sessions_smoke.py``."""

@@ -1,0 +1,89 @@
+"""SessionAffinityPolicy: pinning, fallback, and non-session behavior."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query, QuerySample, SessionTurn
+from repro.fleet import POLICY_NAMES, SessionAffinityPolicy, make_policy
+
+pytestmark = pytest.mark.sessions
+
+
+@dataclass
+class FakeReplica:
+    index: int
+    outstanding: int = 0
+
+
+def query(session_id=None, turn_index=0):
+    q = Query(id=1, samples=(QuerySample(1, 0),))
+    if session_id is not None:
+        q.session = SessionTurn(
+            session_id=session_id, turn_index=turn_index, turn_count=4,
+            prefix_tokens=0, new_tokens=8, response_tokens=8)
+    return q
+
+
+def fresh_policy():
+    policy = SessionAffinityPolicy()
+    policy.start_run(np.random.default_rng(0))
+    return policy
+
+
+def test_policy_is_registered():
+    assert "session-affinity" in POLICY_NAMES
+    assert isinstance(make_policy("session-affinity"),
+                      SessionAffinityPolicy)
+
+
+def test_turns_stick_to_the_first_turns_replica():
+    policy = fresh_policy()
+    replicas = [FakeReplica(0, outstanding=5), FakeReplica(1, outstanding=0),
+                FakeReplica(2, outstanding=3)]
+    first = policy.rank_for(query(session_id=7, turn_index=0), replicas)
+    assert first[0].index == 1  # least outstanding wins the opening turn
+    # Later turns prefer the pinned replica even when it is now busiest.
+    replicas[1].outstanding = 99
+    later = policy.rank_for(query(session_id=7, turn_index=1), replicas)
+    assert later[0].index == 1
+
+
+def test_sessions_pin_independently():
+    policy = fresh_policy()
+    replicas = [FakeReplica(0), FakeReplica(1)]
+    replicas[0].outstanding = 1
+    a = policy.rank_for(query(session_id=1), replicas)
+    replicas[1].outstanding = 5
+    b = policy.rank_for(query(session_id=2), replicas)
+    assert a[0].index == 1
+    assert b[0].index == 0
+    # Each session keeps its own pin.
+    assert policy.rank_for(
+        query(session_id=1, turn_index=1), replicas)[0].index == 1
+    assert policy.rank_for(
+        query(session_id=2, turn_index=1), replicas)[0].index == 0
+
+
+def test_departed_pin_falls_back_and_repins():
+    policy = fresh_policy()
+    replicas = [FakeReplica(0), FakeReplica(1)]
+    assert policy.rank_for(query(session_id=3), replicas)[0].index == 0
+    # The pinned replica leaves the candidate set (scaled down / down).
+    survivors = [FakeReplica(1, outstanding=2)]
+    assert policy.rank_for(
+        query(session_id=3, turn_index=1), survivors)[0].index == 1
+    # ...and the session is now re-pinned to the survivor.
+    both = [FakeReplica(0), FakeReplica(1, outstanding=9)]
+    assert policy.rank_for(
+        query(session_id=3, turn_index=2), both)[0].index == 1
+
+
+def test_non_session_queries_route_least_outstanding():
+    policy = fresh_policy()
+    replicas = [FakeReplica(0, outstanding=4), FakeReplica(1, outstanding=2),
+                FakeReplica(2, outstanding=7)]
+    ranked = policy.rank_for(query(), replicas)
+    assert [r.index for r in ranked] == [1, 0, 2]
+    assert policy.rank_for(query(), []) == []

@@ -1,0 +1,125 @@
+"""PrefixCacheSUT accounting: hits, evictions, audit, latency shaping."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.metrics import MetricsRegistry
+from repro.sessions import (
+    PrefixCacheSUT,
+    audit_cache_events,
+    replay_graph_from_settings,
+)
+from repro.sut.echo import EchoSUT
+
+from tests.conftest import EchoQSL
+
+pytestmark = pytest.mark.sessions
+
+
+def settings(**overrides):
+    base = dict(
+        scenario=Scenario.SESSION, server_target_qps=100.0,
+        session_count=24, session_think_time_mean=0.05,
+        min_duration=0.0, watchdog_timeout=600.0, seed=5)
+    base.update(overrides)
+    return TestSettings(**base)
+
+
+def cached_run(run_settings=None, registry=None, **cache_kwargs):
+    cache_kwargs.setdefault("capacity_tokens", 1 << 20)
+    sut = PrefixCacheSUT(EchoSUT(latency=0.001), registry=registry,
+                         **cache_kwargs)
+    result = run_benchmark(
+        sut, EchoQSL(),
+        run_settings if run_settings is not None else settings())
+    return result, sut
+
+
+def test_unbounded_cache_hits_every_followup_turn():
+    result, sut = cached_run()
+    assert result.valid
+    # First turn of each session has no prefix (a miss); every later
+    # turn's prefix is exactly the conversation so far, still resident.
+    assert sut.stats.misses == 24
+    assert sut.stats.hits == result.metrics.query_count - 24
+    assert sut.stats.partial_hits == 0
+    assert sut.stats.evictions == 0
+    assert sut.stats.token_hit_rate == 1.0
+
+
+def test_tiny_cache_evicts_and_re_prefills():
+    result, sut = cached_run(capacity_tokens=512)
+    assert result.valid
+    assert sut.stats.evictions > 0
+    assert sut.stats.tokens_missed > 0
+    assert sut.stats.hit_rate < 1.0
+
+
+def test_audit_accepts_the_real_trail_and_rejects_a_doctored_one():
+    run_settings = settings()
+    _result, sut = cached_run(run_settings)
+    graph = replay_graph_from_settings(run_settings)
+    assert audit_cache_events(sut.events, graph, sut.capacity_tokens) == []
+    # Inflate one hit's reused tokens: the referee must notice.
+    doctored = list(sut.events)
+    for position, event in enumerate(doctored):
+        if event.kind == "hit":
+            doctored[position] = event._replace(tokens=event.tokens + 1)
+            break
+    problems = audit_cache_events(doctored, graph, sut.capacity_tokens)
+    assert problems and "recorded" in problems[0]
+
+
+def test_cache_misses_cost_more_latency_than_hits():
+    # Same workload, one run with a cache large enough to always hit
+    # after turn one, one with a cache too small to ever help: the
+    # cold-cache run must be slower end to end.
+    warm, _ = cached_run(settings(), capacity_tokens=1 << 20)
+    cold, cold_sut = cached_run(settings(), capacity_tokens=1)
+    assert cold_sut.stats.hits == 0
+    assert cold.metrics.session.session_latency_mean > \
+        warm.metrics.session.session_latency_mean
+
+
+def test_prefix_cache_metric_families():
+    registry = MetricsRegistry()
+    result, sut = cached_run(registry=registry)
+    assert result.valid
+    assert registry.get("prefix_cache_hits_total").value == sut.stats.hits
+    assert registry.get("prefix_cache_misses_total").value == \
+        sut.stats.misses
+    assert registry.get("prefix_cache_tokens_reused_total").value == \
+        sut.stats.tokens_reused
+    assert registry.get("prefix_cache_evictions_total").value == 0
+    assert registry.get("prefix_cache_resident_tokens").value == \
+        sut.model.resident_tokens
+
+
+def test_non_session_queries_bypass_the_cache():
+    sut = PrefixCacheSUT(EchoSUT(latency=0.001))
+    server_settings = TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=500.0,
+        server_latency_bound=0.5, min_query_count=50,
+        min_duration=0.0, watchdog_timeout=60.0)
+    result = run_benchmark(sut, EchoQSL(), server_settings)
+    assert result.valid
+    assert sut.stats.accesses == 0
+    assert sut.events == []
+
+
+def test_streamed_session_turns_report_per_turn_ttft():
+    from repro.streaming import StreamModel, StreamingSUT
+
+    sut = PrefixCacheSUT(
+        StreamingSUT(EchoSUT(latency=0.001), model=StreamModel(seed=7)),
+        capacity_tokens=1 << 20)
+    result = run_benchmark(sut, EchoQSL(), settings())
+    assert result.valid
+    stream = result.metrics.stream
+    assert stream is not None
+    assert stream.streamed_query_count == result.metrics.query_count
+    session = result.metrics.session
+    # Per-turn TTFT comes from real first-chunk times, so it must sit
+    # strictly below the full turn latency percentiles.
+    assert session.turn_ttft_p50 < result.metrics.latency_p50

@@ -1,12 +1,15 @@
 """Documentation lint: links resolve, public modules are documented.
 
-Two cheap invariants that rot silently otherwise:
+Three cheap invariants that rot silently otherwise:
 
 * every intra-repo link in the markdown docs points at a file that
   exists (renames and deletions break docs without failing any test);
 * every public module under ``src/repro/`` carries a module docstring
   (the docs satellite of each PR depends on modules explaining
-  themselves).
+  themselves);
+* the workload catalog (``docs/index.md``) stays live: it names every
+  ``docs/`` page and every tier-1 smoke test, and every path it cites
+  exists.
 """
 
 import ast
@@ -51,10 +54,49 @@ def test_intra_repo_links_resolve(doc):
 
 def test_doc_files_exist():
     """The load-bearing pages the README advertises must exist."""
-    for name in ("README.md", "CONTRIBUTING.md", "docs/architecture.md",
-                 "docs/observability.md", "docs/fleet.md",
-                 "docs/streaming.md"):
+    for name in ("README.md", "CONTRIBUTING.md", "docs/index.md",
+                 "docs/architecture.md", "docs/observability.md",
+                 "docs/fleet.md", "docs/streaming.md",
+                 "docs/sessions.md"):
         assert (REPO / name).is_file(), f"missing {name}"
+
+
+INDEX = REPO / "docs" / "index.md"
+
+
+def test_workload_catalog_names_every_doc_page():
+    """`docs/index.md` is the workload catalog; a subsystem page that
+    never appears in it is invisible to readers, so adding a doc
+    without cataloging it is an error."""
+    catalog = INDEX.read_text()
+    missing = [
+        f"docs/{page.name}" for page in sorted((REPO / "docs").glob("*.md"))
+        if page != INDEX and f"docs/{page.name}" not in catalog
+    ]
+    assert not missing, f"docs pages absent from the catalog: {missing}"
+
+
+def test_workload_catalog_paths_exist():
+    """Every backticked repo path the catalog cites (doc pages, smoke
+    tests, benchmark runners) must exist — the catalog's whole value is
+    that its pointers are live."""
+    catalog = INDEX.read_text()
+    cited = re.findall(r"`((?:docs|tests|benchmarks)/[A-Za-z0-9_./-]+)`",
+                       catalog)
+    assert cited, "the catalog cites no doc or test paths at all"
+    dangling = [ref for ref in cited if not (REPO / ref).exists()]
+    assert not dangling, f"catalog cites missing paths: {dangling}"
+
+
+def test_workload_catalog_covers_every_tier1_smoke():
+    """Every tier-1 smoke test file must be cataloged with its tier."""
+    catalog = INDEX.read_text()
+    missing = [
+        f"tests/{smoke.name}"
+        for smoke in sorted(REPO.glob("tests/test_*_smoke.py"))
+        if f"tests/{smoke.name}" not in catalog
+    ]
+    assert not missing, f"smoke tests absent from the catalog: {missing}"
 
 
 PUBLIC_MODULES = sorted(

@@ -1,0 +1,80 @@
+"""Tier-1 session smoke: seeded determinism, cache audit, validity.
+
+Fast virtual-clock checks of the session-workload guarantees the CI
+gate cares about: two same-seed session runs are bit-identical down to
+the prefix-cache hit trail, the cache audit accepts the trail, and the
+summary reports per-session percentiles.  The deep behavioral suites
+live in ``tests/sessions/``; everything here carries the ``sessions``
+marker so ``-m sessions`` selects the whole tier.  See
+``docs/sessions.md``.
+"""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.durability import run_fingerprint
+from repro.sessions import (
+    PrefixCacheSUT,
+    audit_cache_events,
+    replay_graph_from_settings,
+)
+from repro.sut.echo import EchoSUT
+
+from tests.conftest import EchoQSL
+
+pytestmark = pytest.mark.sessions
+
+
+def settings(seed=0, **overrides):
+    base = dict(
+        scenario=Scenario.SESSION, server_target_qps=100.0,
+        session_count=16, session_think_time_mean=0.05,
+        min_duration=0.0, watchdog_timeout=600.0, seed=seed)
+    base.update(overrides)
+    return TestSettings(**base)
+
+
+def session_run(run_settings=None, capacity_tokens=4096):
+    sut = PrefixCacheSUT(EchoSUT(latency=0.002),
+                         capacity_tokens=capacity_tokens)
+    result = run_benchmark(
+        sut, EchoQSL(),
+        run_settings if run_settings is not None else settings())
+    return result, sut
+
+
+def test_seeded_session_runs_are_bit_identical():
+    (first, first_sut), (second, second_sut) = session_run(), session_run()
+    assert first.valid
+    assert first.summary() == second.summary()
+    assert run_fingerprint(first) == run_fingerprint(second)
+    # Determinism reaches the cache: identical hit/miss/evict trails.
+    assert first_sut.stats == second_sut.stats
+    assert first_sut.events == second_sut.events
+    assert first_sut.stats.accesses == first.metrics.query_count
+
+
+def test_alternate_seed_changes_the_workload():
+    (base, _), (other, _) = session_run(), session_run(settings(seed=1))
+    assert run_fingerprint(base) != run_fingerprint(other)
+
+
+def test_cache_trail_passes_the_referee_audit():
+    run_settings = settings()
+    result, sut = session_run(run_settings)
+    assert result.valid
+    problems = audit_cache_events(
+        sut.events, replay_graph_from_settings(run_settings),
+        sut.capacity_tokens)
+    assert problems == []
+
+
+def test_summary_reports_per_session_percentiles():
+    result, sut = session_run()
+    summary = result.summary()
+    for line in ("Sessions          :", "Session lat p50/p90/p99",
+                 "Turn TTFT p50/p90/p99"):
+        assert line in summary
+    assert result.metrics.session.completed_session_count == 16
+    assert result.metrics.primary_metric_name == "completed sessions/s"
