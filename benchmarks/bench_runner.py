@@ -22,6 +22,12 @@ The session tier's hot path is recorded separately to
   through the prefix cache against a zero-latency echo backend: replay
   graph, turn chaining, cache bookkeeping, referee (``docs/sessions.md``).
 
+The fleet-session issue path - the same turns routed through a
+4-replica ReplicaSet under the session-affinity balancer with
+per-replica prefix caches (balancer ranking, served-replica feedback,
+breaker bookkeeping on top of the session tier) - is recorded to
+``BENCH_fleet_sessions.json`` (``--fleet-sessions-out``).
+
 Run it from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_runner.py [--out BENCH_core.json]
@@ -156,6 +162,46 @@ def run_session_benchmarks(sessions: int, repeats: int) -> dict:
     return results
 
 
+def bench_fleet_session_issue_path(sessions: int) -> float:
+    """Session turns per wall second through a replicated fleet: the
+    session-affinity balancer, per-replica prefix caches, served-replica
+    feedback, breaker bookkeeping, referee session accounting."""
+    from repro.fleet import ReplicaSet
+    from repro.sessions import per_replica_cache_factory
+
+    settings = TestSettings(
+        scenario=Scenario.SESSION,
+        server_target_qps=1e6,
+        session_count=sessions,
+        session_think_time_mean=0.0,  # stress configuration: no gaps
+        min_duration=0.0,
+        watchdog_timeout=3600.0,
+        seed=0,
+    )
+    fleet = ReplicaSet(
+        lambda i: EchoSUT(latency=1e-6),
+        initial_replicas=4, max_replicas=4,
+        policy="session-affinity", attempt_timeout=10.0,
+        cache_factory=per_replica_cache_factory(capacity_tokens=1 << 18),
+    )
+    started = time.perf_counter()
+    result = run_benchmark(fleet, SyntheticQSL(), settings)
+    elapsed = time.perf_counter() - started
+    assert result.valid, result.validity.reasons
+    accesses = sum(c.stats.accesses for c in fleet.caches.values())
+    assert accesses == result.metrics.query_count
+    return result.metrics.query_count / elapsed
+
+
+def run_fleet_session_benchmarks(sessions: int, repeats: int) -> dict:
+    """Best-of-``repeats`` for the fleet-session issue path."""
+    best = max(bench_fleet_session_issue_path(sessions)
+               for _ in range(repeats))
+    results = {"fleet_session_issue_path_turns_per_s": round(best, 1)}
+    print(f"{'fleet_session_issue_path_turns_per_s':36s} {best:12,.0f}")
+    return results
+
+
 def _write_trajectory(path: str, area: str, results: dict,
                       meta: dict) -> None:
     meta = dict(meta)
@@ -175,6 +221,10 @@ def main(argv=None) -> int:
                         help="trajectory file to write (default: %(default)s)")
     parser.add_argument("--sessions-out", default="BENCH_sessions.json",
                         help="session-tier trajectory file "
+                             "(default: %(default)s)")
+    parser.add_argument("--fleet-sessions-out",
+                        default="BENCH_fleet_sessions.json",
+                        help="fleet-session trajectory file "
                              "(default: %(default)s)")
     parser.add_argument("--events", type=int, default=200_000,
                         help="event-loop callbacks per repeat")
@@ -196,6 +246,15 @@ def main(argv=None) -> int:
         "sessions": args.sessions,
         "repeats": args.repeats,
     })
+    fleet_results = run_fleet_session_benchmarks(
+        args.sessions, args.repeats)
+    _write_trajectory(
+        args.fleet_sessions_out, "fleet-sessions", fleet_results, {
+            "sessions": args.sessions,
+            "replicas": 4,
+            "balancer": "session-affinity",
+            "repeats": args.repeats,
+        })
     return 0
 
 

@@ -27,9 +27,12 @@ Six commands cover the everyday workflows:
                 exposition text, or JSON; see ``docs/observability.md``.
 * ``sweep``   - search the Server arrival rate for the highest QPS that
                 still meets the latency SLO, against a modeled SUT or a
-                replicated fleet (optionally autoscaled), writing a
-                ``BENCH_fleet.json``-style capacity report with
-                ``--report``; see ``docs/fleet.md``.
+                replicated fleet (optionally autoscaled, on the backlog
+                or a live metric series); with ``--workload session`` the
+                probed rate is *sessions/s* routed through per-replica
+                prefix caches, each probe reporting its audited token hit
+                rate.  Writes a ``BENCH_fleet.json``-style capacity
+                report with ``--report``; see ``docs/fleet.md``.
 """
 
 from __future__ import annotations
@@ -239,7 +242,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        help="find the max SLO-compliant Server arrival rate")
+        help="find the max SLO-compliant Server/session arrival rate")
+    sweep.add_argument("--workload", choices=["queries", "session"],
+                       default="queries",
+                       help="what the probed rate is: independent Server "
+                            "queries/s, or multi-turn sessions/s routed "
+                            "through per-replica prefix caches")
     sweep.add_argument("--qps-low", type=float, default=10.0,
                        help="lower edge of the searched rate bracket")
     sweep.add_argument("--qps-high", type=float, default=2000.0,
@@ -250,11 +258,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="binary")
     sweep.add_argument("--max-probes", type=int, default=32)
     sweep.add_argument("--latency-bound-ms", type=float, default=50.0,
-                       help="the SLO each probe run is judged against")
+                       help="the SLO each probe run is judged against "
+                            "(per turn under --workload session)")
     sweep.add_argument("--queries", type=int, default=400,
                        help="minimum query count per probe run")
     sweep.add_argument("--latency-ms", type=float, default=2.0,
                        help="echo backend per-query service time")
+    sweep.add_argument("--concurrency", type=int, default=None,
+                       metavar="SLOTS",
+                       help="serving slots per echo backend; makes its "
+                            "capacity finite (SLOTS / latency qps) so the "
+                            "sweep has a real knee to find")
     sweep.add_argument("--replicas", type=int, default=0,
                        help="> 0: probe a ReplicaSet of this many echo "
                             "replicas instead of a single backend")
@@ -267,6 +281,24 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--autoscale", action="store_true",
                        help="attach the deterministic autoscaler to each "
                             "probe's fleet (--replicas)")
+    sweep.add_argument("--scale-signal",
+                       choices=["backlog", "outstanding-series",
+                                "cache-miss-rate"],
+                       default="backlog",
+                       help="what the autoscaler samples: the in-process "
+                            "backlog, the live fleet_outstanding_queries "
+                            "series, or the fleet-wide "
+                            "prefix_cache_tokens_missed_total rate")
+    sweep.add_argument("--sessions", type=int, default=64,
+                       help="conversations per probe run "
+                            "(--workload session)")
+    sweep.add_argument("--turns-min", type=int, default=2)
+    sweep.add_argument("--turns-max", type=int, default=8)
+    sweep.add_argument("--think-time-s", type=float, default=0.05,
+                       help="mean think time between a session's turns")
+    sweep.add_argument("--cache-tokens", type=int, default=32_768,
+                       help="per-replica prefix cache capacity "
+                            "(--workload session)")
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--report", metavar="PATH", default=None,
                        help="write the JSON capacity report here")
@@ -831,51 +863,141 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import json
+    from pathlib import Path
+
     from .core.config import TestSettings
     from .fleet import (
         Autoscaler,
         ReplicaSet,
+        SeriesSignal,
         SweepConfig,
         SweepHarness,
     )
     from .harness.netbench import SyntheticQSL
+    from .metrics import MetricsRegistry
     from .sut.echo import EchoSUT
 
-    settings = TestSettings(
-        scenario=Scenario.SERVER,
-        server_target_qps=args.qps_low,  # overridden per probe
-        server_latency_bound=args.latency_bound_ms * 1e-3,
-        min_query_count=args.queries,
-        min_duration=0.0,
-        watchdog_timeout=300.0,
-        seed=args.seed,
-    )
+    session_workload = args.workload == "session"
+    if session_workload:
+        # The probed rate is the *session* arrival rate (sessions/s);
+        # the latency bound applies per turn (docs/sessions.md).
+        settings = TestSettings(
+            scenario=Scenario.SESSION,
+            server_target_qps=args.qps_low,  # overridden per probe
+            server_latency_bound=args.latency_bound_ms * 1e-3,
+            session_count=args.sessions,
+            session_turns_min=args.turns_min,
+            session_turns_max=args.turns_max,
+            session_think_time_mean=args.think_time_s,
+            min_duration=0.0,
+            watchdog_timeout=300.0,
+            seed=args.seed,
+        )
+    else:
+        settings = TestSettings(
+            scenario=Scenario.SERVER,
+            server_target_qps=args.qps_low,  # overridden per probe
+            server_latency_bound=args.latency_bound_ms * 1e-3,
+            min_query_count=args.queries,
+            min_duration=0.0,
+            watchdog_timeout=300.0,
+            seed=args.seed,
+        )
     latency = args.latency_ms * 1e-3
+    if args.scale_signal == "cache-miss-rate" and not session_workload:
+        print("--scale-signal cache-miss-rate requires --workload session "
+              "(no prefix caches otherwise)", file=sys.stderr)
+        return 2
+
+    def make_backend(index=None):
+        name = "echo" if index is None else f"replica-{index}"
+        return EchoSUT(latency=latency, name=name,
+                       concurrency=args.concurrency)
 
     if args.replicas > 0:
+        from .sessions import per_replica_cache_factory
+
         def make_sut():
-            return ReplicaSet(
-                lambda i: EchoSUT(latency=latency, name=f"replica-{i}"),
+            # One registry per probe: live series feed the autoscaler's
+            # SeriesSignal and export per-replica prefix_cache_* families.
+            registry = MetricsRegistry()
+            fleet = ReplicaSet(
+                make_backend,
                 initial_replicas=args.replicas,
                 max_replicas=max(args.replicas, 2 * args.replicas),
                 policy=args.balancer,
                 attempt_timeout=4.0 * args.latency_bound_ms * 1e-3,
                 seed=args.seed,
+                registry=registry,
+                cache_factory=(per_replica_cache_factory(
+                    capacity_tokens=args.cache_tokens, registry=registry)
+                    if session_workload else None),
             )
-        services_factory = (
-            (lambda sut: [Autoscaler(sut)]) if args.autoscale else None)
+            fleet.sweep_registry = registry
+            return fleet
+
+        def services_factory(sut):
+            registry = sut.sweep_registry
+            if args.scale_signal == "outstanding-series":
+                signal = SeriesSignal(
+                    registry, "fleet_outstanding_queries",
+                    mode="level", window=4, per_available_replica=True)
+            elif args.scale_signal == "cache-miss-rate":
+                signal = SeriesSignal(
+                    registry, "prefix_cache_tokens_missed_total",
+                    mode="rate", per_available_replica=True)
+            else:
+                signal = None  # the stock in-process backlog
+            return [Autoscaler(sut, signal=signal, registry=registry)]
+
+        if not args.autoscale:
+            services_factory = None
         probed = (f"{args.replicas}-replica echo fleet "
                   f"({args.balancer}"
-                  f"{', autoscaled' if args.autoscale else ''})")
+                  f"{f', autoscaled on {args.scale_signal}' if args.autoscale else ''})")
     else:
         if args.autoscale:
             print("--autoscale requires --replicas N", file=sys.stderr)
             return 2
 
         def make_sut():
-            return EchoSUT(latency=latency)
+            backend = make_backend()
+            if session_workload:
+                from .sessions import PrefixCacheSUT
+                return PrefixCacheSUT(
+                    backend, capacity_tokens=args.cache_tokens)
+            return backend
         services_factory = None
         probed = "single echo backend"
+    if session_workload:
+        probed += " [session workload, per-replica prefix caches]"
+
+    cache_rows = []
+    observe = None
+    if session_workload:
+        from .sessions import (
+            CacheStats,
+            audit_cache_events,
+            audit_replica_caches,
+            replay_graph_from_settings,
+        )
+
+        graph = replay_graph_from_settings(settings)
+
+        def observe(sut, result, probe):
+            caches = getattr(sut, "caches", None)
+            if caches:
+                stats = CacheStats.merged(
+                    [c.stats for c in caches.values()])
+                dirty = sum(
+                    len(v) for v in
+                    audit_replica_caches(caches, graph).values())
+            else:
+                stats = sut.stats
+                dirty = len(audit_cache_events(
+                    sut.events, graph, sut.capacity_tokens))
+            cache_rows.append((stats, dirty))
 
     harness = SweepHarness(
         make_sut, SyntheticQSL(), settings,
@@ -883,18 +1005,47 @@ def _cmd_sweep(args) -> int:
                     resolution=args.resolution, mode=args.mode,
                     max_probes=args.max_probes),
         services_factory=services_factory,
+        probe_observer=observe,
     )
     result = harness.run()
+    unit = "sessions/s" if session_workload else "qps"
     print(f"probed: {probed} ({args.latency_ms} ms service time)")
-    for probe in result.probes:
+    for position, probe in enumerate(result.probes):
         verdict = "VALID" if probe.valid else "INVALID"
-        print(f"  {probe.qps:10.3f} qps  {verdict:7s} "
-              f"p99={probe.latency_p99 * 1e3:8.3f} ms  "
-              f"completed={probe.completed}")
+        line = (f"  {probe.qps:10.3f} {unit}  {verdict:7s} "
+                f"p99={probe.latency_p99 * 1e3:8.3f} ms  "
+                f"completed={probe.completed}")
+        if session_workload:
+            stats, dirty = cache_rows[position]
+            audit = "clean" if dirty == 0 else f"{dirty} PROBLEMS"
+            line += (f"  token-hit={stats.token_hit_rate:6.1%} "
+                     f"audit={audit}")
+        print(line)
     print(result.summary())
+    dirty_trails = sum(dirty for _, dirty in cache_rows)
+    if session_workload and dirty_trails:
+        print(f"prefix-cache audit FAILED: {dirty_trails} discrepancies "
+              "across probe runs", file=sys.stderr)
     if args.report:
-        path = result.write(args.report)
+        report = result.report()
+        report["workload"] = args.workload
+        if session_workload:
+            report["probe_cache"] = [
+                {
+                    "token_hit_rate": stats.token_hit_rate,
+                    "hits": stats.hits,
+                    "partial_hits": stats.partial_hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "audit_problems": dirty,
+                }
+                for stats, dirty in cache_rows
+            ]
+        path = Path(args.report)
+        path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"capacity report written to {path}")
+    if session_workload and dirty_trails:
+        return 1
     return 0 if result.max_qps is not None else 1
 
 

@@ -177,7 +177,13 @@ def validate_run(
                 f"issued {log.query_count} queries, minimum is {min_queries}"
             )
 
-    if scenario is Scenario.SERVER:
+    # The session scenario opts into the same per-query (per-turn) tail
+    # rule when an explicit bound is configured - what the fleet
+    # capacity sweep probes against; without one, session runs are
+    # judged on conversation validity alone, as before.
+    if scenario is Scenario.SERVER or (
+            scenario is Scenario.SESSION
+            and settings.server_latency_bound is not None):
         bound = settings.resolved_server_latency_bound
         violations = sum(1 for r in records if r.latency > bound)
         fraction = violations / len(records)

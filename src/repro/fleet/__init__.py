@@ -25,11 +25,18 @@ from .balancer import (
 )
 from .replica import Replica, ReplicaHealth
 from .replicaset import FleetStats, ReplicaSet
+from .signals import (
+    BacklogSignal,
+    SeriesSignal,
+    SignalSource,
+    make_signal,
+)
 from .sweep import SweepConfig, SweepHarness, SweepProbe, SweepResult
 
 __all__ = [
     "Autoscaler",
     "AutoscalerPolicy",
+    "BacklogSignal",
     "BalancerPolicy",
     "FleetStats",
     "LeastOutstandingPolicy",
@@ -39,11 +46,14 @@ __all__ = [
     "ReplicaSet",
     "RoundRobinPolicy",
     "ScalingDecision",
+    "SeriesSignal",
     "SessionAffinityPolicy",
+    "SignalSource",
     "SweepConfig",
     "SweepHarness",
     "SweepProbe",
     "SweepResult",
     "WeightedP99Policy",
     "make_policy",
+    "make_signal",
 ]

@@ -1,10 +1,11 @@
 """Deterministic autoscaler clocked by the run's event loop.
 
 The :class:`Autoscaler` is a :class:`~repro.core.loadgen.RunService`: it
-ticks every ``period`` seconds of run time, reads one load signal from
-its :class:`~repro.fleet.replicaset.ReplicaSet` - mean outstanding
-queries per available replica - and applies classic watermark
-hysteresis:
+ticks every ``period`` seconds of run time, samples one pluggable load
+signal (:mod:`repro.fleet.signals` - the in-process backlog by default,
+or any windowed live ``server_*``/``parallel_*``/``prefix_cache_*``
+metric series via :class:`~repro.fleet.signals.SeriesSignal`) and
+applies classic watermark hysteresis:
 
 * signal ≥ ``high_watermark`` → grow by ``step`` replicas;
 * signal ≤ ``low_watermark`` → shrink by ``step`` (drain, never drop);
@@ -15,13 +16,14 @@ flapping: a burst must push the per-replica backlog past the high mark
 to trigger growth, and the fleet must be demonstrably idle before the
 extra capacity is drained away.
 
-Because the tick runs on the (virtual) event loop and the signal is a
-pure function of run state, the full decision :attr:`~Autoscaler.trace`
-- one :class:`ScalingDecision` per tick, holds included - is bit-
-identical across same-seed runs; the benchmark suite asserts exactly
-that.  With a ``registry`` the ``autoscaler_*`` metric families light
-up (see ``docs/observability.md``); the state machine is drawn in
-``docs/fleet.md``.
+Because the tick runs on the (virtual) event loop and every stock
+signal is a pure function of run state sampled at deterministic times,
+the full decision :attr:`~Autoscaler.trace` - one
+:class:`ScalingDecision` per tick, holds included - is bit-identical
+across same-seed runs *whatever the signal source*; the benchmark suite
+asserts exactly that.  With a ``registry`` the ``autoscaler_*`` metric
+families light up (see ``docs/observability.md``); the state machine is
+drawn in ``docs/fleet.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from typing import Callable, List, NamedTuple, Optional
 from ..core.events import EventHandle, EventLoop
 from ..metrics import MetricsRegistry
 from .replicaset import ReplicaSet
+from .signals import SignalSource, make_signal
 
 
 @dataclass(frozen=True)
@@ -102,10 +105,15 @@ class Autoscaler:
         replica_set: ReplicaSet,
         policy: Optional[AutoscalerPolicy] = None,
         *,
+        signal: Optional[SignalSource] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.replica_set = replica_set
         self.policy = policy if policy is not None else AutoscalerPolicy()
+        #: The pluggable load signal sampled each tick; defaults to the
+        #: in-process :class:`~repro.fleet.signals.BacklogSignal`.
+        self.signal_source: SignalSource = make_signal(signal)
+        self.signal_source.bind(replica_set)
         #: Every tick's :class:`ScalingDecision`, holds included - the
         #: determinism witness the benchmarks compare across runs.
         self.trace: List[ScalingDecision] = []
@@ -125,6 +133,7 @@ class Autoscaler:
         self._loop = loop
         self._keep_going = keep_going
         self.trace = []
+        self.signal_source.reset()
         # A fresh run may act immediately: backdate the cooldown anchor.
         self._last_action_time = loop.now - self.policy.cooldown
         self._timer = loop.schedule_after(self.policy.period, self._tick)
@@ -137,7 +146,14 @@ class Autoscaler:
     # -- decisions --------------------------------------------------------------
 
     def signal(self) -> float:
-        """Mean outstanding queries per available replica."""
+        """The classic in-process backlog read: mean outstanding queries
+        per available replica (the ``max(1, ...)`` clamp keeps an
+        all-down fleet's backlog finite so scale-up can trigger).
+
+        Kept as a plain property-style read for tests and callers that
+        want the instantaneous backlog regardless of which
+        :attr:`signal_source` drives the scaling loop.
+        """
         available = len(self.replica_set.available_replicas)
         return self.replica_set.total_outstanding / max(1, available)
 
@@ -146,7 +162,7 @@ class Autoscaler:
         loop = self._loop
         assert loop is not None
         now = loop.now
-        signal = self.signal()
+        signal = self.signal_source.sample(now)
         before = len(self.replica_set.available_replicas)
         action = "hold"
         if now - self._last_action_time >= self.policy.cooldown:

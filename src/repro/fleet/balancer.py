@@ -67,9 +67,28 @@ class BalancerPolicy:
         The ReplicaSet calls this entry point; the default ignores the
         query and delegates to :meth:`rank`, so load-oblivious policies
         stay one-method.  Content-aware policies (session affinity)
-        override this instead.
+        override this instead.  Ranking must be **read-only**: the
+        ranking expresses preference, and which replica *actually*
+        serves the query (breaker rejections and reroutes included)
+        arrives later through :meth:`notify_served`.
         """
         return self.rank(candidates)
+
+    def notify_served(self, query, replica_index: int) -> None:
+        """Feedback hook: ``replica_index`` completed ``query`` cleanly.
+
+        The ReplicaSet reports the replica that *actually* served each
+        query - after any breaker rejections, deadline reroutes, or
+        kill rescues - so stateful policies track reality instead of
+        their own first preference.  Default: no state, no-op.
+        """
+
+    def notify_failed(self, query) -> None:
+        """Feedback hook: ``query`` was failed (shed or budget-exhausted).
+
+        No replica served it; stateful policies drop whatever routing
+        state they held for it.  Default: no-op.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -131,23 +150,40 @@ class SessionAffinityPolicy(BalancerPolicy):
     """Pin each conversation to one replica; spill only when it is gone.
 
     Session turns share a growing prefix, so the replica that served
-    turn N holds the KV state turn N+1 wants
-    (:class:`~repro.sessions.cache.PrefixCacheSUT` models the win; see
+    turn N holds the KV state turn N+1 wants - with per-replica
+    :class:`~repro.sessions.cache.PrefixCacheSUT` caches on the fleet
+    the pin is exactly what keeps the session's prefix hot (see
     ``docs/sessions.md``).  The first turn of a session - and every
     non-session query - routes least-outstanding; later turns prefer
-    the pinned replica, falling back to least-outstanding (and re-
-    pinning) when the pin left the candidate set or its breaker later
-    rejects the dispatch.  The pin is routing *preference* only: this
-    is the affinity stub the fleet prefix-cache work will build on, not
-    a replica-side cache.
+    the pinned replica, falling back to least-outstanding when the pin
+    left the candidate set.
+
+    Pins follow **reality**, not preference: :meth:`rank_for` is
+    read-only, and the pin is written by :meth:`notify_served` with the
+    replica that actually completed the turn - so a dispatch the pinned
+    replica's breaker rejected, or a turn rerouted after a deadline,
+    re-pins to the replica that really holds the new prefix.  A pin is
+    released the moment its session ends: the final turn's completion
+    (the conversation is over) or any failed turn (the session aborts),
+    so the pin table cannot grow without bound across millions of
+    users.
     """
 
     name = "session-affinity"
 
     def start_run(self, rng: np.random.Generator) -> None:
         super().start_run(rng)
-        #: session_id -> index of the replica that last served it.
+        #: session_id -> index of the replica that last *served* it.
         self._pins: Dict[int, int] = {}
+
+    @property
+    def active_pins(self) -> int:
+        """Sessions currently pinned (in flight, not yet ended)."""
+        return len(self._pins)
+
+    def pinned_replica(self, session_id: int) -> Optional[int]:
+        """The replica ``session_id`` is pinned to, or ``None``."""
+        return self._pins.get(session_id)
 
     def _least_outstanding(
         self, candidates: Sequence[Replica]
@@ -168,11 +204,26 @@ class SessionAffinityPolicy(BalancerPolicy):
                 if replica.index == pinned_index:
                     ranked.insert(0, ranked.pop(position))
                     break
-        # Pin (or re-pin) to the first preference; if the breaker sends
-        # the dispatch further down the ranking the pin goes stale for
-        # one turn and self-corrects on the next.
-        self._pins[turn.session_id] = ranked[0].index
         return ranked
+
+    def notify_served(self, query, replica_index: int) -> None:
+        turn = getattr(query, "session", None)
+        if turn is None:
+            return
+        if turn.turn_index >= turn.turn_count - 1:
+            # Final turn answered: the conversation is over, release the
+            # pin so the table stays bounded by *live* sessions.
+            self._pins.pop(turn.session_id, None)
+        else:
+            self._pins[turn.session_id] = replica_index
+
+    def notify_failed(self, query) -> None:
+        turn = getattr(query, "session", None)
+        if turn is None:
+            return
+        # A lost turn aborts its session (the driver never issues the
+        # next one); keeping the pin would leak it forever.
+        self._pins.pop(turn.session_id, None)
 
 
 _POLICIES: Dict[str, Type[BalancerPolicy]] = {

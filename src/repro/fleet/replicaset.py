@@ -29,6 +29,21 @@ a draining or parked replica (or builds a fresh one via the factory) and
 ``scale_down`` drains the highest-indexed UP replica - no new traffic,
 in-flight queries finish, then it parks DOWN.
 
+Two feedback loops close through here:
+
+* **routing reality** - after every clean completion the policy's
+  :meth:`~repro.fleet.balancer.BalancerPolicy.notify_served` hook is
+  called with the replica that *actually* answered (and
+  ``notify_failed`` when nobody did), so stateful policies like session
+  affinity pin to where the state really landed, not to their first
+  preference;
+* **per-replica state** - an optional ``cache_factory`` wraps every
+  factory-built replica in its own state wrapper (canonically a
+  :class:`~repro.sessions.cache.PrefixCacheSUT` via
+  :func:`repro.sessions.cache.per_replica_cache_factory`), making the
+  payoff of affinity measurable: each replica's cache trail is audited
+  independently and exported as ``prefix_cache_*{replica=...}`` series.
+
 Everything runs on the run's event loop with seeded policy RNGs, so a
 (seed, policy, fault plan) triple reproduces the identical routing
 trace.  With a ``registry`` the layer emits the ``fleet_*`` and ``lb_*``
@@ -39,7 +54,7 @@ rationale lives in ``docs/fleet.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -163,6 +178,8 @@ class ReplicaSet(SutBase):
         seed: int = 0,
         name: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        cache_factory: Optional[
+            Callable[[int, SystemUnderTest], SystemUnderTest]] = None,
     ) -> None:
         super().__init__(name or f"fleet[{initial_replicas}]")
         if min_replicas < 1:
@@ -189,8 +206,20 @@ class ReplicaSet(SutBase):
         self.max_replicas = max_replicas
         self.latency_window = latency_window
         self.seed = seed
+        #: Per-replica state wrapper builder (``(index, inner) -> sut``);
+        #: the canonical use is
+        #: :func:`repro.sessions.cache.per_replica_cache_factory`, which
+        #: gives every replica its **own** auditable
+        #: :class:`~repro.sessions.cache.PrefixCacheSUT` - cache state
+        #: lives on the replica, so the balancing policy's routing
+        #: decisions are what make (or break) prefix locality.
+        self.cache_factory = cache_factory
         self.stats = FleetStats()
         self.replicas: List[Replica] = []
+        #: replica index -> the cache wrapper built by ``cache_factory``
+        #: (empty when no factory was given).  Survives kills and
+        #: drains: a revived replica keeps its warm cache.
+        self.caches: Dict[int, SystemUnderTest] = {}
         self._filter = CompletionFilter()
         #: Indices parked DOWN by a completed scale-down drain, in drain
         #: order - scale-up revives the most recently parked first.
@@ -207,6 +236,7 @@ class ReplicaSet(SutBase):
         self.stats = FleetStats()
         self._filter = CompletionFilter()
         self.replicas = []
+        self.caches = {}
         self._parked = []
         self.policy.start_run(np.random.default_rng(
             np.random.SeedSequence((self.seed, _BALANCER_TAG))))
@@ -216,6 +246,9 @@ class ReplicaSet(SutBase):
     def _add_replica(self) -> Replica:
         index = len(self.replicas)
         sut = self.replica_factory(index)
+        if self.cache_factory is not None:
+            sut = self.cache_factory(index, sut)
+            self.caches[index] = sut
         replica = Replica(
             index, sut,
             breaker_policy=self.breaker_policy,
@@ -303,6 +336,9 @@ class ReplicaSet(SutBase):
         self.stats.shed_queries += 1
         if self._m:
             self._m.shed.inc()
+        # No replica served it; stateful policies (session affinity)
+        # drop their routing state - a failed turn aborts its session.
+        self.policy.notify_failed(state.query)
         self.fail(state.query, reason)
 
     def _reroute_or_fail(self, state: _Routed, exclude: int,
@@ -391,6 +427,11 @@ class ReplicaSet(SutBase):
         self._settle_attempt(replica, failed=False)
         replica.breaker.record_success(probe=state.probe)
         replica.observe_latency(self.loop.now - state.attempt_started)
+        # Close the routing feedback loop: the policy learns which
+        # replica *actually* served the query - through breaker
+        # rejections, reroutes, and kill rescues - so its state (e.g.
+        # session pins) tracks where the prefix really landed.
+        self.policy.notify_served(query, source)
         self.complete(query, responses)
 
     def _settle_attempt(self, replica: Replica, *, failed: bool) -> None:

@@ -135,12 +135,21 @@ class SweepResult:
 
 
 class SweepHarness:
-    """Binary-search / step the Server arrival rate against the SLO.
+    """Binary-search / step an arrival rate against the SLO.
+
+    Works on both rate-driven scenarios: the Server scenario (queries/s)
+    and the session scenario (sessions/s - ``server_target_qps`` is the
+    session arrival rate there, see ``docs/sessions.md``), so a fleet
+    with per-replica prefix caches can have its *conversation* capacity
+    searched the same way.
 
     ``make_sut`` builds a *fresh* SUT per probe (probe runs must not
     share warm caches, breaker state, or worker pools), and any SUT
     exposing ``close()`` is released after its probe.
     """
+
+    #: Scenarios whose load is an arrival rate the sweep can bisect.
+    _RATE_SCENARIOS = (Scenario.SERVER, Scenario.SESSION)
 
     def __init__(
         self,
@@ -151,10 +160,11 @@ class SweepHarness:
         *,
         clock: Optional[Clock] = None,
         services_factory: Optional[Callable[[SystemUnderTest], list]] = None,
+        probe_observer: Optional[Callable[..., None]] = None,
     ) -> None:
-        if settings.scenario is not Scenario.SERVER:
+        if settings.scenario not in self._RATE_SCENARIOS:
             raise ValueError(
-                "capacity sweeps are a Server-scenario tool; got "
+                "capacity sweeps are a Server/session-scenario tool; got "
                 f"{settings.scenario}")
         self.make_sut = make_sut
         self.qsl = qsl
@@ -165,9 +175,14 @@ class SweepHarness:
         #: (e.g. a fresh Autoscaler around the probe's fresh fleet);
         #: called with the probe's SUT, returns the run's services.
         self.services_factory = services_factory
+        #: Called as ``probe_observer(sut, result, probe)`` after each
+        #: probe run, *before* the SUT is closed - the hook that lets a
+        #: caller audit per-replica cache trails or collect hit rates
+        #: while the probe's state is still alive.
+        self.probe_observer = probe_observer
 
     def probe(self, qps: float) -> SweepProbe:
-        """One full Server run at ``qps``, judged by the referee."""
+        """One full run at arrival rate ``qps``, judged by the referee."""
         settings = self.settings.with_overrides(server_target_qps=qps)
         sut = self.make_sut()
         services = (self.services_factory(sut)
@@ -175,22 +190,32 @@ class SweepHarness:
         try:
             result = run_benchmark(sut, self.qsl, settings,
                                    clock=self.clock, services=services)
+            probe = SweepProbe(
+                qps=qps,
+                valid=result.valid,
+                latency_p99=result.metrics.latency_p99,
+                completed=len(result.log.completed_records()),
+                reasons=tuple(result.validity.reasons),
+            )
+            if self.probe_observer is not None:
+                self.probe_observer(sut, result, probe)
         finally:
             close = getattr(sut, "close", None)
             if callable(close):
                 close()
-        return SweepProbe(
-            qps=qps,
-            valid=result.valid,
-            latency_p99=result.metrics.latency_p99,
-            completed=len(result.log.completed_records()),
-            reasons=tuple(result.validity.reasons),
-        )
+        return probe
 
     def run(self) -> SweepResult:
+        try:
+            bound = self.settings.resolved_server_latency_bound
+        except ValueError:
+            # A session sweep may carry no latency bound at all - the
+            # referee then judges on session validity (stalls, aborts,
+            # completion minimums) alone.
+            bound = float("nan")
         result = SweepResult(
             config=self.config,
-            latency_bound=self.settings.resolved_server_latency_bound,
+            latency_bound=bound,
             max_violation_fraction=(
                 self.settings.resolved_max_violation_fraction),
         )

@@ -136,12 +136,40 @@ class GaugeFamily(MetricFamily):
         self._fn = fn
         if fn is not None and label_names:
             raise ValueError(
-                "callback gauges cannot be labeled; register one gauge "
-                "per callback"
+                "callback gauges cannot take a family-wide callback; "
+                "bind one callback per labeled child via labels_fn(...)"
             )
 
     def _make_child(self) -> Gauge:
         return Gauge(fn=self._fn)
+
+    def labels_fn(self, fn: Callable[[], float], **labels: object) -> Gauge:
+        """Bind a callback-backed child for these labels.
+
+        Labeled families cannot carry a single family-wide callback (each
+        series needs its own live state to pull from), so per-series
+        callbacks are bound here instead: one call per label combination,
+        e.g. ``prefix_cache_resident_tokens{replica="3"}`` pulling from
+        replica 3's cache.  Binding the same label set twice returns the
+        existing child; rebinding over a write-style child is an error.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = Gauge(fn=fn)
+            self._children[key] = child
+        elif child._fn is None:
+            raise ValueError(
+                f"series {series_key(self.name, dict(zip(self.label_names, key)))!r} "
+                "already exists as a write-style gauge; cannot rebind it "
+                "to a callback"
+            )
+        return child
 
     def set(self, value: float) -> None:
         self._default().set(value)

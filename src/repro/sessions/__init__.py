@@ -12,7 +12,14 @@ Three pieces, one seeded contract (``docs/sessions.md``):
   whose hit/miss/eviction trail the referee audits against the graph.
 """
 
-from .cache import CacheEvent, CacheStats, PrefixCacheSUT, audit_cache_events
+from .cache import (
+    CacheEvent,
+    CacheStats,
+    PrefixCacheSUT,
+    audit_cache_events,
+    audit_replica_caches,
+    per_replica_cache_factory,
+)
 from .driver import SessionDriver
 from .replay import (
     SESSION_TAG,
@@ -34,5 +41,7 @@ __all__ = [
     "SessionProfile",
     "TurnPlan",
     "audit_cache_events",
+    "audit_replica_caches",
+    "per_replica_cache_factory",
     "replay_graph_from_settings",
 ]

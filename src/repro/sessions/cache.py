@@ -23,7 +23,7 @@ and TTFT percentiles, not just in counters.  See ``docs/sessions.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional
 
 from ..core.events import EventLoop
 from ..core.query import Query
@@ -70,6 +70,19 @@ class CacheStats:
         """Fraction of prefix tokens served from cache."""
         total = self.tokens_reused + self.tokens_missed
         return self.tokens_reused / total if total else 0.0
+
+    @classmethod
+    def merged(cls, parts: "List[CacheStats]") -> "CacheStats":
+        """Aggregate several caches' stats (a fleet's per-replica view)."""
+        total = cls()
+        for part in parts:
+            total.hits += part.hits
+            total.partial_hits += part.partial_hits
+            total.misses += part.misses
+            total.evictions += part.evictions
+            total.tokens_reused += part.tokens_reused
+            total.tokens_missed += part.tokens_missed
+        return total
 
 
 class _LruModel:
@@ -139,6 +152,7 @@ class PrefixCacheSUT(SutBase):
         hit_latency_per_token: float = 2e-6,
         registry=None,
         name: Optional[str] = None,
+        replica: Optional[int] = None,
     ) -> None:
         super().__init__(name or f"prefix-cache({inner.name})")
         if miss_latency_per_token < 0 or hit_latency_per_token < 0:
@@ -147,39 +161,64 @@ class PrefixCacheSUT(SutBase):
         self.model = _LruModel(capacity_tokens)
         self.miss_latency_per_token = miss_latency_per_token
         self.hit_latency_per_token = hit_latency_per_token
+        #: Fleet replica index this cache belongs to; labels the
+        #: ``prefix_cache_*`` metric families so each replica's cache
+        #: exports its own series (``None`` = unlabeled standalone cache).
+        self.replica = replica
         self.stats = CacheStats()
         #: Ordered audit trail; ``audit_cache_events`` replays it.
         self.events: List[CacheEvent] = []
+        #: Turns delayed on the loop for prefill but not yet handed to
+        #: the inner SUT; ``flush`` must wait for these to drain.
+        self._pending_issues = 0
+        self._flush_after_drain = False
         if registry is not None:
-            self._m_hits = registry.counter(
+            labels = () if replica is None else ("replica",)
+
+            def _child(family):
+                return (family if replica is None
+                        else family.labels(replica=replica))
+
+            self._m_hits = _child(registry.counter(
                 "prefix_cache_hits_total",
                 "Session turns whose full prefix was resident",
-            )
-            self._m_partial = registry.counter(
+                labels=labels,
+            ))
+            self._m_partial = _child(registry.counter(
                 "prefix_cache_partial_hits_total",
                 "Session turns that reused part of their prefix",
-            )
-            self._m_misses = registry.counter(
+                labels=labels,
+            ))
+            self._m_misses = _child(registry.counter(
                 "prefix_cache_misses_total",
                 "Session turns that reused no prefix tokens",
-            )
-            self._m_evictions = registry.counter(
+                labels=labels,
+            ))
+            self._m_evictions = _child(registry.counter(
                 "prefix_cache_evictions_total",
                 "Sessions evicted LRU-first to fit the token capacity",
-            )
-            self._m_reused = registry.counter(
+                labels=labels,
+            ))
+            self._m_reused = _child(registry.counter(
                 "prefix_cache_tokens_reused_total",
                 "Prefix tokens served from cache",
-            )
-            self._m_missed = registry.counter(
+                labels=labels,
+            ))
+            self._m_missed = _child(registry.counter(
                 "prefix_cache_tokens_missed_total",
                 "Prefix tokens recomputed because they were not resident",
-            )
-            registry.gauge(
+                labels=labels,
+            ))
+            resident = registry.gauge(
                 "prefix_cache_resident_tokens",
                 "Tokens currently held by the prefix cache",
-                fn=lambda: self.model.resident_tokens,
+                labels=labels,
+                fn=(lambda: self.model.resident_tokens)
+                if replica is None else None,
             )
+            if replica is not None:
+                resident.labels_fn(
+                    lambda: self.model.resident_tokens, replica=replica)
         else:
             self._m_hits = self._m_partial = self._m_misses = None
             self._m_evictions = self._m_reused = self._m_missed = None
@@ -190,12 +229,40 @@ class PrefixCacheSUT(SutBase):
 
     def start_run(self, loop: EventLoop, responder: Responder) -> None:
         super().start_run(loop, responder)
+        self._pending_issues = 0
+        self._flush_after_drain = False
         # Completions need no interception: the inner SUT answers the
         # referee directly, chunks and failures included.
         self.inner.start_run(loop, responder)
 
     def flush(self) -> None:
-        self.inner.flush()
+        """Forward the flush hint once every delayed turn has reached the
+        inner SUT.
+
+        Turns sit on the event loop for their prefill delay before they
+        are issued inward; flushing the inner SUT while such turns are
+        still queued would let the flush overtake them (the inner SUT
+        would batch-close before seeing queries that were already,
+        logically, issued).  With nothing pending the hint forwards
+        immediately - the common non-session path is unchanged.
+        """
+        if self._pending_issues > 0:
+            self._flush_after_drain = True
+        else:
+            self.inner.flush()
+
+    def close(self) -> None:
+        """Release the inner backend if it owns OS resources."""
+        close = getattr(self.inner, "close", None)
+        if callable(close):
+            close()
+
+    def _issue_inner(self, query: Query) -> None:
+        self._pending_issues -= 1
+        self.inner.issue_query(query)
+        if self._flush_after_drain and self._pending_issues == 0:
+            self._flush_after_drain = False
+            self.inner.flush()
 
     def issue_query(self, query: Query) -> None:
         turn = query.session
@@ -239,8 +306,9 @@ class PrefixCacheSUT(SutBase):
             + reused * self.hit_latency_per_token
         )
         if delay > 0:
+            self._pending_issues += 1
             self.loop.schedule_after(
-                delay, lambda: self.inner.issue_query(query))
+                delay, lambda: self._issue_inner(query))
         else:
             self.inner.issue_query(query)
 
@@ -283,3 +351,53 @@ def audit_cache_events(
         problems.append(
             f"recorded {len(events)} events, expected {len(expected)}")
     return problems
+
+
+def per_replica_cache_factory(
+    capacity_tokens: int = 32_768,
+    miss_latency_per_token: float = 50e-6,
+    hit_latency_per_token: float = 2e-6,
+    registry=None,
+) -> Callable[[int, SystemUnderTest], PrefixCacheSUT]:
+    """A :class:`~repro.fleet.replicaset.ReplicaSet` ``cache_factory``.
+
+    The replica set calls the returned factory once per replica it
+    builds, wrapping that replica's backend in its **own**
+    :class:`PrefixCacheSUT` - so cache state lives where a real serving
+    stack keeps it, on the replica, and routing policy determines which
+    cache a session's turns warm.  With a ``registry`` each cache
+    exports the ``prefix_cache_*{replica="i"}`` labeled series
+    (``docs/observability.md``).
+    """
+
+    def factory(index: int, inner: SystemUnderTest) -> PrefixCacheSUT:
+        return PrefixCacheSUT(
+            inner,
+            capacity_tokens=capacity_tokens,
+            miss_latency_per_token=miss_latency_per_token,
+            hit_latency_per_token=hit_latency_per_token,
+            registry=registry,
+            replica=index,
+            name=f"prefix-cache[{index}]({inner.name})",
+        )
+
+    return factory
+
+
+def audit_replica_caches(
+    caches: Mapping[int, PrefixCacheSUT],
+    graph: ReplayGraph,
+) -> Dict[int, List[str]]:
+    """Audit every replica's cache trail independently.
+
+    Each replica saw only the turns routed to it, so each trail is
+    audited on its own: the recorded access order of *that* replica is
+    replayed through a fresh reference model.  Returns
+    ``{replica_index: problems}``; all-empty values mean every trail is
+    clean.
+    """
+    return {
+        index: audit_cache_events(
+            cache.events, graph, cache.capacity_tokens)
+        for index, cache in sorted(caches.items())
+    }

@@ -9,11 +9,19 @@ at the far end (the echoed index).
 Works under both clocks: with ``latency == 0`` completion is synchronous;
 otherwise it is scheduled on the run loop, which realises the delay in
 virtual or wall time as appropriate.
+
+With ``concurrency=c`` the echo models ``c`` serving slots: a query
+whose slots are all busy queues for the earliest one, so capacity is
+exactly ``c / latency`` queries per second and latency grows without
+bound past it - the monotone validity the fleet capacity sweep bisects
+on (``repro sweep``).  The default (``None``) keeps the classic
+infinite-capacity behavior.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import heapq
+from typing import List, Optional
 
 from ..core.query import Query, QuerySampleResponse
 from ..core.sut import SutBase
@@ -22,12 +30,23 @@ from ..core.sut import SutBase
 class EchoSUT(SutBase):
     """Complete each query after ``latency`` seconds, echoing indices."""
 
-    def __init__(self, latency: float = 0.0, name: Optional[str] = None) -> None:
+    def __init__(self, latency: float = 0.0, name: Optional[str] = None,
+                 concurrency: Optional[int] = None) -> None:
         super().__init__(name or "echo")
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
+        if concurrency is not None and concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {concurrency}")
         self.latency = latency
+        self.concurrency = concurrency
         self.queries_served = 0
+        #: Busy-until times of occupied slots (min-heap), concurrency mode.
+        self._busy: List[float] = []
+
+    def start_run(self, loop, responder) -> None:
+        super().start_run(loop, responder)
+        self._busy = []
 
     def issue_query(self, query: Query) -> None:
         responses = [
@@ -35,9 +54,27 @@ class EchoSUT(SutBase):
             for sample in query.samples
         ]
         self.queries_served += 1
-        if self.latency == 0:
+        if self.concurrency is None:
+            if self.latency == 0:
+                self.complete(query, responses)
+            else:
+                self.loop.schedule_after(
+                    self.latency, lambda: self.complete(query, responses)
+                )
+            return
+        now = self.loop.now
+        # Queue for the earliest slot: pop its free time and replace it
+        # with this query's completion, so the heap always holds each
+        # slot's next-free time.
+        if len(self._busy) < self.concurrency:
+            start = now
+        else:
+            start = max(now, heapq.heappop(self._busy))
+        done = start + self.latency
+        heapq.heappush(self._busy, done)
+        if done <= now:
             self.complete(query, responses)
         else:
             self.loop.schedule_after(
-                self.latency, lambda: self.complete(query, responses)
+                done - now, lambda: self.complete(query, responses)
             )

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.core import Scenario, TestSettings
+from repro.core.events import EventLoop, VirtualClock
 from repro.core.loadgen import run_benchmark
+from repro.core.query import Query, QuerySample
 from repro.fleet import Autoscaler, AutoscalerPolicy, ReplicaSet
+from repro.fleet.replica import ReplicaHealth
 from repro.metrics import MetricsRegistry
 
 from tests.conftest import EchoQSL, FixedLatencySUT
@@ -132,3 +135,44 @@ class TestMetrics:
         total = sum(child.value for _, child in actions.series())
         assert total == len(scaler.trace)
         assert registry.get("autoscaler_replicas").value >= 1.0
+
+
+class TestAllDownFleet:
+    """The max(1, available) clamp and recovery from a dead fleet."""
+
+    @staticmethod
+    def _drowned_dead_fleet(queries):
+        # Queries in flight, then every replica marked DOWN underneath
+        # them (breaker storms / chaos can strand a fleet this way).
+        fleet = slow_fleet(initial_replicas=2)
+        loop = EventLoop(VirtualClock())
+        fleet.start_run(loop, lambda q, r: None)
+        for qid in range(queries):
+            fleet.issue_query(Query(
+                id=qid, samples=(QuerySample(qid * 10, 0),),
+                issue_time=0.0))
+        for replica in fleet.replicas:
+            replica.health = ReplicaHealth.DOWN
+        assert fleet.available_replicas == []
+        return fleet, loop
+
+    def test_signal_clamps_with_zero_available_replicas(self):
+        fleet, _loop = self._drowned_dead_fleet(queries=3)
+        scaler = Autoscaler(fleet)
+        # 3 outstanding / max(1, 0 available): finite, not a crash -
+        # the stranded backlog reads as a one-replica fleet's load.
+        assert scaler.signal() == 3.0
+
+    def test_tick_scales_up_an_all_down_fleet(self):
+        fleet, loop = self._drowned_dead_fleet(queries=8)
+        scaler = Autoscaler(fleet, AutoscalerPolicy(
+            period=0.010, high_watermark=2.0, low_watermark=0.5,
+            cooldown=0.0))
+        scaler.start(loop, keep_going=lambda: False)
+        loop.run(until=0.020)  # exactly one tick fires
+        assert scaler.trace
+        decision = scaler.trace[-1]
+        assert decision.signal == 8.0
+        assert decision.action == "up"
+        assert decision.replicas_before == 0
+        assert len(fleet.available_replicas) == 1

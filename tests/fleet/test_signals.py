@@ -1,0 +1,192 @@
+"""SignalSource: backlog clamp, windowed series reads, determinism."""
+
+import pytest
+
+from repro.core import Scenario, TestSettings
+from repro.core.loadgen import run_benchmark
+from repro.fleet import (
+    Autoscaler,
+    AutoscalerPolicy,
+    BacklogSignal,
+    ReplicaSet,
+    SeriesSignal,
+    SignalSource,
+    make_signal,
+)
+from repro.metrics import MetricsRegistry
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+pytestmark = pytest.mark.fleet
+
+
+class FakeFleet:
+    """Just enough replica-set surface for a signal to sample."""
+
+    def __init__(self, outstanding=0, available=1):
+        self.total_outstanding = outstanding
+        self.available_replicas = list(range(available))
+
+
+def test_make_signal_resolves_default_and_passthrough():
+    assert isinstance(make_signal(None), BacklogSignal)
+    series = SeriesSignal(MetricsRegistry(), "x_total")
+    assert make_signal(series) is series
+    with pytest.raises(TypeError, match="SignalSource"):
+        make_signal("backlog")
+
+
+def test_series_signal_rejects_bad_knobs():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="mode"):
+        SeriesSignal(registry, "x_total", mode="median")
+    with pytest.raises(ValueError, match="window"):
+        SeriesSignal(registry, "x_total", window=0)
+
+
+def test_backlog_signal_divides_by_available_replicas():
+    signal = BacklogSignal()
+    signal.bind(FakeFleet(outstanding=12, available=4))
+    assert signal.sample(now=0.0) == 3.0
+
+
+def test_backlog_signal_clamps_when_no_replica_is_available():
+    # max(1, available): an all-down fleet reads as a one-replica
+    # backlog instead of dividing by zero.
+    signal = BacklogSignal()
+    signal.bind(FakeFleet(outstanding=7, available=0))
+    assert signal.sample(now=0.0) == 7.0
+
+
+def test_series_rate_differences_a_counter_over_the_window():
+    registry = MetricsRegistry()
+    hits = registry.counter("hits_total", "test counter")
+    signal = SeriesSignal(registry, "hits_total", mode="rate", window=4)
+    signal.bind(FakeFleet())
+    assert signal.sample(now=0.0) == 0.0  # single observation: no slope
+    hits.inc(10)
+    assert signal.sample(now=2.0) == pytest.approx(5.0)
+    hits.inc(10)
+    assert signal.sample(now=4.0) == pytest.approx(5.0)
+
+
+def test_series_rate_window_forgets_old_observations():
+    registry = MetricsRegistry()
+    hits = registry.counter("hits_total", "test counter")
+    signal = SeriesSignal(registry, "hits_total", mode="rate", window=2)
+    signal.bind(FakeFleet())
+    signal.sample(now=0.0)
+    hits.inc(100)
+    signal.sample(now=1.0)
+    # Window of 2: the rate now spans [1.0, 2.0] only - no new
+    # increments, so the burst at t<=1 has aged out entirely.
+    assert signal.sample(now=2.0) == 0.0
+
+
+def test_series_level_averages_a_gauge():
+    registry = MetricsRegistry()
+    depth = registry.gauge("queue_depth", "test gauge")
+    signal = SeriesSignal(registry, "queue_depth", mode="level", window=8)
+    signal.bind(FakeFleet())
+    for t, value in enumerate([2.0, 4.0, 6.0]):
+        depth.set(value)
+        observed = signal.sample(now=float(t))
+    assert observed == pytest.approx(4.0)
+
+
+def test_series_sums_labeled_children_across_replicas():
+    registry = MetricsRegistry()
+    misses = registry.counter("prefix_cache_misses_total", "test",
+                              labels=("replica",))
+    signal = SeriesSignal(registry, "prefix_cache_misses_total",
+                          mode="level", window=1)
+    signal.bind(FakeFleet())
+    misses.labels(replica=0).inc(3)
+    misses.labels(replica=1).inc(4)
+    assert signal.sample(now=0.0) == 7.0
+
+
+def test_series_reads_callback_gauges_through_the_family():
+    registry = MetricsRegistry()
+    live = {"value": 5.0}
+    registry.gauge("fleet_outstanding_queries", "test",
+                   fn=lambda: live["value"])
+    signal = SeriesSignal(registry, "fleet_outstanding_queries",
+                          mode="level", window=1)
+    signal.bind(FakeFleet())
+    assert signal.sample(now=0.0) == 5.0
+
+
+def test_missing_family_reads_as_zero():
+    signal = SeriesSignal(MetricsRegistry(), "never_registered_total")
+    signal.bind(FakeFleet())
+    assert signal.sample(now=0.0) == 0.0
+    assert signal.sample(now=1.0) == 0.0
+
+
+def test_per_available_replica_normalizes_and_clamps():
+    registry = MetricsRegistry()
+    depth = registry.gauge("queue_depth", "test gauge")
+    depth.set(8.0)
+    signal = SeriesSignal(registry, "queue_depth", mode="level",
+                          window=1, per_available_replica=True)
+    signal.bind(FakeFleet(available=4))
+    assert signal.sample(now=0.0) == 2.0
+    signal.bind(FakeFleet(available=0))
+    signal.reset()
+    assert signal.sample(now=1.0) == 8.0  # max(1, 0) clamp again
+
+
+def test_reset_clears_the_window():
+    registry = MetricsRegistry()
+    hits = registry.counter("hits_total", "test counter")
+    signal = SeriesSignal(registry, "hits_total", mode="rate", window=8)
+    signal.bind(FakeFleet())
+    signal.sample(now=0.0)
+    hits.inc(50)
+    signal.reset()
+    # Post-reset the first observation stands alone: rate is zero, not
+    # a slope against pre-reset history.
+    assert signal.sample(now=10.0) == 0.0
+
+
+def server_settings(queries=300, qps=200.0, seed=0):
+    return TestSettings(
+        scenario=Scenario.SERVER, server_target_qps=qps,
+        server_latency_bound=1.0, min_query_count=queries,
+        min_duration=0.0, watchdog_timeout=60.0, seed=seed,
+    )
+
+
+def series_scaled_trace(seed=5):
+    registry = MetricsRegistry()
+    fleet = ReplicaSet(
+        lambda i: FixedLatencySUT(latency=0.050),
+        initial_replicas=1, max_replicas=8, attempt_timeout=2.0,
+        seed=seed, registry=registry)
+    scaler = Autoscaler(
+        fleet,
+        AutoscalerPolicy(period=0.050, high_watermark=3.0,
+                         low_watermark=0.5, cooldown=0.100),
+        signal=SeriesSignal(registry, "fleet_outstanding_queries",
+                            mode="level", window=4,
+                            per_available_replica=True))
+    result = run_benchmark(fleet, EchoQSL(), server_settings(seed=seed),
+                           services=[scaler])
+    return result, scaler.trace
+
+
+def test_autoscaler_scales_up_on_a_live_metric_series():
+    # The drowning one-replica fleet's backlog shows up in the live
+    # fleet_outstanding_queries series; the scaler must grow from it.
+    result, trace = series_scaled_trace()
+    assert result.valid
+    assert any(d.action == "up" for d in trace)
+    assert max(d.replicas_after for d in trace) > 1
+
+
+def test_series_driven_trace_is_bit_identical_across_same_seed_runs():
+    (_, trace_a), (_, trace_b) = (series_scaled_trace(),
+                                  series_scaled_trace())
+    assert trace_a == trace_b
+    assert any(d.action != "hold" for d in trace_a)

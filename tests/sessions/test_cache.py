@@ -3,9 +3,15 @@
 import pytest
 
 from repro.core import Scenario, TestSettings
+from repro.core.events import EventLoop, VirtualClock
 from repro.core.loadgen import run_benchmark
+from repro.core.query import (
+    Query, QuerySample, QuerySampleResponse, SessionTurn,
+)
+from repro.core.sut import SutBase
 from repro.metrics import MetricsRegistry
 from repro.sessions import (
+    CacheStats,
     PrefixCacheSUT,
     audit_cache_events,
     replay_graph_from_settings,
@@ -123,3 +129,92 @@ def test_streamed_session_turns_report_per_turn_ttft():
     # Per-turn TTFT comes from real first-chunk times, so it must sit
     # strictly below the full turn latency percentiles.
     assert session.turn_ttft_p50 < result.metrics.latency_p50
+
+
+class _RecordingSUT(SutBase):
+    """Inner backend that logs the order of issues vs. flushes."""
+
+    def __init__(self):
+        super().__init__("recorder")
+        self.calls = []
+
+    def issue_query(self, query):
+        self.calls.append("issue")
+        self.complete(query, [QuerySampleResponse(s.id, s.index)
+                              for s in query.samples])
+
+    def flush(self):
+        self.calls.append("flush")
+
+
+def delayed_turn(qid=1):
+    query = Query(id=qid, samples=(QuerySample(qid * 100, 0),),
+                  issue_time=0.0)
+    query.session = SessionTurn(
+        session_id=1, turn_index=1, turn_count=4,
+        prefix_tokens=128, new_tokens=16, response_tokens=16)
+    return query
+
+
+def test_flush_waits_for_prefill_delayed_turns_to_drain():
+    # Regression: flush() used to forward to the inner SUT immediately,
+    # overtaking turns still sitting out their prefill delay on the
+    # loop - the inner SUT would batch-close before seeing queries that
+    # were already, logically, issued.
+    inner = _RecordingSUT()
+    sut = PrefixCacheSUT(inner, capacity_tokens=1 << 20)
+    loop = EventLoop(VirtualClock())
+    sut.start_run(loop, lambda q, r: None)
+    sut.issue_query(delayed_turn(1))
+    sut.issue_query(delayed_turn(2))
+    sut.flush()
+    assert inner.calls == []  # both turns still waiting out prefill
+    loop.run()
+    assert inner.calls == ["issue", "issue", "flush"]
+
+
+def test_flush_forwards_immediately_when_nothing_is_pending():
+    inner = _RecordingSUT()
+    sut = PrefixCacheSUT(inner)
+    loop = EventLoop(VirtualClock())
+    sut.start_run(loop, lambda q, r: None)
+    sut.flush()
+    assert inner.calls == ["flush"]
+
+
+def test_close_releases_the_inner_backend():
+    class _Closable(EchoSUT):
+        def __init__(self):
+            super().__init__()
+            self.closed = False
+
+        def close(self):
+            self.closed = True
+
+    inner = _Closable()
+    PrefixCacheSUT(inner).close()
+    assert inner.closed
+
+
+def test_merged_stats_sum_every_field():
+    a = CacheStats(hits=1, partial_hits=2, misses=3, evictions=4,
+                   tokens_reused=5, tokens_missed=6)
+    b = CacheStats(hits=10, partial_hits=20, misses=30, evictions=40,
+                   tokens_reused=50, tokens_missed=60)
+    assert CacheStats.merged([a, b]) == CacheStats(
+        hits=11, partial_hits=22, misses=33, evictions=44,
+        tokens_reused=55, tokens_missed=66)
+    assert CacheStats.merged([]) == CacheStats()
+
+
+def test_replica_labeled_cache_exports_its_own_series():
+    registry = MetricsRegistry()
+    sut = PrefixCacheSUT(EchoSUT(latency=0.001), registry=registry,
+                         replica=3)
+    result = run_benchmark(sut, EchoQSL(), settings())
+    assert result.valid
+    hits = registry.get("prefix_cache_hits_total")
+    assert hits.label_names == ("replica",)
+    assert hits.labels(replica=3).value == sut.stats.hits
+    resident = registry.get("prefix_cache_resident_tokens")
+    assert resident.labels(replica=3).value == sut.model.resident_tokens
