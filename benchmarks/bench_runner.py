@@ -28,6 +28,17 @@ per-replica prefix caches (balancer ranking, served-replica feedback,
 breaker bookkeeping on top of the session tier) - is recorded to
 ``BENCH_fleet_sessions.json`` (``--fleet-sessions-out``).
 
+The resilience tier's control-plane costs are recorded to
+``BENCH_chaos.json`` (``--chaos-out``), so robustness PRs can show the
+detector stays cheap enough to run every scoring period:
+
+* **detector tick** - :meth:`OutlierDetector.evaluate` scoring ticks
+  per wall second over a healthy 8-replica fleet with full latency
+  windows (median, per-replica ratios, failure windows - no ejections);
+* **ejection rescue** - in-flight session queries rescued per wall
+  second by :meth:`ReplicaSet.eject_replica`, including the re-route,
+  session re-pin, and survivor prefix-cache warm (``docs/chaos.md``).
+
 Run it from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_runner.py [--out BENCH_core.json]
@@ -202,6 +213,92 @@ def run_fleet_session_benchmarks(sessions: int, repeats: int) -> dict:
     return results
 
 
+def bench_detector_tick(ticks: int) -> float:
+    """Outlier-detector scoring ticks per wall second.
+
+    A healthy 8-replica fleet with saturated latency windows: every
+    tick computes the fleet median, per-replica latency ratios, and
+    windowed failure rates, and ejects nothing - the steady-state cost
+    the detector adds to every ``period`` of a protected run.
+    """
+    from repro.fleet import OutlierDetector, OutlierPolicy, ReplicaSet
+
+    loop = EventLoop(VirtualClock())
+    fleet = ReplicaSet(lambda i: EchoSUT(latency=1e-6),
+                       initial_replicas=8, max_replicas=8)
+    fleet.start_run(loop, lambda q, r: None)
+    for replica in fleet.replicas:
+        for _ in range(128):
+            replica.observe_latency(0.002)
+        replica.completed = 1_000
+    policy = OutlierPolicy(min_observations=8)
+    detector = OutlierDetector(fleet, policy, seed=0)
+    started = time.perf_counter()
+    for tick in range(ticks):
+        detector.evaluate(tick * policy.period)
+    elapsed = time.perf_counter() - started
+    assert detector.quarantined == []
+    return ticks / elapsed
+
+
+def bench_ejection_rescue(cycles: int, batch: int = 64) -> float:
+    """In-flight session queries rescued per wall second of ejection.
+
+    Each cycle issues a batch of slow session turns across a 4-replica
+    session-affinity fleet, ejects the busiest replica, and times the
+    rescue: reroute to survivors, session re-pin, and the survivor
+    prefix-cache warm with the rescued sessions' prefixes.  Only the
+    :meth:`ReplicaSet.eject_replica` call is on the clock.
+    """
+    from repro.core.query import Query, QuerySample, SessionTurn
+    from repro.fleet import ReplicaSet
+    from repro.sessions import per_replica_cache_factory
+
+    loop = EventLoop(VirtualClock())
+    fleet = ReplicaSet(
+        lambda i: EchoSUT(latency=1e9),  # stays in flight until rescued
+        initial_replicas=4, max_replicas=4,
+        policy="session-affinity", attempt_timeout=1e12,
+        cache_factory=per_replica_cache_factory(capacity_tokens=1 << 18),
+    )
+    fleet.start_run(loop, lambda q, r: None)
+    next_id = 1
+    rescued = 0
+    on_the_clock = 0.0
+    for _ in range(cycles):
+        for _ in range(batch):
+            turn = SessionTurn(
+                session_id=next_id, turn_index=1, turn_count=2,
+                prefix_tokens=128, new_tokens=32, response_tokens=32)
+            fleet.issue_query(Query(
+                id=next_id, samples=(QuerySample(id=next_id, index=0),),
+                issue_time=loop.now, session=turn))
+            next_id += 1
+        victim = max(fleet.available_replicas,
+                     key=lambda r: r.outstanding).index
+        started = time.perf_counter()
+        rescued += fleet.eject_replica(victim)
+        on_the_clock += time.perf_counter() - started
+        fleet.readmit_replica(victim)
+    assert rescued > 0 and fleet.stats.cache_warms > 0
+    return rescued / on_the_clock
+
+
+def run_chaos_benchmarks(ticks: int, cycles: int, repeats: int) -> dict:
+    """Best-of-``repeats`` for the resilience control-plane paths."""
+    benches = {
+        "detector_ticks_per_s": lambda: bench_detector_tick(ticks),
+        "ejection_rescue_queries_per_s":
+            lambda: bench_ejection_rescue(cycles),
+    }
+    results = {}
+    for name, bench in benches.items():
+        best = max(bench() for _ in range(repeats))
+        results[name] = round(best, 1)
+        print(f"{name:36s} {best:12,.0f}")
+    return results
+
+
 def _write_trajectory(path: str, area: str, results: dict,
                       meta: dict) -> None:
     meta = dict(meta)
@@ -225,6 +322,9 @@ def main(argv=None) -> int:
     parser.add_argument("--fleet-sessions-out",
                         default="BENCH_fleet_sessions.json",
                         help="fleet-session trajectory file "
+                             "(default: %(default)s)")
+    parser.add_argument("--chaos-out", default="BENCH_chaos.json",
+                        help="resilience-tier trajectory file "
                              "(default: %(default)s)")
     parser.add_argument("--events", type=int, default=200_000,
                         help="event-loop callbacks per repeat")
@@ -255,6 +355,14 @@ def main(argv=None) -> int:
             "balancer": "session-affinity",
             "repeats": args.repeats,
         })
+    chaos_results = run_chaos_benchmarks(
+        ticks=2_000, cycles=50, repeats=args.repeats)
+    _write_trajectory(args.chaos_out, "chaos", chaos_results, {
+        "detector_replicas": 8,
+        "rescue_replicas": 4,
+        "rescue_batch": 64,
+        "repeats": args.repeats,
+    })
     return 0
 
 

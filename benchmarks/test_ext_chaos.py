@@ -1,0 +1,229 @@
+"""Extension: chaos drills — gray failure and zone outage (docs/chaos.md).
+
+The study behind the resilience tier's two headline claims:
+
+* gray failure — a replica that silently turns 10x slower (alive,
+  answering, just wrong) drags an unprotected fleet's p99 over the SLO
+  and the run is INVALID; with the outlier detector on, the replica is
+  ejected on windowed-latency evidence, its in-flight queries are
+  rescued, and the same run stays VALID — zero lost queries either way;
+* zone outage — a deployment that ignores fault domains loses every
+  replica (and every in-flight query) when its one domain dies, while
+  the same fleet striped across two zones under the zone-spread policy
+  keeps half its capacity and finishes VALID with zero failures; within
+  a shared topology, zone-spread's alternating fallback order also
+  burns fewer attempts inside a browned-out zone than round-robin.
+
+Every run is virtual-clock deterministic: the numbers printed here are
+reproducible bit-for-bit, chaos windows included.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import Scenario, TestSettings, run_benchmark
+from repro.faults import (
+    ChaosEvent,
+    ChaosOrchestrator,
+    ChaosSchedule,
+    DegradedSUT,
+)
+from repro.fleet import OutlierDetector, OutlierPolicy, ReplicaSet
+
+from tests.conftest import EchoQSL, FixedLatencySUT
+
+SERVICE_TIME = 0.020
+QUERIES = 2000
+
+SETTINGS = TestSettings(
+    scenario=Scenario.SERVER, server_target_qps=200.0,
+    server_latency_bound=0.1, min_query_count=QUERIES,
+    min_duration=0.0, watchdog_timeout=300.0, seed=23)
+
+#: One silent brownout: replica 1 turns 10x slower at t=2s and stays
+#: sick for 7s — alive and answering, so nothing but its latency
+#: series gives it away.
+GRAY_SCHEDULE = ChaosSchedule((
+    ChaosEvent(2.0, 7.0, "gray-failure", "replica:1", 10.0),
+))
+
+DETECTOR_POLICY = OutlierPolicy(
+    period=0.010, min_observations=8,
+    ejection_duration=0.2, probe_timeout=0.05)
+
+
+def gray_failure_run(protected):
+    orchestrator = ChaosOrchestrator(GRAY_SCHEDULE)
+    fleet = ReplicaSet(
+        orchestrator.wrap_factory(
+            lambda i: FixedLatencySUT(latency=SERVICE_TIME)),
+        initial_replicas=4, attempt_timeout=0.5, seed=23)
+    orchestrator.bind(fleet)
+    services = [orchestrator]
+    detector = None
+    if protected:
+        detector = OutlierDetector(fleet, DETECTOR_POLICY, seed=23)
+        services.append(detector)
+    result = run_benchmark(fleet, EchoQSL(), SETTINGS, services=services)
+    return fleet, detector, result
+
+
+class TestGrayFailure:
+    """A 10x slow replica: SLO blown without the detector, kept with it."""
+
+    def test_detector_turns_an_invalid_run_valid(self, benchmark):
+        (unfleet, _, unprotected), (fleet, detector, protected) = \
+            benchmark.pedantic(
+                lambda: (gray_failure_run(False), gray_failure_run(True)),
+                rounds=1, iterations=1)
+
+        trail = Counter(e.action for e in detector.trace)
+        print(f"\n  unprotected: p99="
+              f"{unprotected.metrics.latency_p99 * 1e3:.0f}ms "
+              f"valid={unprotected.valid}")
+        print(f"  protected:   p99="
+              f"{protected.metrics.latency_p99 * 1e3:.0f}ms "
+              f"valid={protected.valid} trail={dict(trail)}")
+        print(f"  {fleet.stats.summary()}")
+
+        # The headline: same chaos, same seed - only the detector
+        # separates an SLO breach from a VALID run.
+        assert not unprotected.valid
+        assert unprotected.metrics.latency_p99 \
+            > SETTINGS.server_latency_bound
+        assert protected.valid
+        assert protected.metrics.latency_p99 \
+            <= SETTINGS.server_latency_bound
+
+        # Zero lost queries in BOTH runs: gray failure degrades, the
+        # referee never drops or double-counts.
+        for result in (unprotected, protected):
+            assert not result.log.failed_records()
+            records = result.log.completed_records()
+            assert len(records) == QUERIES
+            assert len({r.query.id for r in records}) == len(records)
+
+        # The ejection did real work: in-flight queries were rescued
+        # off the sick replica, probation re-ejected it while the
+        # brownout held, and recovery earned readmission - the fleet
+        # ends the run at full strength.
+        assert fleet.stats.ejections >= 1
+        assert fleet.stats.rescued_queries > 0
+        assert trail["re-eject"] > 0
+        assert fleet.stats.readmissions >= 1
+        assert detector.quarantined == []
+
+
+class _KillZone:
+    """RunService that takes a whole fault domain down mid-run."""
+
+    def __init__(self, fleet, zone, at):
+        self.fleet, self.zone, self.at = fleet, zone, at
+        self.rescued = None
+
+    def start(self, loop, keep_going):
+        def _fire():
+            self.rescued = self.fleet.kill_zone(self.zone)
+        loop.schedule_after(self.at, _fire)
+
+    def stop(self):
+        pass
+
+
+ZONE_SETTINGS = TestSettings(
+    scenario=Scenario.SERVER, server_target_qps=150.0,
+    server_latency_bound=0.25, min_query_count=600,
+    min_duration=0.0, watchdog_timeout=120.0, seed=5)
+
+
+class TestZoneOutage:
+    """Fault-domain awareness is the difference between half and nothing."""
+
+    def test_zone_striped_fleet_survives_what_kills_the_oblivious_one(
+            self, benchmark):
+        def outage_run(zones, policy):
+            fleet = ReplicaSet(
+                lambda i: FixedLatencySUT(latency=0.030),
+                initial_replicas=6, attempt_timeout=0.1,
+                zones=zones, policy=policy, seed=5)
+            killer = _KillZone(fleet, "z0", at=1.5)
+            result = run_benchmark(fleet, EchoQSL(), ZONE_SETTINGS,
+                                   services=[killer])
+            return fleet, result
+
+        (oblivious_fleet, oblivious), (striped_fleet, striped) = \
+            benchmark.pedantic(
+                lambda: (outage_run(1, "round-robin"),
+                         outage_run(2, "zone-spread")),
+                rounds=1, iterations=1)
+
+        print(f"\n  one-domain round-robin: valid={oblivious.valid} "
+              f"completed={len(oblivious.log.completed_records())} "
+              f"failed={len(oblivious.log.failed_records())} "
+              f"survivors={len(oblivious_fleet.available_replicas)}")
+        print(f"  two-zone zone-spread:   valid={striped.valid} "
+              f"completed={len(striped.log.completed_records())} "
+              f"failed={len(striped.log.failed_records())} "
+              f"survivors={len(striped_fleet.available_replicas)}")
+
+        # Everything in one domain: the outage is total.  No replica
+        # survives, every query from the kill onward is shed.
+        assert not oblivious.valid
+        assert len(oblivious_fleet.available_replicas) == 0
+        assert len(oblivious.log.failed_records()) > 0
+        # Striped across two domains under zone-spread: half the
+        # capacity survives and absorbs everything - the rescued
+        # in-flight queries included - with zero failures.
+        assert striped.valid
+        assert len(striped_fleet.available_replicas) == 3
+        assert not striped.log.failed_records()
+        assert len(striped.log.completed_records()) == 600
+        assert striped_fleet.stats.rescued_queries > 0
+        # The referee's ledger balances in both worlds: completed plus
+        # failed covers every issued query exactly once.
+        for result in (oblivious, striped):
+            ids = [r.query.id for r in result.log.completed_records()]
+            ids += [r.query.id for r in result.log.failed_records()]
+            assert len(set(ids)) == len(ids) == 600
+
+    def test_zone_spread_burns_fewer_attempts_in_a_sick_zone(self):
+        # Same topology, same zone-wide brownout, only the policy
+        # differs: zone-spread's alternating fallback order retries a
+        # failed attempt in the *other* zone, round-robin's rotation
+        # re-enters the sick one.  Summed over six seeds the spread
+        # policy wastes measurably fewer attempt deadlines.
+        def brownout_run(policy, seed):
+            valves = {}
+
+            def factory(index):
+                valve = DegradedSUT(FixedLatencySUT(latency=0.030))
+                valves[index] = valve
+                return valve
+
+            fleet = ReplicaSet(
+                factory, initial_replicas=6,
+                zones=lambda i: f"z{i // 3}",
+                policy=policy, attempt_timeout=0.1, seed=seed)
+
+            class _Brownout:
+                def start(self, loop, keep_going):
+                    for index in (0, 1, 2):
+                        loop.schedule_after(
+                            1.0, lambda i=index: valves[i].degrade(6.0))
+                        loop.schedule_after(2.5, valves[index].restore)
+
+                def stop(self):
+                    pass
+
+            run_benchmark(fleet, EchoQSL(),
+                          ZONE_SETTINGS.with_overrides(seed=seed),
+                          services=[_Brownout()])
+            return fleet.stats.deadline_failures
+
+        seeds = range(6)
+        round_robin = sum(brownout_run("round-robin", s) for s in seeds)
+        spread = sum(brownout_run("zone-spread", s) for s in seeds)
+        print(f"\n  deadline failures over {len(list(seeds))} seeds: "
+              f"round-robin={round_robin} zone-spread={spread}")
+        assert spread < round_robin

@@ -12,7 +12,11 @@ Six commands cover the everyday workflows:
                 across N worker processes (``repro.parallel``); with
                 ``--workload session`` it replays seeded multi-turn
                 conversations through a shared-prefix cache and audits
-                the cache's hit trail (``docs/sessions.md``).
+                the cache's hit trail (``docs/sessions.md``); add
+                ``--replicas N --chaos`` to balance them over a zoned
+                fleet while a seeded fault schedule knocks zones out
+                and browns replicas down, with the outlier detector
+                ejecting the gray failures (``docs/chaos.md``).
 * ``serve``   - host a backend behind the network protocol so a
                 ``run --sut network`` (or any NetworkSUT) can drive it;
                 ``--backend parallel`` hosts the process-parallel pool
@@ -31,8 +35,11 @@ Six commands cover the everyday workflows:
                 or a live metric series); with ``--workload session`` the
                 probed rate is *sessions/s* routed through per-replica
                 prefix caches, each probe reporting its audited token hit
-                rate.  Writes a ``BENCH_fleet.json``-style capacity
-                report with ``--report``; see ``docs/fleet.md``.
+                rate; with ``--chaos`` every probe runs under the same
+                seeded fault schedule, so the knee is the capacity the
+                fleet holds *through* zone outages and gray failures.
+                Writes a ``BENCH_fleet.json``-style capacity report with
+                ``--report``; see ``docs/fleet.md``.
 """
 
 from __future__ import annotations
@@ -145,6 +152,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="prefix-cache capacity, in tokens")
     session.add_argument("--backend-latency-ms", type=float, default=2.0,
                          help="echo backend per-turn service time")
+    chaos = run.add_argument_group(
+        "fleet + chaos (--workload session)")
+    chaos.add_argument("--replicas", type=int, default=0,
+                       help="> 0: replay the sessions against a ReplicaSet "
+                            "of this many echo replicas (per-replica "
+                            "prefix caches) instead of a single backend")
+    chaos.add_argument("--zones", type=int, default=1,
+                       help="fault domains to stripe the replicas across "
+                            "(--replicas)")
+    chaos.add_argument("--balancer",
+                       choices=["round-robin", "least-outstanding",
+                                "weighted-p99", "session-affinity",
+                                "zone-spread", "zone-local"],
+                       default="least-outstanding",
+                       help="fleet balancing policy (--replicas)")
+    chaos.add_argument("--chaos", action="store_true",
+                       help="drive a seeded ChaosSchedule (zone outages, "
+                            "gray failures, partitions) against the fleet "
+                            "while it serves; requires --replicas "
+                            "(docs/chaos.md)")
+    chaos.add_argument("--chaos-events", type=int, default=3,
+                       help="fault windows to draw for the schedule")
+    chaos.add_argument("--no-detector", action="store_true",
+                       help="with --chaos: leave the fleet unprotected "
+                            "(skip the gray-failure outlier detector)")
 
     serve = sub.add_parser(
         "serve", help="host a backend behind the network protocol")
@@ -275,9 +307,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--balancer", choices=["round-robin",
                                               "least-outstanding",
                                               "weighted-p99",
-                                              "session-affinity"],
+                                              "session-affinity",
+                                              "zone-spread",
+                                              "zone-local"],
                        default="least-outstanding",
                        help="fleet balancing policy (--replicas)")
+    sweep.add_argument("--zones", type=int, default=1,
+                       help="fault domains to stripe the replicas across "
+                            "(--replicas)")
+    sweep.add_argument("--chaos", action="store_true",
+                       help="inject the same seeded ChaosSchedule into "
+                            "every probe run, with the outlier detector "
+                            "protecting the fleet: the reported capacity "
+                            "is the SLO knee *under faults* "
+                            "(docs/chaos.md)")
+    sweep.add_argument("--chaos-events", type=int, default=3,
+                       help="fault windows per probe run (--chaos)")
     sweep.add_argument("--autoscale", action="store_true",
                        help="attach the deterministic autoscaler to each "
                             "probe's fleet (--replicas)")
@@ -581,18 +626,28 @@ def _cmd_run_parallel(args) -> int:
 def _cmd_run_session(args) -> int:
     """``run --workload session``: replay seeded conversations through
     the prefix cache and report per-session percentiles plus the
-    audited cache hit rate (docs/sessions.md)."""
+    audited cache hit rate (docs/sessions.md).  With ``--replicas N``
+    the conversations are balanced over a fleet with per-replica
+    caches; ``--chaos`` additionally drives a seeded fault schedule
+    against that fleet, with the gray-failure outlier detector
+    protecting it unless ``--no-detector`` (docs/chaos.md)."""
     from .core.config import TestSettings
     from .core.loadgen import run_benchmark
     from .harness.netbench import SyntheticQSL
     from .metrics import MetricsRegistry
     from .sessions import (
+        CacheStats,
         PrefixCacheSUT,
         audit_cache_events,
+        audit_replica_caches,
+        per_replica_cache_factory,
         replay_graph_from_settings,
     )
     from .sut.echo import EchoSUT
 
+    if args.chaos and args.replicas <= 0:
+        print("--chaos requires --replicas N", file=sys.stderr)
+        return 2
     settings = TestSettings(
         scenario=Scenario.SESSION,
         task=_TASKS[args.task] if args.task else None,
@@ -606,30 +661,113 @@ def _cmd_run_session(args) -> int:
         seed=args.seed,
         **_stream_targets(args),
     )
-    backend = EchoSUT(latency=args.backend_latency_ms * 1e-3)
-    if args.stream:
-        from .streaming import StreamModel, StreamingSUT
-
-        backend = StreamingSUT(backend, model=StreamModel(seed=args.seed))
     registry = MetricsRegistry()
-    sut = PrefixCacheSUT(backend, capacity_tokens=args.cache_tokens,
-                         registry=registry)
-    result = run_benchmark(sut, SyntheticQSL(), settings, registry=registry)
+    latency = args.backend_latency_ms * 1e-3
+
+    def wrap_stream(backend):
+        if args.stream:
+            from .streaming import StreamModel, StreamingSUT
+
+            return StreamingSUT(backend, model=StreamModel(seed=args.seed))
+        return backend
+
+    services = []
+    orchestrator = detector = None
+    if args.replicas > 0:
+        from .fleet import OutlierDetector, ReplicaSet
+
+        def make_backend(index):
+            return wrap_stream(
+                EchoSUT(latency=latency, name=f"replica-{index}"))
+
+        factory = make_backend
+        if args.chaos:
+            from .faults import ChaosOrchestrator, ChaosSchedule
+
+            # A rough run-length estimate is all the schedule needs:
+            # windows are placed inside the first 60% of it.
+            horizon = (args.sessions / args.session_qps
+                       + args.turns_max * args.think_time_s)
+            schedule = ChaosSchedule.generate(
+                args.seed, duration=horizon, replicas=args.replicas,
+                zones=args.zones, events=args.chaos_events)
+            orchestrator = ChaosOrchestrator(schedule, registry=registry)
+            factory = orchestrator.wrap_factory(factory)
+        sut = ReplicaSet(
+            factory,
+            initial_replicas=args.replicas,
+            max_replicas=args.replicas,
+            policy=args.balancer,
+            zones=args.zones,
+            seed=args.seed,
+            registry=registry,
+            cache_factory=per_replica_cache_factory(
+                capacity_tokens=args.cache_tokens, registry=registry),
+        )
+        if orchestrator is not None:
+            orchestrator.bind(sut)
+            services.append(orchestrator)
+            if not args.no_detector:
+                detector = OutlierDetector(sut, seed=args.seed,
+                                           registry=registry)
+                services.append(detector)
+    else:
+        sut = PrefixCacheSUT(
+            wrap_stream(EchoSUT(latency=latency)),
+            capacity_tokens=args.cache_tokens, registry=registry)
+    result = run_benchmark(sut, SyntheticQSL(), settings,
+                           registry=registry, services=services)
     print(result.summary())
-    stats = sut.stats
+    graph = replay_graph_from_settings(settings)
+    caches = getattr(sut, "caches", None)
+    if caches is not None:
+        stats = CacheStats.merged([c.stats for c in caches.values()])
+        problems = [p for trail in
+                    audit_replica_caches(caches, graph).values()
+                    for p in trail]
+        events = sum(len(c.events) for c in caches.values())
+        print(f"fleet             : {sut.stats.summary()}")
+    else:
+        stats = sut.stats
+        problems = audit_cache_events(sut.events, graph,
+                                      sut.capacity_tokens)
+        events = len(sut.events)
     print(f"prefix cache      : {stats.hits} hits / "
           f"{stats.partial_hits} partial / {stats.misses} misses "
           f"({stats.evictions} evictions), "
           f"hit rate {stats.hit_rate:.1%}, "
           f"token hit rate {stats.token_hit_rate:.1%}")
-    problems = audit_cache_events(
-        sut.events, replay_graph_from_settings(settings),
-        sut.capacity_tokens)
+    if orchestrator is not None:
+        injected = sum(1 for d in orchestrator.trace
+                       if d.action == "inject")
+        recovered = sum(1 for d in orchestrator.trace
+                        if d.action == "recover")
+        print(f"chaos             : {injected} faults injected, "
+              f"{recovered} recovered over {len(orchestrator.trace)} "
+              f"ticks")
+        for window in orchestrator.windows:
+            closed = (f"{window.end:.3f}" if window.end is not None
+                      else "open")
+            print(f"  {window.kind:12s} {window.target:10s} "
+                  f"[{window.start:.3f} .. {closed}] s")
+    if detector is not None:
+        ejections = sum(1 for e in detector.trace if e.action == "eject")
+        readmits = sum(1 for e in detector.trace if e.action == "readmit")
+        print(f"outlier detector  : {ejections} ejections, "
+              f"{readmits} readmissions "
+              f"({len(detector.trace)} trail events)")
+    if getattr(args, "trace", None):
+        from .core.trace import write_chrome_trace
+
+        write_chrome_trace(
+            result.log, args.trace, snapshots=result.snapshots,
+            chaos=orchestrator.windows if orchestrator else None)
+        print(f"trace written to {args.trace}")
     if problems:
         print(f"cache audit       : FAILED ({len(problems)} discrepancies; "
               f"first: {problems[0]})")
         return 1
-    print(f"cache audit       : clean ({len(sut.events)} events replayed)")
+    print(f"cache audit       : clean ({events} events replayed)")
     return 0 if result.valid else 1
 
 
@@ -869,6 +1007,7 @@ def _cmd_sweep(args) -> int:
     from .core.config import TestSettings
     from .fleet import (
         Autoscaler,
+        OutlierDetector,
         ReplicaSet,
         SeriesSignal,
         SweepConfig,
@@ -918,15 +1057,42 @@ def _cmd_sweep(args) -> int:
     if args.replicas > 0:
         from .sessions import per_replica_cache_factory
 
+        chaos_schedule = None
+        if args.chaos:
+            from .faults import ChaosSchedule
+
+            # Size the schedule to the *shortest* probe (the qps-high
+            # end of the bracket) so every probe run sees both the
+            # injection and the recovery side of each window.  One
+            # schedule, reused by every probe: the capacity verdicts
+            # stay comparable across rates.
+            if session_workload:
+                horizon = (args.sessions / args.qps_high
+                           + args.turns_max * args.think_time_s)
+            else:
+                horizon = args.queries / args.qps_high
+            chaos_schedule = ChaosSchedule.generate(
+                args.seed, duration=horizon, replicas=args.replicas,
+                zones=args.zones, events=args.chaos_events)
+
         def make_sut():
             # One registry per probe: live series feed the autoscaler's
             # SeriesSignal and export per-replica prefix_cache_* families.
             registry = MetricsRegistry()
+            factory = make_backend
+            orchestrator = None
+            if chaos_schedule is not None:
+                from .faults import ChaosOrchestrator
+
+                orchestrator = ChaosOrchestrator(
+                    chaos_schedule, registry=registry)
+                factory = orchestrator.wrap_factory(factory)
             fleet = ReplicaSet(
-                make_backend,
+                factory,
                 initial_replicas=args.replicas,
                 max_replicas=max(args.replicas, 2 * args.replicas),
                 policy=args.balancer,
+                zones=args.zones,
                 attempt_timeout=4.0 * args.latency_bound_ms * 1e-3,
                 seed=args.seed,
                 registry=registry,
@@ -934,31 +1100,48 @@ def _cmd_sweep(args) -> int:
                     capacity_tokens=args.cache_tokens, registry=registry)
                     if session_workload else None),
             )
+            if orchestrator is not None:
+                orchestrator.bind(fleet)
             fleet.sweep_registry = registry
+            fleet.chaos_orchestrator = orchestrator
             return fleet
 
         def services_factory(sut):
             registry = sut.sweep_registry
-            if args.scale_signal == "outstanding-series":
-                signal = SeriesSignal(
-                    registry, "fleet_outstanding_queries",
-                    mode="level", window=4, per_available_replica=True)
-            elif args.scale_signal == "cache-miss-rate":
-                signal = SeriesSignal(
-                    registry, "prefix_cache_tokens_missed_total",
-                    mode="rate", per_available_replica=True)
-            else:
-                signal = None  # the stock in-process backlog
-            return [Autoscaler(sut, signal=signal, registry=registry)]
+            services = []
+            if sut.chaos_orchestrator is not None:
+                services.append(sut.chaos_orchestrator)
+                services.append(OutlierDetector(
+                    sut, seed=args.seed, registry=registry))
+            if args.autoscale:
+                if args.scale_signal == "outstanding-series":
+                    signal = SeriesSignal(
+                        registry, "fleet_outstanding_queries",
+                        mode="level", window=4,
+                        per_available_replica=True)
+                elif args.scale_signal == "cache-miss-rate":
+                    signal = SeriesSignal(
+                        registry, "prefix_cache_tokens_missed_total",
+                        mode="rate", per_available_replica=True)
+                else:
+                    signal = None  # the stock in-process backlog
+                services.append(
+                    Autoscaler(sut, signal=signal, registry=registry))
+            return services
 
-        if not args.autoscale:
+        if not (args.autoscale or args.chaos):
             services_factory = None
         probed = (f"{args.replicas}-replica echo fleet "
                   f"({args.balancer}"
-                  f"{f', autoscaled on {args.scale_signal}' if args.autoscale else ''})")
+                  f"{f', {args.zones} zones' if args.zones > 1 else ''}"
+                  f"{f', autoscaled on {args.scale_signal}' if args.autoscale else ''}"
+                  f"{f', chaos x{args.chaos_events}' if args.chaos else ''})")
     else:
         if args.autoscale:
             print("--autoscale requires --replicas N", file=sys.stderr)
+            return 2
+        if args.chaos:
+            print("--chaos requires --replicas N", file=sys.stderr)
             return 2
 
         def make_sut():
@@ -1029,6 +1212,12 @@ def _cmd_sweep(args) -> int:
     if args.report:
         report = result.report()
         report["workload"] = args.workload
+        if args.chaos:
+            report["chaos"] = {
+                "zones": args.zones,
+                "events": [event._asdict()
+                           for event in chaos_schedule.events],
+            }
         if session_workload:
             report["probe_cache"] = [
                 {

@@ -21,6 +21,11 @@ can be passed in as well: every snapshot series becomes a Chrome counter
 track ("C" events on a "metrics" process), so queue depth, outstanding
 queries, and latency percentiles plot as stacked area charts directly
 under the query timeline.
+
+Runs driven by a chaos orchestrator (``docs/chaos.md``) can pass its
+applied fault windows via ``chaos=``: each becomes a span on a "chaos"
+process, so zone outages and gray-failure brownouts line up visually
+with the latency bars and metric counters they caused.
 """
 
 from __future__ import annotations
@@ -102,6 +107,7 @@ def to_chrome_trace(
     process_name: str = "SUT",
     transport: Optional[Dict[int, TransportTiming]] = None,
     snapshots: Optional[Sequence[Snapshot]] = None,
+    chaos: Optional[Sequence] = None,
 ) -> str:
     """Serialize the log as a Chrome trace-event JSON string.
 
@@ -113,6 +119,13 @@ def to_chrome_trace(
     ``snapshots`` (from :attr:`LoadGenResult.snapshots`) adds a
     "metrics" process whose counter tracks replay every telemetry
     series over the run - one "C" event per series per snapshot.
+
+    ``chaos`` takes the fault windows a chaos orchestrator applied
+    (any objects with ``kind``/``target``/``start``/``end`` attributes,
+    e.g. :class:`repro.faults.chaos.ChaosWindow`): each becomes a span
+    on a "chaos" process, so outages and brownouts line up visually
+    with the latency bars they caused.  Windows still open (``end`` is
+    None) are drawn to the end of the last completed query.
     """
     records = log.completed_records()
     tracks = _assign_tracks(records)
@@ -228,6 +241,27 @@ def to_chrome_trace(
                     "ts": snap.time * _US,
                     "args": {"value": value},
                 })
+    if chaos:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 4,
+            "args": {"name": "chaos"},
+        })
+        horizon = max(
+            (r.completion_time for r in records), default=0.0)
+        for tid, window in enumerate(chaos):
+            end = window.end if window.end is not None else horizon
+            events.append({
+                "name": f"{window.kind} {window.target}",
+                "cat": "chaos",
+                "ph": "X",
+                "pid": 4,
+                "tid": tid,
+                "ts": window.start * _US,
+                "dur": max(0.0, end - window.start) * _US,
+                "args": {"kind": window.kind, "target": window.target},
+            })
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
                       indent=1)
 
@@ -238,10 +272,12 @@ def write_chrome_trace(
     process_name: str = "SUT",
     transport: Optional[Dict[int, TransportTiming]] = None,
     snapshots: Optional[Sequence[Snapshot]] = None,
+    chaos: Optional[Sequence] = None,
 ) -> None:
     """Write the trace to ``path`` (the mlperf_trace.json equivalent)."""
     from pathlib import Path
 
     Path(path).write_text(
-        to_chrome_trace(log, process_name, transport, snapshots=snapshots)
+        to_chrome_trace(log, process_name, transport, snapshots=snapshots,
+                        chaos=chaos)
     )

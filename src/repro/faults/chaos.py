@@ -1,0 +1,346 @@
+"""Seeded chaos orchestration: correlated, fleet-wide failure drills.
+
+Everything in :mod:`repro.faults` so far fails one thing at a time - a
+query, a replica, a time window on one backend.  Real incidents are
+*correlated*: a whole availability zone goes dark, a rack browns out
+together, a switch drops one direction of traffic.  The
+:class:`ChaosOrchestrator` is a :class:`~repro.core.loadgen.RunService`
+that drives exactly those scenarios against a
+:class:`~repro.fleet.replicaset.ReplicaSet`, from a schedule that is
+either hand-written or generated deterministically from
+``SeedSequence((seed, 0xC4A05))``.
+
+Scenario vocabulary (one :class:`ChaosEvent` each, see
+``docs/chaos.md``):
+
+* ``"zone-outage"`` - every replica in the target zone is killed at
+  once (:meth:`~repro.fleet.replicaset.ReplicaSet.kill_zone`; in-flight
+  queries rescued onto survivors, session prefixes warmed into the
+  rescue caches) and restored when the window closes;
+* ``"gray-failure"`` - the target replica's :class:`DegradedSUT` valve
+  stretches every delivery by the event's ``severity`` factor: alive,
+  answering, breakers closed, p99 ruined - the outlier detector's
+  quarry;
+* ``"partition"`` - the target replica's valve goes asymmetric: issues
+  still reach the backend, deliveries are dropped.
+
+The orchestrator ticks every ``period`` seconds of run time and applies
+whatever transitions are due, emitting one :class:`ChaosDecision` per
+tick (holds included) exactly like the autoscaler's
+:class:`~repro.fleet.autoscaler.ScalingDecision` trace - the
+bit-identical-across-same-seed-runs witness the chaos acceptance tests
+assert.  Fault windows are exported as :class:`ChaosWindow` rows for the
+Chrome trace (``repro.core.trace.to_chrome_trace(chaos=...)``) and as
+``chaos_*`` metric families (``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.events import EventHandle, EventLoop
+from ..core.sut import SystemUnderTest
+from ..metrics import MetricsRegistry
+from .sut import DegradedSUT
+
+#: Domain-separation tag for the chaos schedule RNG (mixed with the run
+#: seed), disjoint from the balancer/jitter/session/probe streams.
+CHAOS_TAG = 0xC4A05
+
+#: The scenario vocabulary.
+CHAOS_KINDS = ("zone-outage", "gray-failure", "partition")
+
+
+class ChaosEvent(NamedTuple):
+    """One scheduled fault window.
+
+    ``target`` is a zone name for ``"zone-outage"`` and ``"replica:N"``
+    for the per-replica kinds; ``severity`` is the latency multiplier
+    for ``"gray-failure"`` (unused, 0.0, for the others).
+    """
+
+    time: float
+    duration: float
+    kind: str
+    target: str
+    severity: float = 0.0
+
+
+class ChaosDecision(NamedTuple):
+    """One orchestrator tick: what it did (mirrors ScalingDecision)."""
+
+    time: float
+    kind: str    # event kind, or "" for a hold tick
+    target: str  # event target, or "" for a hold tick
+    action: str  # "inject" | "recover" | "hold"
+    active: int  # fault windows open after this tick
+
+
+@dataclass
+class ChaosWindow:
+    """One fault window as actually applied (for the Chrome trace)."""
+
+    kind: str
+    target: str
+    start: float
+    end: Optional[float] = None
+
+
+def _replica_target(target: str) -> Optional[int]:
+    if target.startswith("replica:"):
+        return int(target.split(":", 1)[1])
+    return None
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An immutable list of fault windows, sorted by injection time."""
+
+    events: Tuple[ChaosEvent, ...]
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event.kind not in CHAOS_KINDS:
+                raise ValueError(
+                    f"unknown chaos kind {event.kind!r}; "
+                    f"known: {', '.join(CHAOS_KINDS)}")
+            if event.duration <= 0:
+                raise ValueError(
+                    f"event duration must be positive, got {event}")
+            if event.kind == "gray-failure" and event.severity < 1.0:
+                raise ValueError(
+                    f"gray-failure severity must be >= 1, got {event}")
+            if (event.kind != "zone-outage"
+                    and _replica_target(event.target) is None):
+                raise ValueError(
+                    f"{event.kind} target must be 'replica:N', got {event}")
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events)))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        duration: float,
+        replicas: int,
+        zones: int = 1,
+        events: int = 3,
+        kinds: Sequence[str] = CHAOS_KINDS,
+        severity_range: Tuple[float, float] = (4.0, 16.0),
+    ) -> "ChaosSchedule":
+        """Draw ``events`` correlated-fault windows for a run of about
+        ``duration`` seconds over ``replicas`` replicas in ``zones``
+        zones (striped ``z0..z{zones-1}``, the ReplicaSet's ``zones=N``
+        convention).
+
+        Windows open in the first 60% of the run and close within it,
+        so a full-length run always exercises both the injection and
+        the recovery side of every event.  Same ``(seed, arguments)``
+        -> same schedule, bit for bit.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if zones < 1:
+            raise ValueError(f"zones must be >= 1, got {zones}")
+        if events < 0:
+            raise ValueError(f"events must be >= 0, got {events}")
+        rng = np.random.default_rng(
+            np.random.SeedSequence((seed, CHAOS_TAG)))
+        drawn: List[ChaosEvent] = []
+        for _ in range(events):
+            kind = str(kinds[int(rng.integers(len(kinds)))])
+            start = float(rng.uniform(0.10, 0.60)) * duration
+            width = float(rng.uniform(0.10, 0.25)) * duration
+            severity = 0.0
+            if kind == "zone-outage":
+                target = f"z{int(rng.integers(zones))}"
+            else:
+                target = f"replica:{int(rng.integers(replicas))}"
+                if kind == "gray-failure":
+                    severity = float(rng.uniform(*severity_range))
+            drawn.append(ChaosEvent(start, width, kind, target, severity))
+        return cls(events=tuple(drawn))
+
+
+class _ChaosInstruments:
+    """Live ``chaos_*`` metric families."""
+
+    __slots__ = ("injections", "recoveries")
+
+    def __init__(self, registry: MetricsRegistry, orchestrator) -> None:
+        self.injections = registry.counter(
+            "chaos_injections_total",
+            "Fault windows opened by the chaos orchestrator",
+            labels=("kind",))
+        self.recoveries = registry.counter(
+            "chaos_recoveries_total",
+            "Fault windows closed (recovered) by the chaos orchestrator",
+            labels=("kind",))
+        registry.gauge(
+            "chaos_active_faults",
+            "Fault windows currently open",
+            fn=lambda: float(orchestrator.active_faults))
+
+
+class ChaosOrchestrator:
+    """Apply a :class:`ChaosSchedule` to a fleet, deterministically.
+
+    Wiring order matters and mirrors how the pieces nest::
+
+        orchestrator = ChaosOrchestrator(schedule, registry=registry)
+        fleet = ReplicaSet(orchestrator.wrap_factory(backend_factory),
+                           zones=2, ...)
+        orchestrator.bind(fleet)
+        run_benchmark(fleet, qsl, settings,
+                      services=[orchestrator, detector, ...])
+
+    :meth:`wrap_factory` slips a :class:`DegradedSUT` valve between each
+    replica's backend and the fleet (inside any ``cache_factory``
+    wrapper, so prefill delays are stretched too), and records the
+    handles the per-replica scenarios actuate.  Zone scenarios drive
+    the fleet's own :meth:`~repro.fleet.replicaset.ReplicaSet.kill_zone`
+    / ``restore_zone`` primitives.
+    """
+
+    def __init__(
+        self,
+        schedule: ChaosSchedule,
+        *,
+        period: float = 0.025,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.schedule = schedule
+        self.period = period
+        #: replica index -> its :class:`DegradedSUT` valve (filled by
+        #: the wrapped factory as the fleet builds replicas).
+        self.degraded: Dict[int, DegradedSUT] = {}
+        #: One :class:`ChaosDecision` per tick, holds included.
+        self.trace: List[ChaosDecision] = []
+        #: Fault windows as actually applied (Chrome-trace rows).
+        self.windows: List[ChaosWindow] = []
+        self._fleet = None
+        self._m = (
+            _ChaosInstruments(registry, self) if registry is not None
+            else None
+        )
+        self._loop: Optional[EventLoop] = None
+        self._keep_going: Callable[[], bool] = lambda: False
+        self._timer: Optional[EventHandle] = None
+        #: (time, order, action, event) transitions still due.
+        self._pending: List[Tuple[float, int, str, ChaosEvent]] = []
+        self._open: Dict[Tuple[str, str], ChaosWindow] = {}
+
+    @property
+    def active_faults(self) -> int:
+        return len(self._open)
+
+    def wrap_factory(
+        self, factory: Callable[[int], SystemUnderTest],
+    ) -> Callable[[int], SystemUnderTest]:
+        """Wrap a replica factory so every backend gets a chaos valve."""
+
+        def wrapped(index: int) -> SystemUnderTest:
+            valve = DegradedSUT(factory(index), name=f"chaos-valve[{index}]")
+            self.degraded[index] = valve
+            return valve
+
+        return wrapped
+
+    def bind(self, replica_set) -> None:
+        """Attach the fleet whose zones/replicas the schedule targets."""
+        self._fleet = replica_set
+
+    # -- RunService -------------------------------------------------------------
+
+    def start(self, loop: EventLoop,
+              keep_going: Callable[[], bool]) -> None:
+        if self._fleet is None:
+            raise ValueError(
+                "ChaosOrchestrator.bind(replica_set) must be called "
+                "before the run starts")
+        missing = sorted({
+            _replica_target(e.target) for e in self.schedule.events
+            if e.kind != "zone-outage"
+            and _replica_target(e.target) not in self.degraded
+        })
+        if missing:
+            raise ValueError(
+                f"schedule targets replicas {missing} but their backends "
+                "were not built through wrap_factory (no chaos valve)")
+        self._loop = loop
+        self._keep_going = keep_going
+        self.trace = []
+        self.windows = []
+        self._open = {}
+        self._pending = sorted(
+            [(e.time, i, "inject", e)
+             for i, e in enumerate(self.schedule.events)]
+            + [(e.time + e.duration, i, "recover", e)
+               for i, e in enumerate(self.schedule.events)])
+        self._timer = loop.schedule_after(self.period, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._loop is not None:
+            for window in self._open.values():
+                window.end = self._loop.now
+            self._open = {}
+
+    def _tick(self) -> None:
+        self._timer = None
+        loop = self._loop
+        assert loop is not None
+        now = loop.now
+        applied = 0
+        while self._pending and self._pending[0][0] <= now:
+            _, _, action, event = self._pending.pop(0)
+            if action == "inject":
+                self._inject(event, now)
+            else:
+                self._recover(event, now)
+            applied += 1
+            self.trace.append(ChaosDecision(
+                now, event.kind, event.target, action, self.active_faults))
+        if not applied:
+            self.trace.append(
+                ChaosDecision(now, "", "", "hold", self.active_faults))
+        if self._keep_going():
+            self._timer = loop.schedule_after(self.period, self._tick)
+
+    # -- scenario actuation -----------------------------------------------------
+
+    def _inject(self, event: ChaosEvent, now: float) -> None:
+        if event.kind == "zone-outage":
+            self._fleet.kill_zone(event.target)
+        else:
+            valve = self.degraded[_replica_target(event.target)]
+            if event.kind == "gray-failure":
+                valve.degrade(event.severity)
+            else:
+                valve.partition()
+        window = ChaosWindow(event.kind, event.target, start=now)
+        self.windows.append(window)
+        self._open[(event.kind, event.target)] = window
+        if self._m:
+            self._m.injections.labels(kind=event.kind).inc()
+
+    def _recover(self, event: ChaosEvent, now: float) -> None:
+        if event.kind == "zone-outage":
+            self._fleet.restore_zone(event.target)
+        else:
+            self.degraded[_replica_target(event.target)].restore()
+        window = self._open.pop((event.kind, event.target), None)
+        if window is not None:
+            window.end = now
+        if self._m:
+            self._m.recoveries.labels(kind=event.kind).inc()

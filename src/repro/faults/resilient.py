@@ -297,11 +297,19 @@ class ResilientSUT(SutBase):
         backoff = self.policy.jittered_backoff(
             state.attempt, self.seed, state.query.id)
         remaining = self._budget_left(state)
-        if remaining is not None and remaining <= backoff:
-            # Sleeping out the backoff would leave no time for the next
-            # attempt; resolving now keeps the query inside its budget.
-            self._give_up(state, self._budget_reason(state))
-            return
+        if remaining is not None:
+            if remaining <= 0:
+                self._give_up(state, self._budget_reason(state))
+                return
+            # Clamp the sleep so the retry wakes with budget to spend:
+            # a jittered backoff that overruns ``total_timeout`` would
+            # otherwise schedule an attempt guaranteed to be classified
+            # budget-exhausted on arrival - a burned retry.  The final
+            # attempt is left ``attempt_timeout`` of runway when the
+            # budget still has it, and whatever remains when it does not.
+            backoff = min(
+                backoff,
+                max(0.0, remaining - self.policy.attempt_timeout))
         state.attempt += 1
         self.stats.retries += 1
         if self._m:

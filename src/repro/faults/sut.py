@@ -13,9 +13,10 @@ its work and the failures happen on the wire.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
-from ..core.query import Query, QueryFailure, QuerySample, QuerySampleResponse
+from ..core.query import (Query, QueryFailure, QuerySample,
+                          QuerySampleResponse, StreamChunk)
 from ..core.sut import Responder, SutBase, SystemUnderTest
 from ..core.events import EventLoop
 from ..metrics import MetricsRegistry
@@ -277,5 +278,115 @@ class BrownoutSUT(SutBase):
             self.loop.schedule_after(
                 self.extra_latency,
                 lambda: self.complete(query, responses))
+            return
+        self.complete(query, responses)
+
+
+class DegradedSUT(SutBase):
+    """A controllable gray-failure valve around one replica backend.
+
+    Where :class:`OutageSUT` / :class:`BrownoutSUT` carry their own
+    fixed time window, this wrapper is *driven*: the chaos orchestrator
+    (:mod:`repro.faults.chaos`) flips it between three modes at
+    scheduled virtual times -
+
+    * **healthy** (the default, and what :meth:`restore` returns to):
+      transparent pass-through;
+    * **degraded** (:meth:`degrade`): every delivery - chunks included -
+      is held back by ``(factor - 1)`` times the time the query has
+      already spent in the backend, so a 10x factor turns a 2ms replica
+      into a 20ms one *proportionally*, the thermal-throttling /
+      background-load signature MLPerf Mobile describes.  Breakers stay
+      closed as long as the stretched latency still beats the attempt
+      deadline: the replica is sick, not dead - only a latency-aware
+      outlier detector can see it;
+    * **partitioned** (:meth:`partition`): the asymmetric failure -
+      issues still reach the backend (the forward path is fine) but
+      every delivery is dropped, modelling a one-way network partition.
+
+    Mode changes apply to deliveries from that moment on, in-flight
+    queries included.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        factor: float = 1.0,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"degraded[{inner.name}]")
+        self.inner = inner
+        self._factor = 1.0
+        self._partitioned = False
+        if factor != 1.0:
+            self.degrade(factor)
+        #: Deliveries held back by the latency multiplier.
+        self.slowed = 0
+        #: Deliveries dropped by the partition.
+        self.blackholed = 0
+        self._issued_at: Dict[int, float] = {}
+
+    @property
+    def factor(self) -> float:
+        return self._factor
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    @property
+    def healthy(self) -> bool:
+        return self._factor == 1.0 and not self._partitioned
+
+    def degrade(self, factor: float) -> None:
+        """Stretch every delivery to ``factor`` times its backend time."""
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self._factor = factor
+
+    def partition(self) -> None:
+        """Drop deliveries while still accepting issues (asymmetric)."""
+        self._partitioned = True
+
+    def restore(self) -> None:
+        """Back to healthy pass-through (clears both failure modes)."""
+        self._factor = 1.0
+        self._partitioned = False
+
+    def start_run(self, loop: EventLoop, responder: Responder) -> None:
+        super().start_run(loop, responder)
+        self.restore()
+        self.slowed = 0
+        self.blackholed = 0
+        self._issued_at = {}
+        self.inner.start_run(loop, self._gate)
+
+    def issue_query(self, query: Query) -> None:
+        self._issued_at[query.id] = self.loop.now
+        self.inner.issue_query(query)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if callable(close):
+            close()
+
+    def _gate(self, query: Query, responses) -> None:
+        terminal = not isinstance(responses, StreamChunk)
+        if self._partitioned:
+            self.blackholed += 1
+            if terminal:
+                self._issued_at.pop(query.id, None)
+            return
+        issued_at = self._issued_at.get(query.id, self.loop.now)
+        if terminal:
+            self._issued_at.pop(query.id, None)
+        extra = (self._factor - 1.0) * (self.loop.now - issued_at)
+        if extra > 0:
+            self.slowed += 1
+            self.loop.schedule_after(
+                extra, lambda: self.complete(query, responses))
             return
         self.complete(query, responses)

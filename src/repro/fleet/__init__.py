@@ -6,11 +6,15 @@ running one.  :class:`ReplicaSet` puts N backend replicas behind a
 SUT-shaped front door with pluggable seed-deterministic balancing
 policies and per-replica circuit breakers (reroute, never crash);
 :class:`Autoscaler` grows and shrinks the set from live load signals on
-the run's event loop; :class:`SweepHarness` searches the Server arrival
-rate for the highest SLO-compliant QPS (``repro sweep`` on the command
-line).  Everything runs under the virtual clock with seeded RNG
-streams, so fleet behavior - routing, scaling, capacity verdicts - is
-bit-for-bit reproducible.  See ``docs/fleet.md``.
+the run's event loop; :class:`OutlierDetector` quarantines gray-failing
+replicas (alive but slow) and re-admits them through seeded probation
+probes; :class:`SweepHarness` searches the Server arrival rate for the
+highest SLO-compliant QPS (``repro sweep`` on the command line).
+Replicas live in zones (fault domains), so correlated failures and
+zone-aware policies are first-class.  Everything runs under the virtual
+clock with seeded RNG streams, so fleet behavior - routing, scaling,
+ejection, capacity verdicts - is bit-for-bit reproducible.  See
+``docs/fleet.md`` and ``docs/chaos.md``.
 """
 
 from .autoscaler import Autoscaler, AutoscalerPolicy, ScalingDecision
@@ -21,14 +25,18 @@ from .balancer import (
     RoundRobinPolicy,
     SessionAffinityPolicy,
     WeightedP99Policy,
+    ZoneLocalPolicy,
+    ZoneSpreadPolicy,
     make_policy,
 )
+from .outlier import EjectionEvent, OutlierDetector, OutlierPolicy
 from .replica import Replica, ReplicaHealth
 from .replicaset import FleetStats, ReplicaSet
 from .signals import (
     BacklogSignal,
     SeriesSignal,
     SignalSource,
+    ZoneBacklogSignal,
     make_signal,
 )
 from .sweep import SweepConfig, SweepHarness, SweepProbe, SweepResult
@@ -38,8 +46,11 @@ __all__ = [
     "AutoscalerPolicy",
     "BacklogSignal",
     "BalancerPolicy",
+    "EjectionEvent",
     "FleetStats",
     "LeastOutstandingPolicy",
+    "OutlierDetector",
+    "OutlierPolicy",
     "POLICY_NAMES",
     "Replica",
     "ReplicaHealth",
@@ -54,6 +65,9 @@ __all__ = [
     "SweepProbe",
     "SweepResult",
     "WeightedP99Policy",
+    "ZoneBacklogSignal",
+    "ZoneLocalPolicy",
+    "ZoneSpreadPolicy",
     "make_policy",
     "make_signal",
 ]

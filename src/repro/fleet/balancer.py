@@ -24,8 +24,16 @@ rest of the harness.
 * :class:`SessionAffinityPolicy` - pin each conversation's turns to the
   replica that served its previous turn (the one holding the shared
   prefix), falling back to least-outstanding; see ``docs/sessions.md``.
+* :class:`ZoneSpreadPolicy` - interleave fault domains in every
+  ranking, so a query's fallback choices sit in *different* zones than
+  its primary and a zone-wide brownout costs at most one wasted
+  attempt per query.
+* :class:`ZoneLocalPolicy` - prefer a configured local zone (data
+  locality), spilling to the other zones - interleaved - only when the
+  local zone cannot take the query.
 
-See ``docs/fleet.md`` for guidance on choosing between them.
+See ``docs/fleet.md`` for guidance on choosing between them and
+``docs/chaos.md`` for the zone vocabulary.
 """
 
 from __future__ import annotations
@@ -88,6 +96,17 @@ class BalancerPolicy:
 
         No replica served it; stateful policies drop whatever routing
         state they held for it.  Default: no-op.
+        """
+
+    def notify_rescued(self, query, replica_index: int) -> None:
+        """Feedback hook: ``query`` was rescued onto ``replica_index``.
+
+        Its previous replica was killed or ejected mid-flight and the
+        ReplicaSet re-dispatched the query (after warming the rescue
+        replica's cache with the session's prefix).  Stateful policies
+        migrate their routing state *now*, before the rescued attempt
+        completes - a sibling turn issued during the outage must
+        already prefer the rescue replica.  Default: no-op.
         """
 
     def __repr__(self) -> str:
@@ -225,11 +244,103 @@ class SessionAffinityPolicy(BalancerPolicy):
         # next one); keeping the pin would leak it forever.
         self._pins.pop(turn.session_id, None)
 
+    def notify_rescued(self, query, replica_index: int) -> None:
+        turn = getattr(query, "session", None)
+        if turn is None:
+            return
+        # The pinned replica died or was ejected and this turn migrated
+        # (with its prefix - the rescue warmed the new replica's cache).
+        # Re-pin immediately: a later turn issued while the old replica
+        # is still quarantined must rank the rescue replica first, not
+        # fall back to least-outstanding and strand the warm prefix.
+        self._pins[turn.session_id] = replica_index
+
+
+def _zone_of(replica: Replica) -> str:
+    # FakeReplica-style test doubles may not carry a zone; one-zone
+    # semantics (plain least-outstanding) is the right degradation.
+    return getattr(replica, "zone", "z0")
+
+
+def _interleave_zones(candidates: Sequence[Replica],
+                      zone_order: Sequence[str]) -> List[Replica]:
+    """Round-robin across zones (in ``zone_order``), least-outstanding
+    within each zone - so consecutive ranking positions sit in
+    different fault domains wherever possible."""
+    queues = {
+        zone: sorted((r for r in candidates if _zone_of(r) == zone),
+                     key=lambda r: (r.outstanding, r.index))
+        for zone in zone_order
+    }
+    ranked: List[Replica] = []
+    depth = 0
+    while len(ranked) < len(candidates):
+        for zone in zone_order:
+            queue = queues[zone]
+            if depth < len(queue):
+                ranked.append(queue[depth])
+        depth += 1
+    return ranked
+
+
+class ZoneSpreadPolicy(BalancerPolicy):
+    """Interleave fault domains: no two adjacent choices share a zone.
+
+    The primary choice rotates across zones per decision (then
+    least-outstanding within the zone), and the *fallback* order - what
+    the ReplicaSet walks when a breaker rejects, and what a rescued or
+    rerouted query tries next - alternates zones.  Under a zone-wide
+    brownout that is the property that matters: a query that wastes an
+    attempt on the sick zone retries in a healthy one instead of
+    burning its whole reroute budget in the same failure domain.
+    """
+
+    name = "zone-spread"
+
+    def start_run(self, rng: np.random.Generator) -> None:
+        super().start_run(rng)
+        self._cursor = 0
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        if not candidates:
+            return []
+        zones = sorted({_zone_of(r) for r in candidates})
+        offset = self._cursor % len(zones)
+        self._cursor += 1
+        return _interleave_zones(candidates, zones[offset:] + zones[:offset])
+
+
+class ZoneLocalPolicy(BalancerPolicy):
+    """Prefer one local zone; spill to remote zones only under pressure.
+
+    Models a topology where the caller is co-located with one fault
+    domain (no cross-zone hop): local replicas rank first
+    (least-outstanding), remote zones follow interleaved.  With no
+    configured ``local_zone`` the first zone (sorted) is local.
+    """
+
+    name = "zone-local"
+
+    def __init__(self, local_zone: Optional[str] = None) -> None:
+        self.local_zone = local_zone
+
+    def rank(self, candidates: Sequence[Replica]) -> List[Replica]:
+        if not candidates:
+            return []
+        zones = sorted({_zone_of(r) for r in candidates})
+        local = self.local_zone if self.local_zone in zones else zones[0]
+        local_first = sorted(
+            (r for r in candidates if _zone_of(r) == local),
+            key=lambda r: (r.outstanding, r.index))
+        spill = [r for r in candidates if _zone_of(r) != local]
+        remote = [z for z in zones if z != local]
+        return local_first + _interleave_zones(spill, remote)
+
 
 _POLICIES: Dict[str, Type[BalancerPolicy]] = {
     cls.name: cls
     for cls in (RoundRobinPolicy, LeastOutstandingPolicy, WeightedP99Policy,
-                SessionAffinityPolicy)
+                SessionAffinityPolicy, ZoneSpreadPolicy, ZoneLocalPolicy)
 }
 
 #: The registry names, for CLI choices and error messages.

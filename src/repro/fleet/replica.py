@@ -11,9 +11,15 @@ the books that the decisions read.
 Health is two-layered by design: the breaker tracks *observed* failures
 (timeouts, malformed answers) and recovers on its own via half-open
 probes, while :class:`ReplicaHealth` tracks *administrative* state (a
-kill, a drain ordered by the autoscaler) that no probe should ever
-reverse.  A replica receives traffic only when it is
-:attr:`~ReplicaHealth.UP` *and* its breaker admits the query.
+kill, a drain ordered by the autoscaler, an ejection ordered by the
+outlier detector) that no probe should ever reverse.  A replica
+receives traffic only when it is :attr:`~ReplicaHealth.UP` *and* its
+breaker admits the query.
+
+Every replica also carries a ``zone`` - the fault domain it lives in.
+Zones are labels, not behavior: correlated failures
+(:meth:`~repro.fleet.replicaset.ReplicaSet.kill_zone`) and zone-aware
+balancing policies read them, the replica itself never does.
 """
 
 from __future__ import annotations
@@ -38,19 +44,24 @@ class ReplicaHealth(enum.Enum):
     * **DRAINING** - no new traffic; in-flight queries finish normally.
       The autoscaler's scale-down path parks a replica here until its
       outstanding count reaches zero.
+    * **EJECTED** - quarantined by the outlier detector: alive (its
+      backend still answers probe queries) but carrying no fleet
+      traffic until probation re-admits it.  Distinct from DOWN so the
+      detector's probes have something to talk to.
     * **DOWN** - dead.  Killed replicas and fully drained replicas land
       here; only an explicit restore brings a replica back.
     """
 
     UP = "up"
     DRAINING = "draining"
+    EJECTED = "ejected"
     DOWN = "down"
 
 
 class Replica:
     """Bookkeeping for one fleet member (no routing logic here)."""
 
-    __slots__ = ("index", "sut", "breaker", "health", "outstanding",
+    __slots__ = ("index", "sut", "zone", "breaker", "health", "outstanding",
                  "issued", "completed", "failed", "_latencies")
 
     def __init__(
@@ -58,12 +69,14 @@ class Replica:
         index: int,
         sut: SystemUnderTest,
         *,
+        zone: str = "z0",
         breaker_policy: Optional[BreakerPolicy] = None,
         clock: Callable[[], float],
         latency_window: int = DEFAULT_LATENCY_WINDOW,
     ) -> None:
         self.index = index
         self.sut = sut
+        self.zone = zone
         self.breaker = CircuitBreaker(breaker_policy, clock=clock)
         self.health = ReplicaHealth.UP
         self.outstanding = 0
@@ -79,6 +92,12 @@ class Replica:
 
     def observe_latency(self, latency: float) -> None:
         self._latencies.append(latency)
+
+    @property
+    def latency_observations(self) -> int:
+        """Samples currently in the sliding latency window (the outlier
+        detector's minimum-evidence guard reads this)."""
+        return len(self._latencies)
 
     def p99(self) -> float:
         """Sliding-window p99 latency estimate (0 with no observations).
@@ -99,7 +118,14 @@ class Replica:
         inherit the failure window that got its predecessor killed)."""
         self.breaker = CircuitBreaker(policy, clock=clock)
 
+    def clear_window(self) -> None:
+        """Forget the latency window (used by restore/readmit: latencies
+        observed before a kill or during a brownout would otherwise
+        poison the p99 the balancer and detector rank on)."""
+        self._latencies.clear()
+
     def __repr__(self) -> str:
-        return (f"Replica(index={self.index}, health={self.health.value}, "
+        return (f"Replica(index={self.index}, zone={self.zone!r}, "
+                f"health={self.health.value}, "
                 f"outstanding={self.outstanding}, "
                 f"breaker={self.breaker.state.value})")

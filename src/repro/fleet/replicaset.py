@@ -19,9 +19,23 @@ Failure handling is reroute-first:
   replica-kill study) marks the replica DOWN and *immediately* rescues
   its in-flight queries onto survivors - rerouted, not dropped, and the
   rescue does not consume the queries' own reroute budget;
+* :meth:`ReplicaSet.eject_replica` quarantines a degraded-but-alive
+  replica the same way (state EJECTED instead of DOWN, so the outlier
+  detector's probe queries still reach its backend), and every rescue -
+  kill, zone outage, or ejection - *warms the survivor's prefix cache*
+  with the rescued session's prefix before re-issuing the turn;
 * stragglers from superseded attempts are absorbed by the shared
   :class:`~repro.faults.filtering.CompletionFilter` idiom, so the
   referee sees exactly one terminal outcome per query.
+
+Replicas live in **zones** (fault domains): ``zones=`` stripes or maps
+each factory index to a zone label, :meth:`ReplicaSet.kill_zone` /
+:meth:`ReplicaSet.restore_zone` fail and recover a whole domain at
+once (every target is marked dead *before* any rescue dispatch, so a
+rescued query cannot land on a replica about to die in the same
+outage), and ``min_per_zone`` keeps the autoscaler's scale-down from
+hollowing out a domain.  See ``docs/chaos.md`` for the correlated-
+failure vocabulary built on these primitives.
 
 The set also exposes the grow/shrink primitives the
 :class:`~repro.fleet.autoscaler.Autoscaler` drives: ``scale_up`` revives
@@ -53,8 +67,9 @@ rationale lives in ``docs/fleet.md``.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -85,7 +100,11 @@ class FleetStats:
     flawed_attempts: int = 0
     stragglers_absorbed: int = 0
     kills: int = 0
+    zone_kills: int = 0
+    ejections: int = 0
+    readmissions: int = 0
     rescued_queries: int = 0
+    cache_warms: int = 0
     drained_replicas: int = 0
 
     def summary(self) -> str:
@@ -93,7 +112,8 @@ class FleetStats:
             f"routed={self.routed_queries} fallbacks={self.fallbacks} "
             f"reroutes={self.reroutes} shed={self.shed_queries} "
             f"deadlines={self.deadline_failures} kills={self.kills} "
-            f"rescued={self.rescued_queries} "
+            f"ejections={self.ejections} readmissions={self.readmissions} "
+            f"rescued={self.rescued_queries} warms={self.cache_warms} "
             f"stragglers={self.stragglers_absorbed}"
         )
 
@@ -102,12 +122,12 @@ class _FleetInstruments:
     """Live ``fleet_*``/``lb_*`` metric families for one replica set."""
 
     __slots__ = ("routed", "fallbacks", "reroutes", "shed", "kills",
-                 "stragglers", "drained")
+                 "stragglers", "drained", "cache_warms")
 
     def __init__(self, registry: MetricsRegistry, fleet) -> None:
         registry.gauge(
             "fleet_replicas",
-            "Replicas that are administratively alive (UP or draining)",
+            "Replicas that are administratively alive (not DOWN)",
             fn=lambda: float(sum(
                 1 for r in fleet.replicas
                 if r.health is not ReplicaHealth.DOWN)))
@@ -115,6 +135,12 @@ class _FleetInstruments:
             "fleet_replicas_available",
             "Replicas eligible for new traffic (UP)",
             fn=lambda: float(len(fleet.available_replicas)))
+        registry.gauge(
+            "fleet_replicas_ejected",
+            "Replicas quarantined by outlier ejection",
+            fn=lambda: float(sum(
+                1 for r in fleet.replicas
+                if r.health is ReplicaHealth.EJECTED)))
         registry.gauge(
             "fleet_outstanding_queries",
             "In-flight queries summed across all replicas",
@@ -141,6 +167,9 @@ class _FleetInstruments:
         self.drained = registry.counter(
             "fleet_replicas_drained_total",
             "Scale-down drains that completed (replica parked DOWN)")
+        self.cache_warms = registry.counter(
+            "fleet_cache_warms_total",
+            "Rescued session prefixes admitted into survivor caches")
 
 
 @dataclass
@@ -174,6 +203,8 @@ class ReplicaSet(SutBase):
         max_reroutes: int = 2,
         min_replicas: int = 1,
         max_replicas: int = 8,
+        zones: Union[int, Sequence[str], Callable[[int], str]] = 1,
+        min_per_zone: int = 0,
         latency_window: int = DEFAULT_LATENCY_WINDOW,
         seed: int = 0,
         name: Optional[str] = None,
@@ -196,6 +227,11 @@ class ReplicaSet(SutBase):
         if max_reroutes < 0:
             raise ValueError(
                 f"max_reroutes must be >= 0, got {max_reroutes}")
+        if min_per_zone < 0:
+            raise ValueError(
+                f"min_per_zone must be >= 0, got {min_per_zone}")
+        self._zone_fn = self._resolve_zones(zones)
+        self.min_per_zone = min_per_zone
         self.replica_factory = replica_factory
         self.initial_replicas = initial_replicas
         self.policy: BalancerPolicy = make_policy(policy)
@@ -216,6 +252,10 @@ class ReplicaSet(SutBase):
         self.cache_factory = cache_factory
         self.stats = FleetStats()
         self.replicas: List[Replica] = []
+        #: query id -> callback for in-flight health probes
+        #: (:meth:`probe_replica`); probes bypass the balancer, the
+        #: breakers, and the referee's per-query accounting entirely.
+        self._probes: Dict[int, Callable] = {}
         #: replica index -> the cache wrapper built by ``cache_factory``
         #: (empty when no factory was given).  Survives kills and
         #: drains: a revived replica keeps its warm cache.
@@ -229,6 +269,27 @@ class ReplicaSet(SutBase):
             else None
         )
 
+    @staticmethod
+    def _resolve_zones(
+        zones: Union[int, Sequence[str], Callable[[int], str]],
+    ) -> Callable[[int], str]:
+        """Normalize the ``zones`` argument to ``index -> zone label``.
+
+        * an int N stripes replicas round-robin over ``z0..z{N-1}``;
+        * a sequence of labels stripes over those labels;
+        * a callable is used as-is.
+        """
+        if callable(zones):
+            return zones
+        if isinstance(zones, int):
+            if zones < 1:
+                raise ValueError(f"zones must be >= 1, got {zones}")
+            return lambda index: f"z{index % zones}"
+        labels = tuple(zones)
+        if not labels:
+            raise ValueError("zones sequence must not be empty")
+        return lambda index: labels[index % len(labels)]
+
     # -- lifecycle --------------------------------------------------------------
 
     def start_run(self, loop: EventLoop, responder: Responder) -> None:
@@ -238,6 +299,7 @@ class ReplicaSet(SutBase):
         self.replicas = []
         self.caches = {}
         self._parked = []
+        self._probes = {}
         self.policy.start_run(np.random.default_rng(
             np.random.SeedSequence((self.seed, _BALANCER_TAG))))
         for _ in range(self.initial_replicas):
@@ -251,6 +313,7 @@ class ReplicaSet(SutBase):
             self.caches[index] = sut
         replica = Replica(
             index, sut,
+            zone=self._zone_fn(index),
             breaker_policy=self.breaker_policy,
             clock=lambda: self.loop.now,
             latency_window=self.latency_window,
@@ -286,6 +349,15 @@ class ReplicaSet(SutBase):
     def total_outstanding(self) -> int:
         return sum(r.outstanding for r in self.replicas)
 
+    @property
+    def zone_names(self) -> List[str]:
+        """Zones present in the fleet, sorted for determinism."""
+        return sorted({r.zone for r in self.replicas})
+
+    def zone_replicas(self, zone: str) -> List[Replica]:
+        """All replicas in ``zone`` (any health), in index order."""
+        return [r for r in self.replicas if r.zone == zone]
+
     # -- routing ----------------------------------------------------------------
 
     def issue_query(self, query: Query) -> None:
@@ -294,12 +366,16 @@ class ReplicaSet(SutBase):
             self._shed(state, "no replica available: every replica is "
                               "down, draining, or shedding load")
 
-    def _dispatch(self, state: _Routed, exclude: Optional[int]) -> bool:
+    def _dispatch(self, state: _Routed, exclude: Optional[int],
+                  rescue: bool = False) -> bool:
         """Hand the query's next attempt to the best admitting replica.
 
         Walks the policy's ranking and takes the first replica whose
         breaker admits; returns False when nobody will (all rejecting,
-        or no candidate besides ``exclude``).
+        or no candidate besides ``exclude``).  A ``rescue`` dispatch
+        (kill, zone outage, ejection) additionally warms the chosen
+        survivor's prefix cache with the rescued session's prefix and
+        tells the policy where the session migrated.
         """
         candidates = [
             r for r in self.available_replicas if r.index != exclude
@@ -323,6 +399,9 @@ class ReplicaSet(SutBase):
                 self._m.routed.labels(replica=replica.index).inc()
             state.deadline_timer = self.loop.schedule_after(
                 self.attempt_timeout, lambda: self._deadline(state))
+            if rescue:
+                self._warm_rescued_session(state.query, replica.index)
+                self.policy.notify_rescued(state.query, replica.index)
             # A fresh attempt streams from seq 0; forget any chunk
             # progress of the attempt this dispatch replaces so the
             # restart screens clean without double-counting.
@@ -330,6 +409,22 @@ class ReplicaSet(SutBase):
             replica.sut.issue_query(state.query)
             return True
         return False
+
+    def _warm_rescued_session(self, query: Query, index: int) -> None:
+        """Cross-replica cache admission: a rescued session turn already
+        *has* its prefix (the dead replica computed it), so the rescue
+        replica's cache is told to admit it rather than re-discover it
+        as a miss."""
+        turn = getattr(query, "session", None)
+        if turn is None or turn.prefix_tokens <= 0:
+            return
+        admit = getattr(self.caches.get(index), "admit_session", None)
+        if admit is None:
+            return
+        admit(turn.session_id, turn.prefix_tokens)
+        self.stats.cache_warms += 1
+        if self._m:
+            self._m.cache_warms.inc()
 
     def _shed(self, state: _Routed, reason: str) -> None:
         self._filter.resolve(state.query.id)
@@ -399,6 +494,11 @@ class ReplicaSet(SutBase):
         self._responder(query, chunk)
 
     def _on_completion(self, source: int, query: Query, responses) -> None:
+        if query.id in self._probes:
+            if isinstance(responses, StreamChunk):
+                return  # probes wait for their terminal outcome
+            self._probes.pop(query.id)(query, responses)
+            return
         if isinstance(responses, StreamChunk):
             self._on_chunk(source, query, responses)
             return
@@ -444,6 +544,29 @@ class ReplicaSet(SutBase):
 
     # -- health and scaling -----------------------------------------------------
 
+    def _rescue_inflight(self, index: int, *, cause: str) -> int:
+        """Re-dispatch every in-flight query of replica ``index`` onto
+        survivors - rerouted, not dropped - without consuming the
+        queries' own reroute budgets (the failure is not the query's
+        fault).  Returns the number of rescued queries."""
+        replica = self.replicas[index]
+        rescued = 0
+        for state in list(self._filter.states()):
+            if state.replica != index:
+                continue
+            state.cancel_timer()
+            replica.outstanding -= 1
+            self.stats.reroutes += 1
+            if self._m:
+                self._m.reroutes.inc()
+            if self._dispatch(state, exclude=index, rescue=True):
+                rescued += 1
+            else:
+                self._shed(state, f"replica {index} {cause} and no "
+                                  "surviving replica would admit the query")
+        self.stats.rescued_queries += rescued
+        return rescued
+
     def kill_replica(self, index: int) -> int:
         """Administratively kill replica ``index`` (chaos drill).
 
@@ -459,64 +582,153 @@ class ReplicaSet(SutBase):
         self.stats.kills += 1
         if self._m:
             self._m.kills.inc()
-        rescued = 0
-        for state in list(self._filter.states()):
-            if state.replica != index:
-                continue
-            state.cancel_timer()
-            replica.outstanding -= 1
-            self.stats.reroutes += 1
+        return self._rescue_inflight(index, cause="killed")
+
+    def kill_zone(self, zone: str) -> int:
+        """Kill every alive replica in ``zone`` at once (zone outage).
+
+        All targets are marked DOWN *before* any rescue dispatch, so a
+        rescued query can never land on a replica that is about to die
+        in the same outage.  Returns the total rescued queries.
+        """
+        targets = [r for r in self.replicas
+                   if r.zone == zone and r.health is not ReplicaHealth.DOWN]
+        if not targets:
+            return 0
+        for replica in targets:
+            replica.health = ReplicaHealth.DOWN
+            self.stats.kills += 1
             if self._m:
-                self._m.reroutes.inc()
-            if self._dispatch(state, exclude=index):
-                rescued += 1
-            else:
-                self._shed(state, f"replica {index} killed and no "
-                                  "surviving replica would admit the query")
-        self.stats.rescued_queries += rescued
+                self._m.kills.inc()
+        self.stats.zone_kills += 1
+        rescued = 0
+        for replica in targets:
+            rescued += self._rescue_inflight(
+                replica.index, cause=f"killed with zone {zone!r}")
         return rescued
+
+    def eject_replica(self, index: int) -> int:
+        """Quarantine an UP replica (outlier ejection, gray failure).
+
+        Like :meth:`kill_replica` - in-flight queries are rescued onto
+        survivors at once - except the replica lands EJECTED, not DOWN:
+        its backend stays reachable for the outlier detector's probe
+        queries (:meth:`probe_replica`) so probation can re-admit it.
+        Returns the number of rescued queries; 0 if it was not UP.
+        """
+        replica = self.replicas[index]
+        if replica.health is not ReplicaHealth.UP:
+            return 0
+        replica.health = ReplicaHealth.EJECTED
+        self.stats.ejections += 1
+        return self._rescue_inflight(index, cause="ejected")
+
+    def readmit_replica(self, index: int) -> None:
+        """Return an EJECTED replica to service with a clean slate.
+
+        Fresh breaker and an empty latency window: the observations
+        that got it ejected describe the degradation, not the replica
+        that probation just vouched for.
+        """
+        replica = self.replicas[index]
+        if replica.health is not ReplicaHealth.EJECTED:
+            return
+        replica.health = ReplicaHealth.UP
+        replica.reset_breaker(self.breaker_policy, lambda: self.loop.now)
+        replica.clear_window()
+        self.stats.readmissions += 1
+
+    def probe_replica(self, index: int, query: Query,
+                      on_result: Callable[[Query, object], None]) -> None:
+        """Issue a health probe straight to replica ``index``.
+
+        Probes bypass the balancer, the breakers, and the referee's
+        per-query accounting: the terminal outcome (completion or
+        failure) is handed to ``on_result`` and nothing else in the
+        fleet notices.  Callers own timeout handling - a probe that
+        never answers stays pending until :meth:`cancel_probe`.
+        """
+        self._probes[query.id] = on_result
+        self.replicas[index].sut.issue_query(query)
+
+    def cancel_probe(self, query_id: int) -> None:
+        """Forget a pending probe (its answer, if any, is dropped)."""
+        self._probes.pop(query_id, None)
 
     def restore_replica(self, index: int) -> None:
         """Bring a DOWN replica back UP with a fresh breaker."""
         replica = self.replicas[index]
         replica.health = ReplicaHealth.UP
         replica.reset_breaker(self.breaker_policy, lambda: self.loop.now)
+        replica.clear_window()
         if index in self._parked:
             self._parked.remove(index)
+
+    def restore_zone(self, zone: str) -> int:
+        """Bring a zone's DOWN replicas back UP (outage recovery).
+
+        Replicas parked by a completed scale-down drain stay parked -
+        reviving those is the autoscaler's call, not the recovery's.
+        Returns the number of replicas restored.
+        """
+        restored = 0
+        for replica in self.replicas:
+            if (replica.zone == zone
+                    and replica.health is ReplicaHealth.DOWN
+                    and replica.index not in self._parked):
+                self.restore_replica(replica.index)
+                restored += 1
+        return restored
 
     def scale_up(self) -> bool:
         """Add one serving replica; False at the ``max_replicas`` cap.
 
         Preference order: un-drain a DRAINING replica (cheapest - it is
         still warm), revive the most recently parked one, else build a
-        fresh replica through the factory.
+        fresh replica through the factory.  Among candidates at the
+        same tier the one from the zone with the fewest available
+        replicas wins, so recovery refills the hollowed-out domain
+        first (ties keep the pre-zone order: highest index).
         """
         if len(self.available_replicas) >= self.max_replicas:
             return False
+        zone_avail = Counter(r.zone for r in self.available_replicas)
         draining = [r for r in self.replicas
                     if r.health is ReplicaHealth.DRAINING]
         if draining:
-            draining[-1].health = ReplicaHealth.UP
+            victim = min(reversed(draining),
+                         key=lambda r: zone_avail[r.zone])
+            victim.health = ReplicaHealth.UP
             return True
         if self._parked:
-            self.restore_replica(self._parked[-1])
+            index = min(reversed(self._parked),
+                        key=lambda i: zone_avail[self.replicas[i].zone])
+            self.restore_replica(index)
             return True
         self._add_replica()
         return True
 
     def scale_down(self) -> bool:
-        """Drain the highest-indexed UP replica; False at the floor.
+        """Drain the highest-indexed drainable UP replica; False at the
+        floor.
 
         The replica stops receiving new traffic at once; it parks DOWN
-        when its last in-flight query resolves.
+        when its last in-flight query resolves.  A replica whose zone
+        would drop below ``min_per_zone`` available replicas is not
+        drainable - the autoscaler can never hollow out a fault domain
+        past the configured survivable minimum.
         """
         available = self.available_replicas
         if len(available) <= self.min_replicas:
             return False
-        victim = available[-1]
-        victim.health = ReplicaHealth.DRAINING
-        self._maybe_drained(victim)
-        return True
+        zone_avail = Counter(r.zone for r in available)
+        for victim in reversed(available):
+            if zone_avail[victim.zone] - 1 < self.min_per_zone:
+                continue
+            victim.health = ReplicaHealth.DRAINING
+            self._maybe_drained(victim)
+            return True
+        return False
 
     def _maybe_drained(self, replica: Replica) -> None:
         if (replica.health is ReplicaHealth.DRAINING

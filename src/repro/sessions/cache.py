@@ -35,8 +35,11 @@ class CacheEvent(NamedTuple):
     """One entry in the cache's ordered audit trail.
 
     ``kind`` is ``"hit"`` / ``"partial"`` / ``"miss"`` for accesses
-    (``tokens`` = prefix tokens reused) and ``"evict"`` for evictions
-    (``tokens`` = resident tokens released, ``turn_index`` = -1).
+    (``tokens`` = prefix tokens reused), ``"evict"`` for evictions
+    (``tokens`` = resident tokens released, ``turn_index`` = -1), and
+    ``"admit"`` for cross-replica admissions (``tokens`` = resident
+    tokens after the admit, ``turn_index`` = -1) - a rescued session's
+    prefix installed by the fleet when its replica died mid-turn.
     """
 
     kind: str
@@ -53,6 +56,7 @@ class CacheStats:
     partial_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    admissions: int = 0
     tokens_reused: int = 0
     tokens_missed: int = 0
 
@@ -80,6 +84,7 @@ class CacheStats:
             total.partial_hits += part.partial_hits
             total.misses += part.misses
             total.evictions += part.evictions
+            total.admissions += part.admissions
             total.tokens_reused += part.tokens_reused
             total.tokens_missed += part.tokens_missed
         return total
@@ -127,6 +132,30 @@ class _LruModel:
         events = [CacheEvent(kind, session_id, turn_index, reused)]
         self._resident[session_id] = (
             prefix_tokens + new_tokens + response_tokens)
+        while (self.resident_tokens > self.capacity_tokens
+               and len(self._resident) > 1):
+            victim = next(iter(self._resident))
+            if victim == session_id:
+                break
+            events.append(CacheEvent(
+                "evict", victim, -1, self._resident.pop(victim)))
+        return events
+
+    def admit(self, session_id: int, tokens: int) -> List[CacheEvent]:
+        """Install a migrated session's prefix at MRU without an access.
+
+        Cross-replica admission: the prefix was computed elsewhere (the
+        replica that died or was ejected), so it enters this cache as
+        already-resident state, not as a miss to recompute.  Residency
+        never shrinks - if the session already holds more tokens here,
+        the larger amount stays - and the admit evicts LRU-first over
+        capacity exactly like an access.  Returns the admit event (with
+        the post-admit resident amount) plus any evictions.
+        """
+        cached = self._resident.pop(session_id, 0)
+        resident = max(cached, tokens)
+        self._resident[session_id] = resident
+        events = [CacheEvent("admit", session_id, -1, resident)]
         while (self.resident_tokens > self.capacity_tokens
                and len(self._resident) > 1):
             victim = next(iter(self._resident))
@@ -209,6 +238,11 @@ class PrefixCacheSUT(SutBase):
                 "Prefix tokens recomputed because they were not resident",
                 labels=labels,
             ))
+            self._m_admissions = _child(registry.counter(
+                "prefix_cache_admissions_total",
+                "Migrated session prefixes admitted on fleet rescue",
+                labels=labels,
+            ))
             resident = registry.gauge(
                 "prefix_cache_resident_tokens",
                 "Tokens currently held by the prefix cache",
@@ -222,6 +256,7 @@ class PrefixCacheSUT(SutBase):
         else:
             self._m_hits = self._m_partial = self._m_misses = None
             self._m_evictions = self._m_reused = self._m_missed = None
+            self._m_admissions = None
 
     @property
     def capacity_tokens(self) -> int:
@@ -263,6 +298,31 @@ class PrefixCacheSUT(SutBase):
         if self._flush_after_drain and self._pending_issues == 0:
             self._flush_after_drain = False
             self.inner.flush()
+
+    def admit_session(self, session_id: int, tokens: int) -> None:
+        """Admit a migrated session's prefix (cross-replica admission).
+
+        Called by the fleet's rescue path just before it re-issues a
+        rescued turn here: the prefix the dead replica computed is
+        installed as resident, so the rescued turn (and the session's
+        later turns, once affinity re-pins) hit instead of recomputing
+        a prefill the user already paid for.  The admit is recorded in
+        the audit trail; the auditor takes the admitted amount as a
+        declared input and verifies its downstream effects (evictions
+        now, hits later) like any other event.
+        """
+        if tokens <= 0:
+            return
+        events = self.model.admit(session_id, tokens)
+        self.events.extend(events)
+        self.stats.admissions += 1
+        if self._m_admissions is not None:
+            self._m_admissions.inc()
+        evictions = len(events) - 1
+        if evictions:
+            self.stats.evictions += evictions
+            if self._m_evictions is not None:
+                self._m_evictions.inc(evictions)
 
     def issue_query(self, query: Query) -> None:
         turn = query.session
@@ -332,6 +392,12 @@ def audit_cache_events(
     for event in events:
         if event.kind == "evict":
             continue  # evictions are regenerated, not replayed
+        if event.kind == "admit":
+            # Rescue admissions are declared inputs (the rescuing fleet
+            # vouches for the amount); the replay applies them so their
+            # evictions and the hits they enable stay verifiable.
+            expected.extend(model.admit(event.session_id, event.tokens))
+            continue
         plan = graph.plan(event.session_id)
         if not 0 <= event.turn_index < plan.turn_count:
             return [

@@ -92,16 +92,32 @@ class TestBudgetEnforcement:
         # Two full attempts plus the clamped 20 ms remainder.
         assert sut.inner.attempts == 3
 
-    def test_backoff_that_overruns_the_budget_resolves_early(self):
+    def test_backoff_that_overruns_the_budget_is_clamped(self):
         policy = RetryPolicy(max_attempts=10, attempt_timeout=0.05,
                              backoff_base=1.0, jitter="none",
                              total_timeout=0.5)
         sut, loop, response = run_one_query(policy)
         assert isinstance(response, QueryFailure)
-        # Sleeping the 1 s backoff would blow the budget: the query
-        # resolves right after its first lost attempt instead.
-        assert loop.now == pytest.approx(0.05)
-        assert sut.inner.attempts == 1
+        assert "retry budget exhausted" in response.reason
+        # Sleeping the full 1 s backoff would schedule the retry past
+        # the budget; the clamp shortens it to 0.40 s so the second
+        # attempt still gets its full 50 ms slice and the query
+        # resolves exactly at the wall.
+        assert loop.now == pytest.approx(0.5)
+        assert sut.inner.attempts == 2
+
+    def test_remainder_smaller_than_an_attempt_retries_immediately(self):
+        policy = RetryPolicy(max_attempts=10, attempt_timeout=0.05,
+                             backoff_base=1.0, jitter="none",
+                             total_timeout=0.08)
+        sut, loop, response = run_one_query(policy)
+        assert isinstance(response, QueryFailure)
+        assert "retry budget exhausted" in response.reason
+        # After the first lost attempt only 30 ms of budget remain -
+        # less than attempt_timeout - so the backoff clamps to zero and
+        # the final attempt runs at once with the 30 ms remainder.
+        assert loop.now == pytest.approx(0.08)
+        assert sut.inner.attempts == 2
 
     def test_uncapped_behavior_is_unchanged(self):
         policy = RetryPolicy(max_attempts=4, attempt_timeout=0.05,
